@@ -1,0 +1,66 @@
+// Ablation A10 (paper Section 2.1): METADOCK/BINDSURF-style blind
+// docking — decompose the receptor surface into independent spots and
+// dock into all of them in parallel, without being told where the pocket
+// is. The headline check: the top-ranked spot should be the carved
+// binding pocket, and whole-surface spot search should beat an equal-
+// budget global search at localising it.
+//
+// Usage: bench_blind_docking [--per-spot=800] [--seed=9]
+
+#include <cstdio>
+
+#include "src/chem/synthetic.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/metadock/surface_spots.hpp"
+
+using namespace dqndock;
+using namespace dqndock::metadock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto perSpot = static_cast<std::size_t>(args.getInt("per-spot", 800));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 9));
+
+  const chem::Scenario scenario = chem::buildScenario(chem::ScenarioSpec::paper2bsm());
+  ReceptorModel receptor(scenario.receptor, 12.0);
+  LigandModel ligand(scenario.ligand);
+  ScoringFunction scoring(receptor, ligand, {});
+  ThreadPool pool;
+
+  Stopwatch clock;
+  const auto spots = findSurfaceSpots(receptor);
+  std::printf("# surface decomposition: %zu spots over %zu receptor atoms (%.2f s)\n",
+              spots.size(), receptor.atomCount(), clock.seconds());
+
+  MetaheuristicParams params = MetaheuristicParams::monteCarlo();
+  params.maxEvaluations = perSpot;
+  clock.reset();
+  const auto results = dockAllSpots(scoring, spots, params, seed, &pool);
+  const double spotSeconds = clock.seconds();
+
+  std::printf("%-6s %12s %14s %16s %10s\n", "rank", "spotAtoms", "bestScore",
+              "distToPocket(A)", "evals");
+  for (std::size_t i = 0; i < std::min<std::size_t>(results.size(), 8); ++i) {
+    const auto& r = results[i];
+    std::printf("%-6zu %12zu %14.2f %16.2f %10zu\n", i + 1, r.spot.atoms.size(),
+                r.best.score, distance(r.spot.center, scenario.pocketCenter), r.evaluations);
+  }
+  const double winnerDist = distance(results.front().spot.center, scenario.pocketCenter);
+  std::printf("# winning spot sits %.2f A from the carved pocket centre (%.1f s total)\n",
+              winnerDist, spotSeconds);
+
+  // Equal total budget, single global search for comparison.
+  MetaheuristicParams global = MetaheuristicParams::monteCarlo();
+  global.maxEvaluations = perSpot * results.size();
+  PoseEvaluator evaluator(scoring, &pool);
+  MetaheuristicEngine engine(evaluator, global);
+  Rng rng(seed);
+  clock.reset();
+  const auto globalResult = engine.run(rng);
+  std::printf("# equal-budget global search: best %.2f in %.1f s (spot sweep best: %.2f)\n",
+              globalResult.best.score, clock.seconds(), results.front().best.score);
+  std::printf("# expectation: spot-parallel sweep localises the pocket and matches or beats\n"
+              "# the unguided global search at the same evaluation budget.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A1 (paper Section 5, limitation 1): the paper's DQN-Docking
+// exchanges state/score with METADOCK through files on disk and names the
+// move to RAM-based communication as its first planned refinement.
+// Measures per-step latency of both couplings on the full-size scenario.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/file_env.hpp"
+
+using namespace dqndock;
+
+namespace {
+
+chem::Scenario& scenario() {
+  static chem::Scenario sc = chem::buildScenario(chem::ScenarioSpec::paper2bsm());
+  return sc;
+}
+
+/// Cycle through a fixed in-place action pattern so neither env ever
+/// terminates during timing.
+int nextAction(int i) {
+  static const int pattern[] = {1, 0, 3, 2, 5, 4};  // +x,-x,+y,-y,+z,-z
+  return pattern[i % 6];
+}
+
+}  // namespace
+
+static void BM_RamEnvStep(benchmark::State& state) {
+  metadock::DockingEnv env(scenario(), {});
+  int i = 0;
+  for (auto _ : state) {
+    if (env.terminated()) env.reset();
+    benchmark::DoNotOptimize(env.step(nextAction(i++)));
+  }
+  state.SetLabel("direct RAM coupling");
+}
+BENCHMARK(BM_RamEnvStep);
+
+static void BM_FileEnvStep(benchmark::State& state) {
+  metadock::DockingEnv env(scenario(), {});
+  metadock::FileEnv file(env);
+  file.reset();
+  int i = 0;
+  for (auto _ : state) {
+    if (env.terminated()) file.reset();
+    benchmark::DoNotOptimize(file.step(nextAction(i++)));
+  }
+  state.SetLabel("file-based coupling (paper Section 5)");
+}
+BENCHMARK(BM_FileEnvStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Ablation A9: gradient-based local refinement. Production docking
+// engines follow global search with energy minimization; this bench
+// measures what the minimizer adds on top of each metaheuristic preset
+// under a fixed evaluation budget, and the per-call cost of the analytic
+// gradient vs a plain score.
+//
+// Usage: bench_minimizer [--budget=4000] [--seed=6]
+
+#include <cstdio>
+
+#include "src/chem/synthetic.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/metadock/forces.hpp"
+#include "src/metadock/metaheuristic.hpp"
+
+using namespace dqndock;
+using namespace dqndock::metadock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto budget = static_cast<std::size_t>(args.getInt("budget", 4000));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 6));
+
+  const chem::Scenario scenario = chem::buildScenario(chem::ScenarioSpec::tiny());
+  ReceptorModel receptor(scenario.receptor, 12.0);
+  LigandModel ligand(scenario.ligand);
+  ScoringFunction scoring(receptor, ligand, {});
+  ScoringGradient gradient(receptor, ligand, {});
+  ThreadPool pool;
+
+  // Per-call cost comparison.
+  {
+    Pose probe(ligand.torsionCount());
+    probe.translation = scenario.pocketCenter + Vec3{0, 0, 2.0};
+    std::vector<Vec3> positions, grads;
+    ligand.applyPose(probe, positions);
+    Stopwatch clock;
+    const int reps = 2000;
+    double sink = 0.0;
+    for (int i = 0; i < reps; ++i) sink += scoring.score(positions);
+    const double scoreUs = clock.micros() / reps;
+    clock.reset();
+    for (int i = 0; i < reps; ++i) sink += gradient.atomGradients(positions, grads);
+    const double gradUs = clock.micros() / reps;
+    std::printf("# per-call cost: score=%.1f us, analytic gradient=%.1f us (%.2fx)%s\n",
+                scoreUs, gradUs, gradUs / scoreUs, sink == 12345.0 ? "!" : "");
+  }
+
+  std::printf("%-16s %14s %16s %10s\n", "method", "searchBest", "afterMinimize", "minIters");
+  for (auto params :
+       {MetaheuristicParams::randomSearch(), MetaheuristicParams::monteCarlo(),
+        MetaheuristicParams::genetic()}) {
+    params.maxEvaluations = budget;
+    PoseEvaluator evaluator(scoring, &pool);
+    MetaheuristicEngine engine(evaluator, params);
+    Rng rng(seed);
+    const auto search = engine.runFrom(ligand.restPose(), rng);
+    const MinimizeResult refined = minimizePose(scoring, gradient, search.best.pose);
+    std::printf("%-16s %14.2f %16.2f %10d\n", params.name.c_str(), search.best.score,
+                refined.finalScore, refined.iterations);
+  }
+  std::printf("# expectation: minimization adds a consistent score improvement on top of\n"
+              "# every search method at negligible cost (a few hundred scoring calls).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation A6b: throughput of the Q-network at the paper's architecture
+// (Table 1: input 16,599 / hidden 135x135 / output 12, minibatch 32) and
+// at the scaled preset's dimensions, across thread counts.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/nn/mlp.hpp"
+
+using namespace dqndock;
+using nn::Mlp;
+using nn::Tensor;
+
+namespace {
+
+Tensor randomBatch(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  for (double& v : t.flat()) v = rng.gaussian();
+  return t;
+}
+
+void runForward(benchmark::State& state, std::vector<std::size_t> dims, std::size_t batch,
+                std::size_t threads) {
+  Rng rng(1);
+  std::unique_ptr<ThreadPool> pool = threads ? std::make_unique<ThreadPool>(threads) : nullptr;
+  Mlp net(dims, rng, pool.get());
+  Tensor x = randomBatch(batch, dims.front(), rng);
+  Tensor y;
+  for (auto _ : state) {
+    net.predict(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(batch));
+}
+
+void runTrainStep(benchmark::State& state, std::vector<std::size_t> dims, std::size_t batch,
+                  std::size_t threads) {
+  Rng rng(2);
+  std::unique_ptr<ThreadPool> pool = threads ? std::make_unique<ThreadPool>(threads) : nullptr;
+  Mlp net(dims, rng, pool.get());
+  Tensor x = randomBatch(batch, dims.front(), rng);
+  Tensor g = randomBatch(batch, dims.back(), rng);
+  for (auto _ : state) {
+    net.zeroGrad();
+    net.forward(x);
+    net.backward(g);
+    benchmark::DoNotOptimize(net.gradients()[0]->data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(batch));
+}
+
+}  // namespace
+
+// Paper architecture: 16,599 -> 135 -> 135 -> 12.
+static void BM_PaperNetForward(benchmark::State& state) {
+  runForward(state, {16599, 135, 135, 12}, 32, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_PaperNetForward)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+static void BM_PaperNetTrainStep(benchmark::State& state) {
+  runTrainStep(state, {16599, 135, 135, 12}, 32, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_PaperNetTrainStep)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Scaled preset: ligand-only state of the tiny scenario (36 -> 64 -> 64 -> 12).
+static void BM_ScaledNetForward(benchmark::State& state) {
+  runForward(state, {36, 64, 64, 12}, 32, 0);
+}
+BENCHMARK(BM_ScaledNetForward);
+
+static void BM_ScaledNetTrainStep(benchmark::State& state) {
+  runTrainStep(state, {36, 64, 64, 12}, 32, 0);
+}
+BENCHMARK(BM_ScaledNetTrainStep);
+
+// Single-state inference: the per-env-step action-selection cost.
+static void BM_PaperNetSingleInference(benchmark::State& state) {
+  runForward(state, {16599, 135, 135, 12}, 1, 0);
+}
+BENCHMARK(BM_PaperNetSingleInference);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation A6a (paper Sections 2.2 and 5): experience replay cost. The
+// paper stores full state vectors per memory; the compact pose replay
+// (the "RAM-based" refinement) stores 7+K pose DOFs and re-encodes on
+// sampling. Measures push/sample throughput of both and prints the
+// resident-memory ratio at the paper's N = 400,000 capacity.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/pose_replay.hpp"
+
+using namespace dqndock;
+
+namespace {
+
+struct World {
+  chem::Scenario scenario;
+  metadock::DockingEnv env;
+  core::StateEncoder encoder;
+  core::DockingTask task;
+  std::vector<double> state;
+
+  World()
+      : scenario(chem::buildScenario(chem::ScenarioSpec::tiny())),
+        env(scenario, {}),
+        encoder(scenario, core::StateMode::kLigandPositions),
+        task(env, encoder) {
+    task.reset(state);
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+}  // namespace
+
+static void BM_RawReplayPush(benchmark::State& state) {
+  World& w = world();
+  rl::ReplayBuffer rb(100000, w.encoder.dim());
+  for (auto _ : state) {
+    rb.push(w.state, 3, 1.0, w.state, false);
+  }
+  state.SetLabel("raw float32 states, dim=" + std::to_string(w.encoder.dim()));
+}
+BENCHMARK(BM_RawReplayPush);
+
+static void BM_PoseReplayPush(benchmark::State& state) {
+  World& w = world();
+  core::PoseReplayBuffer rb(100000, w.task);
+  for (auto _ : state) {
+    rb.push(w.state, 3, 1.0, w.state, false);
+  }
+  state.SetLabel("compact pose storage");
+}
+BENCHMARK(BM_PoseReplayPush);
+
+static void BM_RawReplaySample(benchmark::State& state) {
+  World& w = world();
+  rl::ReplayBuffer rb(4096, w.encoder.dim());
+  for (int i = 0; i < 4096; ++i) rb.push(w.state, i % 12, 0.0, w.state, false);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rb.sample(32, rng));
+  }
+  state.SetLabel("no decode work at sample time");
+}
+BENCHMARK(BM_RawReplaySample);
+
+static void BM_PoseReplaySample(benchmark::State& state) {
+  World& w = world();
+  core::PoseReplayBuffer rb(4096, w.task);
+  const metadock::Pose p = w.env.pose();
+  for (int i = 0; i < 4096; ++i) rb.pushPose(p, i % 12, 0.0, p, false);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rb.sample(32, rng));
+  }
+  state.SetLabel("re-encodes states on sample");
+}
+BENCHMARK(BM_PoseReplaySample);
+
+int main(int argc, char** argv) {
+  // Memory comparison at the paper's capacity (no benchmark loop needed).
+  {
+    const auto paper = chem::buildScenario(chem::ScenarioSpec::paper2bsm());
+    metadock::DockingEnv env(paper, {});
+    core::StateEncoder encoder(paper, core::StateMode::kFullWithBonds);
+    core::DockingTask task(env, encoder);
+    const std::size_t capacity = 400000;  // Table 1: N
+    // Raw: 2 float arrays of capacity x 16,599.
+    const double rawGiB = 2.0 * capacity * encoder.dim() * sizeof(float) / (1024.0 * 1024 * 1024);
+    core::PoseReplayBuffer pose(capacity, task);
+    const double poseGiB = static_cast<double>(pose.memoryBytes()) / (1024.0 * 1024 * 1024);
+    std::printf("# replay memory at paper capacity N=400,000, state dim 16,599:\n");
+    std::printf("#   raw state storage (paper design): %8.2f GiB\n", rawGiB);
+    std::printf("#   compact pose storage:             %8.4f GiB  (%.0fx smaller)\n", poseGiB,
+                rawGiB / poseGiB);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

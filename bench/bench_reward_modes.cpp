@@ -1,0 +1,54 @@
+// Ablation A12 (paper Section 3): the reward-construction decision.
+// The paper deliberates between taking the score directly and taking the
+// clipped score *change*, settling on sign-clipped deltas for gradient
+// robustness. Trains DQN-Docking under each reward mode on the same task
+// and compares outcomes.
+//
+// Usage: bench_reward_modes [--episodes=60] [--seed=12]
+
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/core/dqn_docking.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto episodes = static_cast<std::size_t>(args.getInt("episodes", 60));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 12));
+
+  const metadock::RewardMode modes[] = {
+      metadock::RewardMode::kSignClip,     // the paper's choice
+      metadock::RewardMode::kClippedDelta,
+      metadock::RewardMode::kRawDelta,
+      metadock::RewardMode::kAbsolute,
+  };
+
+  ThreadPool pool;
+  std::printf("# reward-construction ablation (paper Section 3), %zu episodes\n", episodes);
+  std::printf("%-16s %12s %12s %12s %12s %8s\n", "reward", "earlyQ", "lateQ", "bestScore",
+              "greedyBest", "sec");
+  for (const auto mode : modes) {
+    core::DqnDockingConfig cfg = core::DqnDockingConfig::scaled();
+    cfg.trainer.episodes = episodes;
+    cfg.trainer.seed = seed;
+    cfg.env.rewardMode = mode;
+
+    Stopwatch clock;
+    core::DqnDocking system(cfg, &pool);
+    system.train();
+    const rl::MetricsLog& log = system.metrics();
+    const std::size_t n = log.size();
+    const rl::EpisodeRecord greedy = system.evaluateGreedy();
+    std::printf("%-16s %12.4f %12.4f %12.2f %12.2f %8.1f\n",
+                metadock::rewardModeName(mode), log.meanAvgMaxQ(0, n / 4),
+                log.meanAvgMaxQ(3 * n / 4, n), log.bestScoreOverall(), greedy.bestScore,
+                clock.seconds());
+  }
+  std::printf("# the paper argues sign-clipping gives 'more robust gradients' against the\n"
+              "# astronomically scaled clash penalties; raw-delta rows expose exactly that\n"
+              "# failure mode (Q-values blow up with unclipped 1e6+ rewards).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// End-to-end file-based docking tool: reads a receptor (PDB) and a ligand
+// (MOL2 / XYZ / PDB) from disk, runs a metaheuristic search followed by
+// gradient minimization, clusters the resulting binding modes, and writes
+// the top poses back out as PDB files.
+//
+// When invoked without --receptor/--ligand it first *generates* a demo
+// pair (a residue-level synthetic protein and a drug-like ligand), writes
+// them to disk, and then runs the exact same file pipeline — so the
+// example is runnable out of the box yet exercises every I/O path a user
+// with real structures would hit.
+//
+//   ./dock_from_files [--receptor=r.pdb --ligand=l.mol2]
+//                     [--method=genetic] [--budget=6000] [--out-prefix=/tmp/pose]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/chem/mol2_io.hpp"
+#include "src/chem/pdb_io.hpp"
+#include "src/chem/protein.hpp"
+#include "src/chem/synthetic.hpp"
+#include "src/chem/topology.hpp"
+#include "src/chem/xyz_io.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/logging.hpp"
+#include "src/metadock/forces.hpp"
+#include "src/metadock/metaheuristic.hpp"
+#include "src/metadock/pose_cluster.hpp"
+
+using namespace dqndock;
+namespace fs = std::filesystem;
+
+namespace {
+
+metadock::MetaheuristicParams presetByName(const std::string& name) {
+  if (name == "random-search") return metadock::MetaheuristicParams::randomSearch();
+  if (name == "local-search") return metadock::MetaheuristicParams::localSearch();
+  if (name == "monte-carlo") return metadock::MetaheuristicParams::monteCarlo();
+  if (name == "genetic") return metadock::MetaheuristicParams::genetic();
+  std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+chem::Molecule loadLigand(const std::string& path) {
+  const std::string ext = fs::path(path).extension().string();
+  if (ext == ".mol2") return chem::readMol2File(path);
+  if (ext == ".xyz") return chem::readXyzFile(path);
+  chem::PdbReadOptions opts;
+  opts.perceiveBonds = true;
+  return chem::readPdbFile(path, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  std::string receptorPath = args.getString("receptor", "");
+  std::string ligandPath = args.getString("ligand", "");
+
+  // Generate a demo pair when none was supplied.
+  if (receptorPath.empty() || ligandPath.empty()) {
+    const fs::path dir = fs::temp_directory_path() / "dqndock-demo";
+    fs::create_directories(dir);
+    chem::ProteinSpec pspec;
+    pspec.residues = 60;
+    const chem::ProteinChain protein = chem::buildProtein(pspec);
+    receptorPath = (dir / "receptor.pdb").string();
+    chem::writePdbFile(receptorPath, protein.molecule);
+
+    Rng rng(41);
+    chem::Molecule ligand = chem::buildLigand(24, 4, rng);
+    ligandPath = (dir / "ligand.mol2").string();
+    chem::writeMol2File(ligandPath, ligand);
+    std::printf("generated demo structures:\n  receptor: %s (%zu atoms, %zu residues)\n"
+                "  ligand:   %s (%zu atoms)\n",
+                receptorPath.c_str(), protein.molecule.atomCount(), pspec.residues,
+                ligandPath.c_str(), ligand.atomCount());
+  }
+
+  // ---- Load from disk (the path real users take). -----------------------
+  chem::PdbReadOptions ropts;
+  ropts.perceiveBonds = true;
+  chem::Molecule receptorMol = chem::readPdbFile(receptorPath, ropts);
+  chem::Molecule ligandMol = loadLigand(ligandPath);
+  chem::detectRotatableBonds(ligandMol);
+  std::printf("loaded receptor %zu atoms / %zu bonds, ligand %zu atoms / %zu bonds\n",
+              receptorMol.atomCount(), receptorMol.bondCount(), ligandMol.atomCount(),
+              ligandMol.bondCount());
+
+  // ---- Dock. -------------------------------------------------------------
+  const double cutoff = 12.0;
+  metadock::ReceptorModel receptor(receptorMol, cutoff);
+  metadock::LigandModel ligand(ligandMol);
+  metadock::ScoringOptions sopts;
+  sopts.cutoff = cutoff;
+  metadock::ScoringFunction scoring(receptor, ligand, sopts);
+  metadock::PoseEvaluator evaluator(scoring, &ThreadPool::global());
+
+  metadock::MetaheuristicParams params = presetByName(args.getString("method", "genetic"));
+  params.maxEvaluations = static_cast<std::size_t>(args.getInt("budget", 6000));
+  metadock::MetaheuristicEngine engine(evaluator, params);
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 17)));
+  const metadock::MetaheuristicResult result = engine.run(rng);
+  std::printf("%s search: best score %.2f after %zu evaluations\n", params.name.c_str(),
+              result.best.score, result.evaluations);
+
+  // ---- Gradient refinement of the best pose. -----------------------------
+  metadock::ScoringGradient gradient(receptor, ligand, sopts);
+  const metadock::MinimizeResult refined =
+      metadock::minimizePose(scoring, gradient, result.best.pose);
+  std::printf("gradient refinement: %.2f -> %.2f in %d iterations%s\n", refined.initialScore,
+              refined.finalScore, refined.iterations, refined.converged ? " (converged)" : "");
+
+  // ---- Cluster the final population into binding modes. ------------------
+  std::vector<metadock::Candidate> finals;
+  finals.push_back({refined.pose, refined.finalScore});
+  // Re-sample the engine a few more times for mode diversity.
+  for (int i = 0; i < 4; ++i) {
+    const auto extra = engine.run(rng);
+    finals.push_back(extra.best);
+  }
+  metadock::ClusterOptions copts;
+  copts.rmsdThreshold = 2.0;
+  const auto clusters = metadock::clusterPoses(ligand, finals, copts);
+  std::printf("binding modes (RMSD threshold %.1f A): %zu clusters\n", copts.rmsdThreshold,
+              clusters.size());
+
+  // ---- Write the representative poses. ------------------------------------
+  const std::string prefix = args.getString("out-prefix",
+                                            (fs::temp_directory_path() / "dqndock-pose").string());
+  std::vector<Vec3> coords;
+  for (std::size_t k = 0; k < clusters.size() && k < 3; ++k) {
+    ligand.applyPose(clusters[k].representative.pose, coords);
+    chem::Molecule posed = ligandMol;
+    for (std::size_t i = 0; i < coords.size(); ++i) posed.setPosition(i, coords[i]);
+    const std::string path = prefix + "-" + std::to_string(k) + ".pdb";
+    chem::writePdbFile(path, posed);
+    std::printf("  mode %zu: score %.2f, %zu members -> %s\n", k,
+                clusters[k].representative.score, clusters[k].members.size(), path.c_str());
+  }
+  return 0;
+}

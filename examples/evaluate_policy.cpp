@@ -1,0 +1,68 @@
+// Train once, checkpoint, reload, evaluate — the paper's central economic
+// argument: "reducing the computational cost once the NN is already
+// trained". A trained policy docks with one cheap forward pass per step
+// instead of a metaheuristic's thousands of scoring calls.
+//
+//   ./evaluate_policy [--episodes=60] [--ckpt=/tmp/dqndock.ckpt] [--trajectory=episode.xyz]
+
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/core/dqn_docking.hpp"
+#include "src/metadock/trajectory.hpp"
+#include "src/rl/checkpoint.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string ckpt = args.getString("ckpt", "/tmp/dqndock-policy.ckpt");
+
+  core::DqnDockingConfig cfg = core::DqnDockingConfig::scaled();
+  cfg.trainer.episodes = static_cast<std::size_t>(args.getInt("episodes", 60));
+  cfg.trainer.seed = static_cast<std::uint64_t>(args.getInt("seed", 21));
+
+  ThreadPool pool;
+
+  // ---- Phase 1: train and checkpoint. -----------------------------------
+  {
+    Stopwatch clock;
+    core::DqnDocking system(cfg, &pool);
+    system.train();
+    rl::saveAgent(ckpt, system.agent());
+    std::printf("trained %zu episodes in %.1f s; checkpoint -> %s\n", cfg.trainer.episodes,
+                clock.seconds(), ckpt.c_str());
+  }
+
+  // ---- Phase 2: fresh process-equivalent — rebuild and load weights. ----
+  {
+    core::DqnDocking system(cfg, &pool);
+    rl::loadAgent(ckpt, system.agent());
+
+    Stopwatch clock;
+    const rl::EpisodeRecord eval = system.evaluateGreedy();
+    std::printf("reloaded policy greedy rollout: steps=%zu bestScore=%.2f (%.3f s, %zu scoring"
+                " evaluations)\n",
+                eval.steps, eval.bestScore, clock.seconds(), system.env().evaluationCount());
+
+    // Record a full greedy episode as a viewable trajectory.
+    const std::string trajPath = args.getString("trajectory", "");
+    if (!trajPath.empty()) {
+      std::vector<double> state;
+      auto traj = metadock::recordEpisode(
+          system.env(),
+          [&](const metadock::DockingEnv& env) {
+            system.encoder().encodeFromPositions(env.ligandPositions(), state);
+            return system.agent().greedyAction(state);
+          },
+          cfg.env.maxSteps);
+      traj.writeXyzFile(trajPath);
+      std::printf("greedy episode trajectory (%zu frames) -> %s (open in VMD/PyMOL)\n",
+                  traj.frameCount(), trajPath.c_str());
+      std::printf("best frame %zu scored %.2f\n", traj.bestFrame(),
+                  traj.frames()[traj.bestFrame()].score);
+    }
+  }
+  return 0;
+}

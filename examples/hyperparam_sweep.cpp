@@ -1,0 +1,61 @@
+// Hyperparameter sweep: grid over learning rate x hidden width for
+// DQN-Docking on the scaled task, writing one CSV row per cell — how the
+// paper's "set empirically" Table 1 values (target-network cadence,
+// hidden sizes, ...) would actually be selected.
+//
+//   ./hyperparam_sweep [--episodes=25] [--csv=sweep.csv]
+
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/core/dqn_docking.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto episodes = static_cast<std::size_t>(args.getInt("episodes", 25));
+  const std::string csvPath = args.getString("csv", "");
+
+  const double learningRates[] = {0.00025, 0.001, 0.005};
+  const std::size_t hiddenWidths[] = {32, 64, 128};
+
+  ThreadPool pool;
+  std::unique_ptr<CsvWriter> csv;
+  if (!csvPath.empty()) {
+    const std::vector<std::string> header{"learning_rate", "hidden",      "late_q",
+                                          "best_score",    "greedy_best", "seconds"};
+    csv = std::make_unique<CsvWriter>(csvPath, header);
+  }
+
+  std::printf("# lr x hidden sweep, %zu episodes per cell\n", episodes);
+  std::printf("%-10s %-8s %12s %12s %12s %8s\n", "lr", "hidden", "lateQ", "bestScore",
+              "greedyBest", "sec");
+  for (const double lr : learningRates) {
+    for (const std::size_t width : hiddenWidths) {
+      core::DqnDockingConfig cfg = core::DqnDockingConfig::scaled();
+      cfg.trainer.episodes = episodes;
+      cfg.agent.learningRate = lr;
+      cfg.agent.hiddenSizes = {width, width};
+
+      Stopwatch clock;
+      core::DqnDocking system(cfg, &pool);
+      system.train();
+      const rl::MetricsLog& log = system.metrics();
+      const std::size_t n = log.size();
+      const double lateQ = log.meanAvgMaxQ(3 * n / 4, n);
+      const rl::EpisodeRecord greedy = system.evaluateGreedy();
+      const double secs = clock.seconds();
+      std::printf("%-10g %-8zu %12.4f %12.2f %12.2f %8.1f\n", lr, width, lateQ,
+                  log.bestScoreOverall(), greedy.bestScore, secs);
+      if (csv) {
+        csv->row({lr, static_cast<double>(width), lateQ, log.bestScoreOverall(),
+                  greedy.bestScore, secs});
+      }
+    }
+  }
+  if (csv) std::printf("# sweep written to %s\n", csvPath.c_str());
+  return 0;
+}

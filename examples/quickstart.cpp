@@ -1,0 +1,68 @@
+// Quickstart: build a docking scenario, score poses, take a few
+// environment steps, and run a short Monte Carlo docking — the smallest
+// end-to-end tour of the public API.
+//
+//   ./quickstart                 # synthetic tiny scenario
+//   ./quickstart --paper-scale   # full 2BSM-sized scenario
+
+#include <cstdio>
+
+#include "src/chem/synthetic.hpp"
+#include "src/common/cli.hpp"
+#include "src/metadock/docking_env.hpp"
+#include "src/metadock/landscape.hpp"
+#include "src/metadock/metaheuristic.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  // 1. A docking problem: receptor + ligand + known solution pose.
+  //    (Real structures load via chem::readPdbFile instead.)
+  const auto spec = args.getBool("paper-scale", false) ? chem::ScenarioSpec::paper2bsm()
+                                                       : chem::ScenarioSpec::tiny();
+  const chem::Scenario scenario = chem::buildScenario(spec);
+  std::printf("scenario: receptor %zu atoms / %zu bonds, ligand %zu atoms\n",
+              scenario.receptor.atomCount(), scenario.receptor.bondCount(),
+              scenario.ligand.atomCount());
+
+  // 2. The METADOCK environment: step the ligand, read score and reward.
+  metadock::DockingEnv env(scenario, {});
+  std::printf("initial score %.2f, crystal score %.2f, RMSD to crystal %.2f A\n", env.score(),
+              env.crystalScore(), env.rmsdToCrystal());
+
+  std::printf("\nstepping toward the receptor (-z):\n");
+  for (int i = 0; i < 8 && !env.terminated(); ++i) {
+    const metadock::StepResult r = env.step(4);  // -z translation
+    std::printf("  step %d: score=%10.2f reward=%+.0f\n", i + 1, r.score, r.reward);
+  }
+
+  // 3. Classical docking through the METADOCK metaheuristic schema.
+  metadock::ReceptorModel receptor(scenario.receptor, 12.0);
+  metadock::LigandModel ligand(scenario.ligand);
+  metadock::ScoringFunction scoring(receptor, ligand, {});
+  metadock::PoseEvaluator evaluator(scoring, &ThreadPool::global());
+  metadock::MetaheuristicParams params = metadock::MetaheuristicParams::monteCarlo();
+  params.maxEvaluations = 4000;
+  metadock::MetaheuristicEngine engine(evaluator, params);
+  Rng rng(7);
+  const metadock::MetaheuristicResult result = engine.runFrom(ligand.restPose(), rng);
+  std::printf("\nMonte Carlo docking: best score %.2f after %zu evaluations\n",
+              result.best.score, result.evaluations);
+
+  std::vector<Vec3> bestPos;
+  ligand.applyPose(result.best.pose, bestPos);
+  std::printf("best-pose RMSD to crystal: %.2f A\n",
+              chem::rmsd(std::span<const Vec3>(bestPos), scenario.crystalPositions));
+
+  // 4. Optional: export the approach-axis score profile for plotting.
+  const std::string landscapeCsv = args.getString("landscape-csv", "");
+  if (!landscapeCsv.empty()) {
+    const auto samples = metadock::profileLine(scoring, Vec3{}, scenario.pocketAxis, 0.0,
+                                               scenario.initialComDistance * 1.2, 120);
+    metadock::writeLandscapeCsv(landscapeCsv, samples);
+    std::printf("approach-axis landscape written to %s\n", landscapeCsv.c_str());
+  }
+  return 0;
+}

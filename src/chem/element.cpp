@@ -1,0 +1,57 @@
+#include "src/chem/element.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace dqndock::chem {
+
+namespace {
+struct ElementInfo {
+  std::string_view symbol;
+  double mass;             // Daltons
+  double covalentRadius;   // Angstrom
+};
+
+// Indexed by Element value.
+constexpr std::array<ElementInfo, kElementCount> kInfo{{
+    {"H", 1.008, 0.31},
+    {"C", 12.011, 0.76},
+    {"N", 14.007, 0.71},
+    {"O", 15.999, 0.66},
+    {"S", 32.06, 1.05},
+    {"P", 30.974, 1.07},
+    {"F", 18.998, 0.57},
+    {"Cl", 35.45, 1.02},
+    {"Br", 79.904, 1.20},
+    {"I", 126.904, 1.39},
+    {"X", 0.0, 0.8},
+}};
+}  // namespace
+
+std::string_view elementSymbol(Element e) {
+  return kInfo[static_cast<std::size_t>(e)].symbol;
+}
+
+Element elementFromSymbol(std::string_view symbol) {
+  // Trim and normalize case: first letter upper, rest lower.
+  std::string s;
+  for (char c : symbol) {
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  }
+  if (s.empty()) return Element::Unknown;
+  s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    s[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+  }
+  for (int i = 0; i < kElementCount; ++i) {
+    if (kInfo[static_cast<std::size_t>(i)].symbol == s) return static_cast<Element>(i);
+  }
+  return Element::Unknown;
+}
+
+double elementMass(Element e) { return kInfo[static_cast<std::size_t>(e)].mass; }
+
+double covalentRadius(Element e) { return kInfo[static_cast<std::size_t>(e)].covalentRadius; }
+
+}  // namespace dqndock::chem

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file element.hpp
+/// Periodic-table subset covering the atoms that occur in protein
+/// receptors and drug-like ligands (the molecules METADOCK docks).
+
+#include <string>
+#include <string_view>
+
+namespace dqndock::chem {
+
+enum class Element : unsigned char {
+  H = 0,
+  C,
+  N,
+  O,
+  S,
+  P,
+  F,
+  Cl,
+  Br,
+  I,
+  Unknown,
+  kCount  // sentinel
+};
+
+constexpr int kElementCount = static_cast<int>(Element::kCount);
+
+/// Chemical symbol ("H", "C", ...). Unknown maps to "X".
+std::string_view elementSymbol(Element e);
+
+/// Parse a symbol (case-insensitive, surrounding spaces allowed).
+/// Unrecognized symbols yield Element::Unknown.
+Element elementFromSymbol(std::string_view symbol);
+
+/// Average atomic mass in Daltons.
+double elementMass(Element e);
+
+/// Covalent radius in Angstrom (used for bond perception).
+double covalentRadius(Element e);
+
+}  // namespace dqndock::chem

@@ -1,0 +1,51 @@
+#include "src/chem/forcefield.hpp"
+
+#include <cmath>
+
+namespace dqndock::chem {
+
+ForceField::ForceField() {
+  auto set = [this](Element e, double sigma, double epsilon, double q) {
+    lj_[static_cast<std::size_t>(e)] = {sigma, epsilon};
+    charge_[static_cast<std::size_t>(e)] = q;
+  };
+  // Sigma/epsilon values are in the MMFF94/AMBER ballpark; charges are the
+  // neutral-atom fallbacks (formats that carry charges override them).
+  set(Element::H, 2.00, 0.020, 0.10);
+  set(Element::C, 3.40, 0.086, -0.05);
+  set(Element::N, 3.25, 0.170, -0.40);
+  set(Element::O, 3.00, 0.210, -0.45);
+  set(Element::S, 3.55, 0.250, -0.20);
+  set(Element::P, 3.70, 0.200, 0.40);
+  set(Element::F, 2.95, 0.061, -0.20);
+  set(Element::Cl, 3.45, 0.265, -0.10);
+  set(Element::Br, 3.60, 0.320, -0.10);
+  set(Element::I, 3.80, 0.400, -0.05);
+  set(Element::Unknown, 3.40, 0.100, 0.0);
+
+  // C/r^12 - D/r^10 with minimum at r0 = 1.9 A and depth 0.5 kcal/mol:
+  //   at the minimum: 12 C / r^13 = 10 D / r^11  =>  C = (10/12) D r0^2
+  //   depth: D/r0^10 - C/r0^12 = 0.5 (note C/r^12 - D/r^10 = -depth)
+  const double r0 = 1.9;
+  const double depth = 0.5;
+  const double r0_10 = std::pow(r0, 10);
+  const double r0_12 = std::pow(r0, 12);
+  // Solve C/r0^12 - D/r0^10 = -depth with C = (5/6) D r0^2:
+  //   (5/6) D / r0^10 - D / r0^10 = -depth  =>  D = 6 depth r0^10
+  hbond_.d10 = 6.0 * depth * r0_10;
+  hbond_.c12 = (5.0 / 6.0) * hbond_.d10 * r0 * r0;
+  (void)r0_12;
+}
+
+const ForceField& ForceField::standard() {
+  static const ForceField ff;
+  return ff;
+}
+
+LjParams ForceField::ljPair(Element a, Element b) const {
+  const LjParams pa = lj(a);
+  const LjParams pb = lj(b);
+  return {0.5 * (pa.sigma + pb.sigma), std::sqrt(pa.epsilon * pb.epsilon)};
+}
+
+}  // namespace dqndock::chem

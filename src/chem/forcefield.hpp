@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file forcefield.hpp
+/// Non-bonded force-field parameters backing METADOCK's scoring function
+/// (Eq. 1 of the paper): partial charges for the electrostatic term
+/// [Gilson 1988], MMFF94-style Lennard-Jones well depths/diameters for the
+/// van-der-Waals term [Halgren 1996], and the 12-10 hydrogen-bond well
+/// constants [Fabiola 2002].
+///
+/// Units: distance in Angstrom, charge in elementary charges, energy in
+/// kcal/mol.
+
+#include <array>
+
+#include "src/chem/element.hpp"
+
+namespace dqndock::chem {
+
+/// Coulomb constant: kcal * Angstrom / (mol * e^2).
+constexpr double kCoulomb = 332.0636;
+
+/// Per-element Lennard-Jones parameters (Lorentz-Berthelot combined at
+/// pair level by the scoring code).
+struct LjParams {
+  double sigma;    ///< Angstrom: zero-crossing distance of the 12-6 potential.
+  double epsilon;  ///< kcal/mol: well depth.
+};
+
+/// Hydrogen-bond role of an atom.
+enum class HBondRole : unsigned char {
+  kNone = 0,
+  kDonorHydrogen,  ///< polar hydrogen attached to N/O/S
+  kAcceptor,       ///< lone-pair-bearing N/O
+};
+
+/// 12-10 hydrogen-bond well parameters for a donor-H...acceptor pair:
+/// E = C/r^12 - D/r^10, calibrated for a ~-0.5 kcal/mol well near 1.9 A.
+struct HBondParams {
+  double c12;
+  double d10;
+};
+
+class ForceField {
+ public:
+  /// The library's built-in parameter set (MMFF94-like).
+  static const ForceField& standard();
+
+  LjParams lj(Element e) const { return lj_[static_cast<std::size_t>(e)]; }
+
+  /// Combined pair parameters: Lorentz (arithmetic sigma) / Berthelot
+  /// (geometric epsilon) rules.
+  LjParams ljPair(Element a, Element b) const;
+
+  HBondParams hbond() const { return hbond_; }
+
+  /// Default partial charge assigned to an element when the input format
+  /// carries none (synthetic molecules override per-atom).
+  double defaultCharge(Element e) const { return charge_[static_cast<std::size_t>(e)]; }
+
+ private:
+  ForceField();
+
+  std::array<LjParams, kElementCount> lj_{};
+  std::array<double, kElementCount> charge_{};
+  HBondParams hbond_{};
+};
+
+}  // namespace dqndock::chem

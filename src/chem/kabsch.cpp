@@ -1,0 +1,182 @@
+#include "src/chem/kabsch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+namespace {
+
+Vec3 centroidOf(std::span<const Vec3> pts) {
+  Vec3 c;
+  for (const auto& p : pts) c += p;
+  return c / static_cast<double>(pts.size());
+}
+
+Vec3 column(const Mat3& m, int c) { return {m(0, c), m(1, c), m(2, c)}; }
+
+void setColumn(Mat3& m, int c, const Vec3& v) {
+  m(0, c) = v.x;
+  m(1, c) = v.y;
+  m(2, c) = v.z;
+}
+
+double det3(const Mat3& m) {
+  return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+         m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+         m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+}  // namespace
+
+void symmetricEigen3(const Mat3& m, double values[3], Mat3& vectors) {
+  // Cyclic Jacobi: rotate away the largest off-diagonal element until
+  // convergence. 3x3 symmetric matrices converge in a handful of sweeps.
+  Mat3 a = m;
+  vectors = Mat3::identity();
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Largest off-diagonal magnitude.
+    int p = 0, q = 1;
+    double off = std::fabs(a(0, 1));
+    if (std::fabs(a(0, 2)) > off) {
+      off = std::fabs(a(0, 2));
+      p = 0;
+      q = 2;
+    }
+    if (std::fabs(a(1, 2)) > off) {
+      off = std::fabs(a(1, 2));
+      p = 1;
+      q = 2;
+    }
+    if (off < 1e-15) break;
+
+    const double apq = a(p, q);
+    const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+    const double t = (theta >= 0 ? 1.0 : -1.0) /
+                     (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+    const double c = 1.0 / std::sqrt(t * t + 1.0);
+    const double s = t * c;
+
+    Mat3 rot = Mat3::identity();
+    rot(p, p) = c;
+    rot(q, q) = c;
+    rot(p, q) = s;
+    rot(q, p) = -s;
+    a = rot.transposed() * a * rot;
+    vectors = vectors * rot;
+  }
+  values[0] = a(0, 0);
+  values[1] = a(1, 1);
+  values[2] = a(2, 2);
+
+  // Sort descending, permuting eigenvector columns alongside.
+  int order[3] = {0, 1, 2};
+  std::sort(order, order + 3, [&](int l, int r) { return values[l] > values[r]; });
+  const double v0 = values[order[0]], v1 = values[order[1]], v2 = values[order[2]];
+  Mat3 sorted;
+  setColumn(sorted, 0, column(vectors, order[0]));
+  setColumn(sorted, 1, column(vectors, order[1]));
+  setColumn(sorted, 2, column(vectors, order[2]));
+  values[0] = v0;
+  values[1] = v1;
+  values[2] = v2;
+  vectors = sorted;
+}
+
+Superposition kabsch(std::span<const Vec3> mobile, std::span<const Vec3> target) {
+  if (mobile.size() != target.size()) throw std::invalid_argument("kabsch: size mismatch");
+  if (mobile.empty()) throw std::invalid_argument("kabsch: empty point sets");
+
+  const Vec3 cm = centroidOf(mobile);
+  const Vec3 ct = centroidOf(target);
+
+  // Cross-covariance H = sum (m - cm)(t - ct)^T and centered norms.
+  Mat3 h;
+  h.m.fill(0.0);
+  double normM = 0.0, normT = 0.0;
+  for (std::size_t i = 0; i < mobile.size(); ++i) {
+    const Vec3 m = mobile[i] - cm;
+    const Vec3 t = target[i] - ct;
+    normM += m.norm2();
+    normT += t.norm2();
+    h(0, 0) += m.x * t.x;
+    h(0, 1) += m.x * t.y;
+    h(0, 2) += m.x * t.z;
+    h(1, 0) += m.y * t.x;
+    h(1, 1) += m.y * t.y;
+    h(1, 2) += m.y * t.z;
+    h(2, 0) += m.z * t.x;
+    h(2, 1) += m.z * t.y;
+    h(2, 2) += m.z * t.z;
+  }
+
+  // SVD of H via the symmetric eigen-decomposition of H^T H = V S^2 V^T.
+  const Mat3 hth = h.transposed() * h;
+  double lambda[3];
+  Mat3 v;
+  symmetricEigen3(hth, lambda, v);
+  double sigma[3];
+  for (int k = 0; k < 3; ++k) sigma[k] = std::sqrt(std::max(0.0, lambda[k]));
+
+  // Left singular vectors u_k = H v_k / sigma_k; for (near-)zero singular
+  // values complete the basis with a cross product (degenerate/planar
+  // point sets).
+  Mat3 u;
+  for (int k = 0; k < 3; ++k) {
+    Vec3 uk;
+    if (sigma[k] > 1e-12) {
+      uk = (h * column(v, k)) / sigma[k];
+    } else {
+      uk = column(u, (k + 1) % 3).cross(column(u, (k + 2) % 3));
+      // When two singular values vanish (collinear sets) that cross
+      // product may be zero; fall back to any unit vector orthogonal to
+      // the first column.
+      if (uk.norm2() < 1e-20 && k > 0) {
+        const Vec3 u0 = column(u, 0);
+        Vec3 candidate = u0.cross(Vec3{1, 0, 0});
+        if (candidate.norm2() < 1e-12) candidate = u0.cross(Vec3{0, 1, 0});
+        uk = (k == 1) ? candidate.normalized() : u0.cross(column(u, 1));
+      }
+    }
+    setColumn(u, k, uk.normalized());
+  }
+
+  // Proper rotation: flip the smallest singular direction if det < 0.
+  const double d = det3(u) * det3(v) < 0.0 ? -1.0 : 1.0;
+  if (d < 0.0) setColumn(u, 2, -column(u, 2));
+
+  Superposition sp;
+  sp.rotation = u * v.transposed();
+  // R maps mobile-centered coords onto target-centered coords; note
+  // H = sum m t^T gives R = U V^T mapping *t* onto *m* frames depending
+  // on convention — verify by construction: we want p' = R (p - cm) + ct.
+  // With H as above the optimal R is V U^T... build both and pick the one
+  // with lower residual to keep the implementation self-verifying.
+  const Mat3 rA = u * v.transposed();
+  const Mat3 rB = v * u.transposed();
+  double errA = 0.0, errB = 0.0;
+  for (std::size_t i = 0; i < mobile.size(); ++i) {
+    const Vec3 m = mobile[i] - cm;
+    const Vec3 t = target[i] - ct;
+    errA += (rA * m - t).norm2();
+    errB += (rB * m - t).norm2();
+  }
+  sp.rotation = errA <= errB ? rA : rB;
+  sp.translation = ct - sp.rotation * cm;
+  sp.rmsd = std::sqrt(std::min(errA, errB) / static_cast<double>(mobile.size()));
+  return sp;
+}
+
+double alignedRmsd(std::span<const Vec3> a, std::span<const Vec3> b) {
+  return kabsch(a, b).rmsd;
+}
+
+std::vector<Vec3> applySuperposition(const Superposition& sp, std::span<const Vec3> mobile) {
+  std::vector<Vec3> out;
+  out.reserve(mobile.size());
+  for (const auto& p : mobile) out.push_back(sp.rotation * p + sp.translation);
+  return out;
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file kabsch.hpp
+/// Optimal rigid superposition (Kabsch 1976). Docking papers report
+/// ligand RMSD after optimal alignment when comparing binding *modes*
+/// rather than absolute placements; index-wise rmsd() measures the
+/// latter. This implementation diagonalises the 3x3 cross-covariance
+/// with a cyclic Jacobi eigen-solver (no external linear-algebra
+/// dependency) and handles the reflection case.
+
+#include <span>
+#include <vector>
+
+#include "src/common/mat3.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock::chem {
+
+/// Result of an optimal superposition of `mobile` onto `target`:
+/// the affine map p' = rotation * p + translation.
+struct Superposition {
+  Mat3 rotation;
+  Vec3 translation;
+  double rmsd = 0.0;   ///< minimal achievable RMSD
+};
+
+/// Computes the rigid transform minimising RMSD between point sets of
+/// equal size (>= 1). Throws std::invalid_argument on size mismatch or
+/// empty input.
+Superposition kabsch(std::span<const Vec3> mobile, std::span<const Vec3> target);
+
+/// Minimal RMSD after optimal superposition.
+double alignedRmsd(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Apply a superposition to a point set (out-of-place).
+std::vector<Vec3> applySuperposition(const Superposition& sp, std::span<const Vec3> mobile);
+
+/// Symmetric 3x3 eigen-decomposition by cyclic Jacobi rotations.
+/// `values` descend; `vectors` columns are the matching eigenvectors.
+void symmetricEigen3(const Mat3& m, double values[3], Mat3& vectors);
+
+}  // namespace dqndock::chem

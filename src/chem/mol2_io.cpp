@@ -1,0 +1,137 @@
+#include "src/chem/mol2_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+namespace {
+
+/// SYBYL atom types look like "C.3", "N.ar", "O.co2" — the element is the
+/// part before the dot.
+Element elementFromSybyl(const std::string& type) {
+  const auto dot = type.find('.');
+  return elementFromSymbol(dot == std::string::npos ? type : type.substr(0, dot));
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Molecule readMol2(std::istream& in) {
+  Molecule mol;
+  std::string line;
+  enum class Section { kNone, kMolecule, kAtom, kBond } section = Section::kNone;
+  std::size_t lineNo = 0;
+  int moleculeHeaderLine = 0;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    if (t.rfind("@<TRIPOS>", 0) == 0) {
+      const std::string tag = t.substr(9);
+      if (tag == "MOLECULE") {
+        if (section != Section::kNone) break;  // a second molecule starts
+        section = Section::kMolecule;
+        moleculeHeaderLine = 0;
+      } else if (tag == "ATOM") {
+        section = Section::kAtom;
+      } else if (tag == "BOND") {
+        section = Section::kBond;
+      } else {
+        section = Section::kNone;
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kMolecule:
+        if (moleculeHeaderLine == 0) mol.setName(t);
+        ++moleculeHeaderLine;
+        break;
+      case Section::kAtom: {
+        // id name x y z type [subst_id subst_name charge]
+        std::istringstream ss(t);
+        long id;
+        std::string name, type;
+        double x, y, z;
+        if (!(ss >> id >> name >> x >> y >> z >> type)) {
+          throw std::runtime_error("readMol2: malformed ATOM record at line " +
+                                   std::to_string(lineNo) + ": '" + t + "'");
+        }
+        const Element e = elementFromSybyl(type);
+        double charge = ForceField::standard().defaultCharge(e);
+        long substId;
+        std::string substName;
+        if (ss >> substId >> substName >> charge) {
+          // full 9-column form; charge parsed
+        }
+        mol.addAtom(e, Vec3{x, y, z}, charge);
+        break;
+      }
+      case Section::kBond: {
+        // id origin target type
+        std::istringstream ss(t);
+        long id, a, b;
+        std::string type;
+        if (!(ss >> id >> a >> b)) {
+          throw std::runtime_error("readMol2: malformed BOND record at line " +
+                                   std::to_string(lineNo) + ": '" + t + "'");
+        }
+        if (a < 1 || b < 1 || a > static_cast<long>(mol.atomCount()) ||
+            b > static_cast<long>(mol.atomCount())) {
+          throw std::runtime_error("readMol2: bond index out of range at line " +
+                                   std::to_string(lineNo));
+        }
+        mol.addBond(static_cast<int>(a - 1), static_cast<int>(b - 1));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  mol.validate();
+  return mol;
+}
+
+Molecule readMol2File(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readMol2File: cannot open " + path);
+  return readMol2(in);
+}
+
+void writeMol2(std::ostream& out, const Molecule& mol) {
+  out << "@<TRIPOS>MOLECULE\n";
+  out << (mol.name().empty() ? "UNNAMED" : mol.name()) << '\n';
+  out << mol.atomCount() << ' ' << mol.bondCount() << " 0 0 0\n";
+  out << "SMALL\nUSER_CHARGES\n";
+  out << "@<TRIPOS>ATOM\n";
+  out.precision(6);
+  out << std::fixed;
+  for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+    const Vec3& p = mol.position(i);
+    const std::string sym(elementSymbol(mol.element(i)));
+    out << (i + 1) << ' ' << sym << (i + 1) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' '
+        << sym << " 1 LIG " << mol.charge(i) << '\n';
+  }
+  out << "@<TRIPOS>BOND\n";
+  std::size_t bondId = 1;
+  for (const auto& b : mol.bonds()) {
+    out << bondId++ << ' ' << (b.a + 1) << ' ' << (b.b + 1) << " 1\n";
+  }
+}
+
+void writeMol2File(const std::string& path, const Molecule& mol) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeMol2File: cannot open " + path);
+  writeMol2(out, mol);
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file mol2_io.hpp
+/// Tripos MOL2 reader/writer — the de-facto ligand interchange format of
+/// docking pipelines (METADOCK, AutoDock tooling and the ZINC library
+/// the paper cites all consume it). Supports the MOLECULE, ATOM and BOND
+/// record types; atom partial charges round-trip through the standard
+/// ninth column.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+/// Parse MOL2 content (first molecule in the stream). Throws
+/// std::runtime_error on malformed ATOM/BOND records.
+Molecule readMol2(std::istream& in);
+Molecule readMol2File(const std::string& path);
+
+void writeMol2(std::ostream& out, const Molecule& mol);
+void writeMol2File(const std::string& path, const Molecule& mol);
+
+}  // namespace dqndock::chem

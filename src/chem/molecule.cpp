@@ -1,0 +1,105 @@
+#include "src/chem/molecule.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+int Molecule::addAtom(Element e, const Vec3& pos, double charge, HBondRole role) {
+  positions_.push_back(pos);
+  elements_.push_back(e);
+  charges_.push_back(charge);
+  roles_.push_back(role);
+  return static_cast<int>(positions_.size()) - 1;
+}
+
+int Molecule::addAtom(Element e, const Vec3& pos) {
+  return addAtom(e, pos, ForceField::standard().defaultCharge(e));
+}
+
+void Molecule::addBond(int a, int b, bool rotatable) {
+  const int n = static_cast<int>(atomCount());
+  if (a < 0 || b < 0 || a >= n || b >= n) {
+    throw std::invalid_argument("Molecule::addBond: atom index out of range");
+  }
+  if (a == b) throw std::invalid_argument("Molecule::addBond: self-bond");
+  bonds_.push_back(Bond{a, b, rotatable});
+}
+
+Vec3 Molecule::centerOfMass() const {
+  Vec3 acc;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < atomCount(); ++i) {
+    const double m = elementMass(elements_[i]);
+    acc += positions_[i] * m;
+    mass += m;
+  }
+  if (mass <= 0.0) return centroid();
+  return acc / mass;
+}
+
+Vec3 Molecule::centroid() const {
+  if (positions_.empty()) return {};
+  Vec3 acc;
+  for (const auto& p : positions_) acc += p;
+  return acc / static_cast<double>(positions_.size());
+}
+
+std::pair<Vec3, Vec3> Molecule::boundingBox() const {
+  if (positions_.empty()) return {Vec3{}, Vec3{}};
+  Vec3 lo = positions_.front();
+  Vec3 hi = positions_.front();
+  for (const auto& p : positions_) {
+    lo = lo.min(p);
+    hi = hi.max(p);
+  }
+  return {lo, hi};
+}
+
+void Molecule::translate(const Vec3& delta) {
+  for (auto& p : positions_) p += delta;
+}
+
+void Molecule::rotateAbout(const Vec3& center, const Mat3& rotation) {
+  for (auto& p : positions_) p = center + rotation * (p - center);
+}
+
+double Molecule::totalCharge() const {
+  double q = 0.0;
+  for (double c : charges_) q += c;
+  return q;
+}
+
+void Molecule::validate() const {
+  const int n = static_cast<int>(atomCount());
+  for (const auto& b : bonds_) {
+    if (b.a < 0 || b.b < 0 || b.a >= n || b.b >= n) {
+      throw std::invalid_argument("Molecule::validate: bond index out of range");
+    }
+    if (b.a == b.b) throw std::invalid_argument("Molecule::validate: self-bond");
+  }
+  for (std::size_t i = 0; i < atomCount(); ++i) {
+    const Vec3& p = positions_[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.z)) {
+      throw std::invalid_argument("Molecule::validate: non-finite position");
+    }
+    if (!std::isfinite(charges_[i])) {
+      throw std::invalid_argument("Molecule::validate: non-finite charge");
+    }
+  }
+}
+
+double rmsd(std::span<const Vec3> a, std::span<const Vec3> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rmsd: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += distance2(a[i], b[i]);
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double rmsd(const Molecule& a, const Molecule& b) {
+  return rmsd(a.positions(), b.positions());
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file molecule.hpp
+/// Structure-of-arrays molecule representation shared by the receptor and
+/// ligand. Positions live in a contiguous vector so the scoring kernels
+/// stream them cache-friendly and the state encoder can flatten them
+/// without copies.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/chem/element.hpp"
+#include "src/chem/forcefield.hpp"
+#include "src/common/mat3.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock::chem {
+
+/// Covalent bond between atom indices `a` and `b`.
+struct Bond {
+  int a = 0;
+  int b = 0;
+  bool rotatable = false;  ///< torsional degree of freedom (ligand only)
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  /// Append an atom; returns its index.
+  int addAtom(Element e, const Vec3& pos, double charge,
+              HBondRole role = HBondRole::kNone);
+
+  /// Append an atom using the force field's default charge for `e`.
+  int addAtom(Element e, const Vec3& pos);
+
+  /// Append a bond. Indices must refer to existing atoms (checked).
+  void addBond(int a, int b, bool rotatable = false);
+
+  std::size_t atomCount() const { return positions_.size(); }
+  std::size_t bondCount() const { return bonds_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  const Vec3& position(std::size_t i) const { return positions_[i]; }
+  void setPosition(std::size_t i, const Vec3& p) { positions_[i] = p; }
+
+  Element element(std::size_t i) const { return elements_[i]; }
+  double charge(std::size_t i) const { return charges_[i]; }
+  void setCharge(std::size_t i, double q) { charges_[i] = q; }
+  HBondRole hbondRole(std::size_t i) const { return roles_[i]; }
+  void setHBondRole(std::size_t i, HBondRole r) { roles_[i] = r; }
+
+  std::span<const Vec3> positions() const { return positions_; }
+  std::span<Vec3> mutablePositions() { return positions_; }
+  std::span<const Element> elements() const { return elements_; }
+  std::span<const double> charges() const { return charges_; }
+  std::span<const HBondRole> hbondRoles() const { return roles_; }
+  std::span<const Bond> bonds() const { return bonds_; }
+  std::span<Bond> mutableBonds() { return bonds_; }
+
+  /// Drop all bonds (used when re-perceiving connectivity).
+  void clearBonds() { bonds_.clear(); }
+
+  /// Mass-weighted center. Falls back to the centroid if total mass is 0.
+  Vec3 centerOfMass() const;
+
+  /// Unweighted mean of atom positions.
+  Vec3 centroid() const;
+
+  /// Axis-aligned bounding box as (min, max); zero box when empty.
+  std::pair<Vec3, Vec3> boundingBox() const;
+
+  /// Rigid-body transforms applied in place.
+  void translate(const Vec3& delta);
+  void rotateAbout(const Vec3& center, const Mat3& rotation);
+
+  /// Net formal/partial charge of the whole molecule.
+  double totalCharge() const;
+
+  /// Throws std::invalid_argument on malformed data: bond indices out of
+  /// range, self-bonds, or non-finite positions/charges.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Vec3> positions_;
+  std::vector<Element> elements_;
+  std::vector<double> charges_;
+  std::vector<HBondRole> roles_;
+  std::vector<Bond> bonds_;
+};
+
+/// Root-mean-square deviation between two conformations of the same
+/// molecule (no alignment; positions compared index-wise). Throws if the
+/// atom counts differ.
+double rmsd(const Molecule& a, const Molecule& b);
+
+/// RMSD between two raw coordinate sets.
+double rmsd(std::span<const Vec3> a, std::span<const Vec3> b);
+
+}  // namespace dqndock::chem

@@ -1,0 +1,155 @@
+#include "src/chem/pdb_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+
+namespace {
+
+std::string columns(const std::string& line, std::size_t start, std::size_t len) {
+  if (line.size() <= start) return "";
+  return line.substr(start, len);
+}
+
+double parseDouble(const std::string& s, std::size_t lineNo, const char* what) {
+  try {
+    std::size_t pos = 0;
+    // Strip spaces manually so fully-blank fields raise a clear error.
+    std::string trimmed;
+    for (char c : s)
+      if (!std::isspace(static_cast<unsigned char>(c))) trimmed.push_back(c);
+    if (trimmed.empty()) throw std::invalid_argument("empty");
+    const double v = std::stod(trimmed, &pos);
+    if (pos != trimmed.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("PDB parse error at line " + std::to_string(lineNo) + ": bad " +
+                             what + " field '" + s + "'");
+  }
+}
+
+Element elementOfRecord(const std::string& line) {
+  // Columns 77-78 hold the element symbol; fall back to the atom-name
+  // field (columns 13-16) for minimal files.
+  Element e = elementFromSymbol(columns(line, 76, 2));
+  if (e == Element::Unknown) {
+    const std::string name = columns(line, 12, 4);
+    for (char c : name) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        e = elementFromSymbol(std::string(1, c));
+        break;
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+Molecule readPdb(std::istream& in, const PdbReadOptions& opts) {
+  Molecule mol;
+  std::string line;
+  std::size_t lineNo = 0;
+  // PDB serial -> our index (serials can be sparse / restart at TER).
+  std::map<long, int> serialToIndex;
+  std::set<std::pair<int, int>> seenBonds;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string rec = columns(line, 0, 6);
+    const bool isAtom = rec.rfind("ATOM", 0) == 0;
+    const bool isHet = rec.rfind("HETATM", 0) == 0;
+    if (isAtom || (isHet && opts.hetatm)) {
+      if (line.size() < 54) {
+        throw std::runtime_error("PDB parse error at line " + std::to_string(lineNo) +
+                                 ": record too short for coordinates");
+      }
+      const double x = parseDouble(columns(line, 30, 8), lineNo, "x");
+      const double y = parseDouble(columns(line, 38, 8), lineNo, "y");
+      const double z = parseDouble(columns(line, 46, 8), lineNo, "z");
+      const Element e = elementOfRecord(line);
+      // PQR extension: some tools place the charge in the occupancy
+      // column (55-60); plain PDB has 1.00 there, which we ignore.
+      double charge = ForceField::standard().defaultCharge(e);
+      const std::string occ = columns(line, 54, 6);
+      bool blank = true;
+      for (char c : occ)
+        if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+      if (!blank) {
+        const double v = parseDouble(occ, lineNo, "occupancy/charge");
+        if (v != 1.0) charge = v;
+      }
+      const int idx = mol.addAtom(e, Vec3{x, y, z}, charge);
+      long serial = idx + 1;
+      const std::string serialField = columns(line, 6, 5);
+      try {
+        serial = std::stol(serialField);
+      } catch (const std::exception&) {
+        // keep sequential fallback
+      }
+      serialToIndex[serial] = idx;
+    } else if (rec.rfind("CONECT", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      long from = 0;
+      if (!(ss >> from)) continue;
+      const auto it = serialToIndex.find(from);
+      if (it == serialToIndex.end()) continue;
+      long to = 0;
+      while (ss >> to) {
+        const auto jt = serialToIndex.find(to);
+        if (jt == serialToIndex.end()) continue;
+        const int a = std::min(it->second, jt->second);
+        const int b = std::max(it->second, jt->second);
+        if (a != b && seenBonds.insert({a, b}).second) mol.addBond(a, b);
+      }
+    }
+  }
+
+  if (mol.bondCount() == 0 && opts.perceiveBonds) {
+    perceiveBonds(mol, opts.bondScale);
+  }
+  mol.validate();
+  return mol;
+}
+
+Molecule readPdbFile(const std::string& path, const PdbReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readPdbFile: cannot open " + path);
+  Molecule mol = readPdb(in, opts);
+  mol.setName(path);
+  return mol;
+}
+
+void writePdb(std::ostream& out, const Molecule& mol) {
+  char buf[96];
+  for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+    const Vec3& p = mol.position(i);
+    const std::string sym(elementSymbol(mol.element(i)));
+    std::snprintf(buf, sizeof buf,
+                  "ATOM  %5zu %-4s LIG A   1    %8.3f%8.3f%8.3f%6.2f%6.2f          %2s\n",
+                  i + 1, sym.c_str(), p.x, p.y, p.z, mol.charge(i), 0.0, sym.c_str());
+    out << buf;
+  }
+  for (const auto& b : mol.bonds()) {
+    std::snprintf(buf, sizeof buf, "CONECT%5d%5d\n", b.a + 1, b.b + 1);
+    out << buf;
+  }
+  out << "END\n";
+}
+
+void writePdbFile(const std::string& path, const Molecule& mol) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writePdbFile: cannot open " + path);
+  writePdb(out, mol);
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file pdb_io.hpp
+/// Reader/writer for a practical subset of the PDB format: ATOM/HETATM
+/// coordinate records, optional PQR-style trailing charge column, and
+/// CONECT connectivity. This is how a user drops the *real* 2BSM
+/// structure from wwPDB into the library in place of the synthetic
+/// surrogate scenario.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+struct PdbReadOptions {
+  bool hetatm = true;          ///< include HETATM records
+  bool perceiveBonds = false;  ///< infer bonds from geometry when no CONECT
+  double bondScale = 1.2;      ///< covalent-radius scale for perception
+};
+
+/// Parse PDB content from a stream. Throws std::runtime_error with the
+/// offending line number on malformed ATOM/HETATM records.
+Molecule readPdb(std::istream& in, const PdbReadOptions& opts = {});
+
+/// Parse a PDB file from disk. Throws on I/O failure.
+Molecule readPdbFile(const std::string& path, const PdbReadOptions& opts = {});
+
+/// Write ATOM records (+ CONECT when the molecule has bonds).
+void writePdb(std::ostream& out, const Molecule& mol);
+void writePdbFile(const std::string& path, const Molecule& mol);
+
+}  // namespace dqndock::chem

@@ -1,0 +1,178 @@
+#include "src/chem/protein.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+namespace {
+
+struct AaInfo {
+  std::string_view code;
+  std::size_t sideAtoms;  ///< simplified heavy side-chain atoms
+  int charge;             ///< formal charge at physiological pH
+};
+
+constexpr std::array<AaInfo, kAminoAcidCount> kAa{{
+    {"ALA", 1, 0},  {"ARG", 7, +1}, {"ASN", 4, 0},  {"ASP", 4, -1}, {"CYS", 2, 0},
+    {"GLN", 5, 0},  {"GLU", 5, -1}, {"GLY", 0, 0},  {"HIS", 6, 0},  {"ILE", 4, 0},
+    {"LEU", 4, 0},  {"LYS", 5, +1}, {"MET", 4, 0},  {"PHE", 7, 0},  {"PRO", 3, 0},
+    {"SER", 2, 0},  {"THR", 3, 0},  {"TRP", 10, 0}, {"TYR", 8, 0},  {"VAL", 3, 0},
+}};
+
+/// Element of the k-th simplified side-chain atom for a residue type.
+Element sideChainElement(AminoAcid aa, std::size_t k, std::size_t total) {
+  const bool last = k + 1 == total;
+  switch (aa) {
+    case AminoAcid::Ser:
+    case AminoAcid::Thr:
+    case AminoAcid::Tyr:
+      return last ? Element::O : Element::C;
+    case AminoAcid::Cys:
+    case AminoAcid::Met:
+      return last ? Element::S : Element::C;
+    case AminoAcid::Asp:
+    case AminoAcid::Glu:
+      return (k + 2 >= total) ? Element::O : Element::C;  // carboxylate
+    case AminoAcid::Asn:
+    case AminoAcid::Gln:
+      return last ? Element::N : (k + 2 == total ? Element::O : Element::C);
+    case AminoAcid::Lys:
+    case AminoAcid::Arg:
+      return last ? Element::N : Element::C;
+    case AminoAcid::His:
+    case AminoAcid::Trp:
+      return (k % 3 == 2) ? Element::N : Element::C;
+    default:
+      return Element::C;
+  }
+}
+
+}  // namespace
+
+std::string_view aminoAcidCode(AminoAcid aa) {
+  return kAa[static_cast<std::size_t>(aa)].code;
+}
+
+AminoAcid aminoAcidFromCode(std::string_view code) {
+  std::string upper;
+  for (char c : code) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  for (int i = 0; i < kAminoAcidCount; ++i) {
+    if (kAa[static_cast<std::size_t>(i)].code == upper) return static_cast<AminoAcid>(i);
+  }
+  throw std::invalid_argument("aminoAcidFromCode: unknown residue '" + upper + "'");
+}
+
+std::size_t sideChainSize(AminoAcid aa) { return kAa[static_cast<std::size_t>(aa)].sideAtoms; }
+
+int residueCharge(AminoAcid aa) { return kAa[static_cast<std::size_t>(aa)].charge; }
+
+std::vector<AminoAcid> randomSequence(std::size_t length, Rng& rng) {
+  std::vector<AminoAcid> seq;
+  seq.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    seq.push_back(static_cast<AminoAcid>(rng.uniformInt(kAminoAcidCount)));
+  }
+  return seq;
+}
+
+ProteinChain buildProtein(const ProteinSpec& spec) {
+  if (spec.residues == 0) throw std::invalid_argument("buildProtein: residues must be > 0");
+  Rng rng(spec.seed);
+  ProteinChain chain;
+  chain.sequence = randomSequence(spec.residues, rng);
+  Molecule& mol = chain.molecule;
+  mol.setName("synthetic-protein");
+
+  // --- C-alpha trace: self-avoiding walk biased toward the centroid. ----
+  std::vector<Vec3> trace;
+  trace.push_back(Vec3{0, 0, 0});
+  Vec3 centroid;
+  for (std::size_t r = 1; r < spec.residues; ++r) {
+    centroid = Vec3{};
+    for (const auto& p : trace) centroid += p;
+    centroid /= static_cast<double>(trace.size());
+
+    Vec3 next;
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      Vec3 dir = rng.unitVector<Vec3>();
+      // Compactness bias: mix in the direction back toward the centroid.
+      const Vec3 inward = (centroid - trace.back());
+      if (inward.norm() > 1e-9) {
+        dir = (dir * (1.0 - spec.compactness) +
+               inward.normalized() * spec.compactness)
+                  .normalized();
+      }
+      next = trace.back() + dir * spec.caSpacing;
+      placed = true;
+      for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        if (distance2(trace[i], next) < 3.0 * 3.0) {  // self-avoidance
+          placed = false;
+          break;
+        }
+      }
+    }
+    trace.push_back(next);  // accept the last attempt even if crowded
+  }
+
+  // --- Atoms per residue: N, CA, C, O backbone + simplified side chain. -
+  int prevC = -1;
+  for (std::size_t r = 0; r < spec.residues; ++r) {
+    const AminoAcid aa = chain.sequence[r];
+    const Vec3 ca = trace[r];
+    const Vec3 toNext = (r + 1 < spec.residues ? trace[r + 1] - ca : rng.unitVector<Vec3>());
+    const Vec3 axis = toNext.normalized();
+    // A stable perpendicular frame.
+    Vec3 perp = axis.cross(Vec3{0, 0, 1});
+    if (perp.norm2() < 1e-6) perp = axis.cross(Vec3{0, 1, 0});
+    perp = perp.normalized();
+    const Vec3 perp2 = axis.cross(perp).normalized();
+
+    const int nIdx = mol.addAtom(Element::N, ca - axis * 1.46, -0.35,
+                                 HBondRole::kAcceptor);
+    const int caIdx = mol.addAtom(Element::C, ca, 0.05);
+    const int cIdx = mol.addAtom(Element::C, ca + axis * 1.52, 0.45);
+    const int oIdx = mol.addAtom(Element::O, ca + axis * 1.52 + perp * 1.23, -0.45,
+                                 HBondRole::kAcceptor);
+    chain.caIndex.push_back(caIdx);
+    mol.addBond(nIdx, caIdx);
+    mol.addBond(caIdx, cIdx);
+    mol.addBond(cIdx, oIdx);
+    if (prevC >= 0) mol.addBond(prevC, nIdx);  // peptide bond
+    prevC = cIdx;
+
+    // Side chain: short branch growing along -perp2 with jitter.
+    const std::size_t side = sideChainSize(aa);
+    int host = caIdx;
+    for (std::size_t k = 0; k < side; ++k) {
+      const Element e = sideChainElement(aa, k, side);
+      Vec3 pos = mol.position(static_cast<std::size_t>(host)) - perp2 * 1.5 +
+                 Vec3{rng.gaussian(0, 0.2), rng.gaussian(0, 0.2), rng.gaussian(0, 0.2)};
+      double q = ForceField::standard().defaultCharge(e) * 0.5;
+      HBondRole role = HBondRole::kNone;
+      if (e == Element::O || e == Element::N) role = HBondRole::kAcceptor;
+      // Formal charge on the terminal side-chain atom.
+      if (k + 1 == side && residueCharge(aa) != 0) q = residueCharge(aa) * 0.8;
+      const int idx = mol.addAtom(e, pos, q, role);
+      mol.addBond(host, idx);
+      host = idx;
+    }
+    // Track residue membership for everything added in this iteration.
+    while (chain.residueOfAtom.size() < mol.atomCount()) {
+      chain.residueOfAtom.push_back(static_cast<int>(r));
+    }
+  }
+
+  mol.validate();
+  return chain;
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file smiles.hpp
+/// SMILES parser + 3-D embedding for drug-like ligands.
+///
+/// The ZINC library the paper cites for virtual-screening inputs
+/// distributes compounds as SMILES strings, so a screening pipeline needs
+/// at least a practical subset of the grammar. Supported here:
+///
+///   * organic-subset atoms: B C N O P S F Cl Br I (and H)
+///   * aromatic lowercase forms (c n o s) — treated as their aliphatic
+///     elements for the force field
+///   * bracket atoms with charge: [N+], [O-], [NH3+], ...
+///   * branches ( ... )
+///   * ring-closure digits 1-9 and %nn
+///   * bond symbols - = # (orders collapse to single bonds for the
+///     non-bonded scoring model) and the no-op aromatic bond ':'
+///
+/// The generated geometry is a deterministic self-avoiding 3-D embedding
+/// (covalent distances, no physical minimization) — sufficient for
+/// docking engines that treat the ligand as a rigid/torsional body, which
+/// is exactly METADOCK's model.
+
+#include <string>
+#include <string_view>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+/// Parse a SMILES string into a molecule with 3-D coordinates.
+/// Throws std::runtime_error (with a character position) on unsupported
+/// or malformed input. Deterministic in `seed`.
+Molecule moleculeFromSmiles(std::string_view smiles, std::uint64_t seed = 1);
+
+/// Emit a (canonical-ish, depth-first) SMILES string for a molecule whose
+/// bond graph is a tree or simple cycle set. Round-trips atoms, bonds and
+/// formal charges produced by moleculeFromSmiles.
+std::string smilesFromMolecule(const Molecule& mol);
+
+}  // namespace dqndock::chem

@@ -1,0 +1,240 @@
+#include "src/chem/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/chem/topology.hpp"
+#include "src/common/mat3.hpp"
+
+namespace dqndock::chem {
+
+namespace {
+
+/// Protein-like heavy-atom composition (fractions sum to 1).
+Element sampleReceptorElement(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.62) return Element::C;
+  if (u < 0.78) return Element::N;
+  if (u < 0.97) return Element::O;
+  return Element::S;
+}
+
+Element sampleLigandHeavyElement(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.70) return Element::C;
+  if (u < 0.85) return Element::N;
+  return Element::O;
+}
+
+/// Radius (Angstrom) of a protein-density sphere holding `atoms` atoms
+/// (~10 A^3 per atom).
+double receptorRadiusFor(std::size_t atoms) {
+  const double volume = 10.0 * static_cast<double>(atoms);
+  return std::cbrt(volume * 3.0 / (4.0 * 3.14159265358979323846));
+}
+
+/// Largest distance from the centroid to any atom.
+double boundingRadius(const Molecule& mol) {
+  const Vec3 c = mol.centroid();
+  double r2 = 0.0;
+  for (const auto& p : mol.positions()) r2 = std::max(r2, distance2(p, c));
+  return std::sqrt(r2);
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::paper2bsm() { return ScenarioSpec{}; }
+
+ScenarioSpec ScenarioSpec::tiny() {
+  ScenarioSpec s;
+  s.receptorAtoms = 300;
+  s.ligandAtoms = 12;
+  s.ligandRotatableBonds = 2;
+  s.receptorBondFeatures = 150;
+  return s;
+}
+
+Molecule buildLigand(std::size_t atoms, std::size_t rotatableBonds, Rng& rng) {
+  if (atoms == 0) throw std::invalid_argument("buildLigand: atoms must be > 0");
+  Molecule mol("synthetic-ligand");
+
+  // Grow a self-avoiding branched tree: each new atom attaches to a
+  // random existing atom with free valence, at covalent distance in a
+  // direction biased away from existing atoms.
+  const double bondLen = 1.5;
+  std::vector<int> valence;  // remaining attachment slots
+  mol.addAtom(sampleLigandHeavyElement(rng), Vec3{0, 0, 0});
+  valence.push_back(3);
+
+  while (mol.atomCount() < atoms) {
+    // Pick a host with free valence.
+    std::vector<int> hosts;
+    for (std::size_t i = 0; i < valence.size(); ++i) {
+      if (valence[i] > 0) hosts.push_back(static_cast<int>(i));
+    }
+    if (hosts.empty()) {  // re-open the last atom rather than fail
+      hosts.push_back(static_cast<int>(mol.atomCount()) - 1);
+      valence.back() = 1;
+    }
+    const int host = hosts[rng.uniformInt(hosts.size())];
+
+    // Find a direction that keeps the new atom >1.2 A from others.
+    Vec3 pos;
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      const Vec3 dir = rng.unitVector<Vec3>();
+      pos = mol.position(static_cast<std::size_t>(host)) + dir * bondLen;
+      placed = true;
+      for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+        if (static_cast<int>(i) == host) continue;
+        if (distance2(mol.position(i), pos) < 1.2 * 1.2) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    // Terminal hydrogens once the heavy skeleton is ~2/3 built.
+    const bool hydrogen = mol.atomCount() * 3 > atoms * 2;
+    const Element e = hydrogen ? Element::H : sampleLigandHeavyElement(rng);
+    double q = ForceField::standard().defaultCharge(e);
+    HBondRole role = HBondRole::kNone;
+    if (e == Element::O || e == Element::N) role = HBondRole::kAcceptor;
+    if (e == Element::H && rng.bernoulli(0.3)) {
+      role = HBondRole::kDonorHydrogen;
+      q = 0.25;
+    }
+    const int idx = mol.addAtom(e, pos, q, role);
+    mol.addBond(host, idx);
+    valence[static_cast<std::size_t>(host)]--;
+    valence.push_back(e == Element::H ? 0 : (rng.bernoulli(0.35) ? 2 : 1));
+  }
+
+  // Net positive charge so the (negatively lined) pocket attracts it.
+  for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+    if (mol.element(i) == Element::N && rng.bernoulli(0.5)) mol.setCharge(i, 0.5);
+  }
+
+  // Mark exactly `rotatableBonds` torsions among the eligible ones.
+  auto eligible = detectRotatableBonds(mol);
+  auto bonds = mol.mutableBonds();
+  for (auto idx : eligible) bonds[idx].rotatable = false;
+  const std::size_t keep = std::min(rotatableBonds, eligible.size());
+  // Spread the kept torsions across the eligible list deterministically.
+  for (std::size_t k = 0; k < keep; ++k) {
+    const std::size_t pick = eligible[k * eligible.size() / (keep == 0 ? 1 : keep)];
+    bonds[pick].rotatable = true;
+  }
+
+  mol.translate(-mol.centroid());
+  mol.validate();
+  return mol;
+}
+
+std::vector<Molecule> buildLigandLibrary(std::size_t count, std::size_t minAtoms,
+                                         std::size_t maxAtoms, Rng& rng) {
+  if (minAtoms == 0 || maxAtoms < minAtoms) {
+    throw std::invalid_argument("buildLigandLibrary: bad atom range");
+  }
+  std::vector<Molecule> lib;
+  lib.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t atoms =
+        minAtoms + rng.uniformInt(static_cast<std::uint64_t>(maxAtoms - minAtoms + 1));
+    lib.push_back(buildLigand(atoms, 2 + rng.uniformInt(5), rng));
+    lib.back().setName("lib-ligand-" + std::to_string(i));
+  }
+  return lib;
+}
+
+Scenario buildScenario(const ScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  Scenario sc;
+
+  // ---- Ligand first: the pocket is carved to fit it. -------------------
+  sc.ligand = buildLigand(spec.ligandAtoms, spec.ligandRotatableBonds, rng);
+  const double ligRadius = boundingRadius(sc.ligand);
+
+  // ---- Receptor: jittered cubic lattice inside a sphere, minus pocket. -
+  const double R = receptorRadiusFor(spec.receptorAtoms) + ligRadius * 0.3;
+  sc.pocketAxis = Vec3{0, 0, 1};
+  const double pocketR = ligRadius + spec.pocketClearance;
+  // Pocket cavity: sphere of radius pocketR centered at depth pocketR/2
+  // below the receptor surface along +z.
+  sc.pocketCenter = sc.pocketAxis * (R - pocketR * 0.5);
+
+  const double a = 2.2;  // lattice spacing, Angstrom
+  std::vector<Vec3> sites;
+  const int nmax = static_cast<int>(std::ceil((R + a) / a));
+  for (int ix = -nmax; ix <= nmax; ++ix) {
+    for (int iy = -nmax; iy <= nmax; ++iy) {
+      for (int iz = -nmax; iz <= nmax; ++iz) {
+        Vec3 p{ix * a, iy * a, iz * a};
+        p += Vec3{rng.gaussian(0, 0.25), rng.gaussian(0, 0.25), rng.gaussian(0, 0.25)};
+        if (p.norm() > R) continue;
+        if (distance(p, sc.pocketCenter) < pocketR) continue;  // carve pocket
+        sites.push_back(p);
+      }
+    }
+  }
+  if (sites.size() < spec.receptorAtoms) {
+    throw std::runtime_error("buildScenario: lattice produced too few receptor sites");
+  }
+  // Keep the innermost `receptorAtoms` sites so the surface stays smooth.
+  std::sort(sites.begin(), sites.end(),
+            [](const Vec3& l, const Vec3& r) { return l.norm2() < r.norm2(); });
+  sites.resize(spec.receptorAtoms);
+
+  sc.receptor.setName("synthetic-receptor");
+  const double ligandCharge = sc.ligand.totalCharge();
+  for (const auto& p : sites) {
+    const Element e = sampleReceptorElement(rng);
+    double q = ForceField::standard().defaultCharge(e) * rng.uniform(0.5, 1.5);
+    HBondRole role = HBondRole::kNone;
+    if (e == Element::O || e == Element::N) role = HBondRole::kAcceptor;
+    // Pocket lining: complementary charge so the crystallographic pose is
+    // a genuine electrostatic optimum.
+    if (distance(p, sc.pocketCenter) < pocketR + 2.5 && ligandCharge != 0.0) {
+      q = -0.4 * (ligandCharge > 0 ? 1.0 : -1.0) * rng.uniform(0.8, 1.2);
+      role = HBondRole::kAcceptor;
+    }
+    sc.receptor.addAtom(e, p, q, role);
+  }
+
+  // Bond features: the `receptorBondFeatures` shortest neighbour pairs.
+  // (These are state-vector features; the receptor is rigid, so they are
+  // never used for mechanics.)
+  struct Pair {
+    double d2;
+    int a, b;
+  };
+  std::vector<Pair> pairs;
+  const double cut2 = (a * 1.45) * (a * 1.45);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      const double d2 = distance2(sites[i], sites[j]);
+      if (d2 < cut2) pairs.push_back({d2, static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  if (pairs.size() < spec.receptorBondFeatures) {
+    throw std::runtime_error("buildScenario: too few receptor neighbour pairs for bond features");
+  }
+  std::nth_element(pairs.begin(), pairs.begin() + static_cast<long>(spec.receptorBondFeatures),
+                   pairs.end(), [](const Pair& l, const Pair& r) { return l.d2 < r.d2; });
+  pairs.resize(spec.receptorBondFeatures);
+  for (const auto& pr : pairs) sc.receptor.addBond(pr.a, pr.b);
+  sc.receptor.validate();
+
+  // ---- Poses: crystallographic (in pocket) and initial (far away). -----
+  // Crystal pose: ligand centroid at the pocket center.
+  sc.crystalPositions.assign(sc.ligand.positions().begin(), sc.ligand.positions().end());
+  for (auto& p : sc.crystalPositions) p += sc.pocketCenter;
+
+  // Initial pose (paper Figure 3 A): along the pocket axis, outside the
+  // receptor at initialDistanceFactor * R from the receptor COM.
+  sc.ligand.translate(sc.pocketAxis * (spec.initialDistanceFactor * R));
+  sc.initialComDistance = distance(sc.ligand.centerOfMass(), sc.receptor.centerOfMass());
+  return sc;
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Deterministic synthetic docking scenarios.
+///
+/// The paper evaluates on the wwPDB receptor-ligand pair 2BSM (3,264-atom
+/// receptor, 45-atom ligand with 6 rotatable bonds, state vector of
+/// 16,599 reals). The crystal structure itself is not redistributable
+/// here, so this module builds a structural surrogate with the same
+/// dimensions and the same qualitative scoring landscape:
+///
+///  * a globular receptor with protein-like atom composition and density,
+///  * a surface pocket lined with charges/acceptors complementary to the
+///    ligand (so the crystallographic pose is a genuine score optimum),
+///  * a branched drug-like ligand (tree topology, exactly the requested
+///    rotatable-bond count),
+///  * an initial pose far from the receptor along the pocket axis
+///    (paper Figure 3, position A) and the crystallographic pose inside
+///    the pocket (position B).
+///
+/// Everything is generated from one seed, so tests, benches and training
+/// runs are exactly reproducible. Real PDB files can replace the
+/// surrogate via chem::readPdbFile without touching any other module.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+#include "src/common/rng.hpp"
+
+namespace dqndock::chem {
+
+struct ScenarioSpec {
+  std::size_t receptorAtoms = 3264;
+  std::size_t ligandAtoms = 45;
+  std::size_t ligandRotatableBonds = 6;
+  /// Number of receptor bonds emitted as state features. The paper's
+  /// 16,599-real state = 3*(receptorAtoms + ligandAtoms + receptor bonds
+  /// + ligand bonds); with a 45-atom tree ligand (44 bonds) that pins
+  /// receptor bonds at 2,180.
+  std::size_t receptorBondFeatures = 2180;
+  /// Ratio of initial ligand COM distance to receptor radius (>1 puts the
+  /// ligand outside the receptor, Figure 3 position A).
+  double initialDistanceFactor = 2.0;
+  /// Extra clearance between pocket wall and ligand, Angstrom.
+  double pocketClearance = 2.0;
+  std::uint64_t seed = 2018;
+
+  /// Full-size preset matching the paper's 2BSM dimensions.
+  static ScenarioSpec paper2bsm();
+  /// Small preset for unit tests and fast benches (~300 receptor atoms).
+  static ScenarioSpec tiny();
+};
+
+/// A complete docking problem instance.
+struct Scenario {
+  Molecule receptor;               ///< fixed target molecule
+  Molecule ligand;                 ///< agent molecule, positions = initial pose
+  std::vector<Vec3> crystalPositions;  ///< known solution pose (Figure 3, B)
+  Vec3 pocketCenter;               ///< center of the binding pocket
+  Vec3 pocketAxis;                 ///< outward unit axis of the pocket
+  double initialComDistance = 0.0; ///< |ligand COM - receptor COM| at reset
+};
+
+/// Build a scenario from a spec. Deterministic in spec.seed.
+Scenario buildScenario(const ScenarioSpec& spec);
+
+/// Build a standalone drug-like ligand: tree topology, `atoms` atoms,
+/// exactly min(requested, achievable) rotatable bonds. Centered on its
+/// centroid.
+Molecule buildLigand(std::size_t atoms, std::size_t rotatableBonds, Rng& rng);
+
+/// Generate `count` random ligands of sizes in [minAtoms, maxAtoms] for
+/// virtual-screening experiments.
+std::vector<Molecule> buildLigandLibrary(std::size_t count, std::size_t minAtoms,
+                                         std::size_t maxAtoms, Rng& rng);
+
+}  // namespace dqndock::chem

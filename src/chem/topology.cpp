@@ -1,0 +1,131 @@
+#include "src/chem/topology.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+Topology::Topology(const Molecule& mol) {
+  adj_.resize(mol.atomCount());
+  for (const auto& b : mol.bonds()) {
+    adj_[static_cast<std::size_t>(b.a)].push_back(b.b);
+    adj_[static_cast<std::size_t>(b.b)].push_back(b.a);
+  }
+}
+
+std::vector<int> Topology::connectedComponents(int* count) const {
+  const int n = atomCount();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  std::queue<int> frontier;
+  for (int start = 0; start < n; ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    comp[static_cast<std::size_t>(start)] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int v : neighbors(u)) {
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count) *count = next;
+  return comp;
+}
+
+bool Topology::bondInRing(const Molecule& mol, std::size_t bondIdx) const {
+  const Bond& bond = mol.bonds()[bondIdx];
+  // BFS from bond.a to bond.b without traversing the bond itself.
+  std::vector<char> seen(static_cast<std::size_t>(atomCount()), 0);
+  std::queue<int> frontier;
+  seen[static_cast<std::size_t>(bond.a)] = 1;
+  frontier.push(bond.a);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : neighbors(u)) {
+      if ((u == bond.a && v == bond.b) || (u == bond.b && v == bond.a)) continue;
+      if (v == bond.b) return true;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> Topology::hydrogenAnchors(const Molecule& mol) const {
+  std::vector<int> anchor(mol.atomCount(), -1);
+  for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+    if (mol.element(i) != Element::H) continue;
+    const auto& nb = neighbors(static_cast<int>(i));
+    if (!nb.empty()) anchor[i] = nb.front();
+  }
+  return anchor;
+}
+
+std::size_t perceiveBonds(Molecule& mol, double scale) {
+  mol.clearBonds();
+  const auto pos = mol.positions();
+  const std::size_t n = mol.atomCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double cutoff =
+          scale * (covalentRadius(mol.element(i)) + covalentRadius(mol.element(j)));
+      if (distance2(pos[i], pos[j]) <= cutoff * cutoff) {
+        mol.addBond(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return mol.bondCount();
+}
+
+std::vector<std::size_t> detectRotatableBonds(Molecule& mol) {
+  Topology topo(mol);
+  std::vector<std::size_t> rotatable;
+  auto bonds = mol.mutableBonds();
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    Bond& b = bonds[i];
+    const bool terminal = topo.degree(b.a) < 2 || topo.degree(b.b) < 2;
+    b.rotatable = !terminal && !topo.bondInRing(mol, i);
+    if (b.rotatable) rotatable.push_back(i);
+  }
+  return rotatable;
+}
+
+std::vector<int> atomsMovedByTorsion(const Molecule& mol, const Bond& bond) {
+  Topology topo(mol);
+  // Flood fill from bond.b while never crossing back through bond.a.
+  std::vector<char> seen(mol.atomCount(), 0);
+  std::vector<int> moved;
+  std::queue<int> frontier;
+  seen[static_cast<std::size_t>(bond.b)] = 1;
+  seen[static_cast<std::size_t>(bond.a)] = 1;  // blocked
+  frontier.push(bond.b);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : topo.neighbors(u)) {
+      if (v == bond.a && u == bond.b) continue;
+      if (v == bond.a) {
+        throw std::invalid_argument(
+            "atomsMovedByTorsion: bond lies on a ring; torsion side is ambiguous");
+      }
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        moved.push_back(v);
+        frontier.push(v);
+      }
+    }
+  }
+  moved.push_back(bond.b);
+  return moved;
+}
+
+}  // namespace dqndock::chem

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file topology.hpp
+/// Connectivity analysis: adjacency, components, ring membership, bond
+/// perception from geometry, and rotatable-bond detection (the torsional
+/// degrees of freedom of a flexible ligand, paper Section 5 limitation 3).
+
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+/// Adjacency list of a molecule's bond graph.
+class Topology {
+ public:
+  explicit Topology(const Molecule& mol);
+
+  int atomCount() const { return static_cast<int>(adj_.size()); }
+
+  const std::vector<int>& neighbors(int atom) const { return adj_[static_cast<std::size_t>(atom)]; }
+  int degree(int atom) const { return static_cast<int>(adj_[static_cast<std::size_t>(atom)].size()); }
+
+  /// Component id per atom (0-based) and the number of components.
+  std::vector<int> connectedComponents(int* count = nullptr) const;
+
+  /// True when removing bond index `bondIdx` leaves its endpoints
+  /// connected (i.e. the bond lies on a ring).
+  bool bondInRing(const Molecule& mol, std::size_t bondIdx) const;
+
+  /// For each hydrogen, the index of its bonded heavy atom, or -1 when
+  /// unbonded/not a hydrogen. Drives the H-bond angular term.
+  std::vector<int> hydrogenAnchors(const Molecule& mol) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+/// Infer bonds from geometry: a pair is bonded when their distance is
+/// below scale * (covalentRadius(a) + covalentRadius(b)). Existing bonds
+/// are replaced. Returns the number of bonds created.
+std::size_t perceiveBonds(Molecule& mol, double scale = 1.2);
+
+/// Mark as rotatable every bond that is (a) not in a ring, (b) not
+/// terminal (both endpoints have degree >= 2). Returns the indices of the
+/// rotatable bonds. This follows the standard docking definition of a
+/// torsion (Autodock-style).
+std::vector<std::size_t> detectRotatableBonds(Molecule& mol);
+
+/// Atom indices on the `b`-side of bond (a, b) when the bond is cut —
+/// i.e. the set of atoms a torsion about that bond rotates. Throws if the
+/// bond lies on a ring (the two sides are then not separable).
+std::vector<int> atomsMovedByTorsion(const Molecule& mol, const Bond& bond);
+
+}  // namespace dqndock::chem

@@ -1,0 +1,60 @@
+#include "src/chem/xyz_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dqndock::chem {
+
+Molecule readXyz(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("readXyz: empty input");
+  std::size_t n = 0;
+  try {
+    n = static_cast<std::size_t>(std::stoul(line));
+  } catch (const std::exception&) {
+    throw std::runtime_error("readXyz: bad atom count line '" + line + "'");
+  }
+  std::getline(in, line);  // comment
+  Molecule mol(line);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("readXyz: truncated after " + std::to_string(i) + " atoms");
+    }
+    std::istringstream ss(line);
+    std::string sym;
+    double x, y, z;
+    if (!(ss >> sym >> x >> y >> z)) {
+      throw std::runtime_error("readXyz: malformed atom line '" + line + "'");
+    }
+    const Element e = elementFromSymbol(sym);
+    double q = ForceField::standard().defaultCharge(e);
+    ss >> q;  // optional trailing charge
+    mol.addAtom(e, Vec3{x, y, z}, q);
+  }
+  return mol;
+}
+
+Molecule readXyzFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readXyzFile: cannot open " + path);
+  return readXyz(in);
+}
+
+void writeXyz(std::ostream& out, const Molecule& mol, const std::string& comment) {
+  out << mol.atomCount() << '\n' << comment << '\n';
+  out.precision(10);
+  for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+    const Vec3& p = mol.position(i);
+    out << elementSymbol(mol.element(i)) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' '
+        << mol.charge(i) << '\n';
+  }
+}
+
+void writeXyzFile(const std::string& path, const Molecule& mol, const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeXyzFile: cannot open " + path);
+  writeXyz(out, mol, comment);
+}
+
+}  // namespace dqndock::chem

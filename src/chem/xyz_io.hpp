@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file xyz_io.hpp
+/// XYZ coordinate format: atom count, comment line, then
+/// "symbol x y z [charge]" rows. Round-trips molecules exactly enough for
+/// checkpointing ligand conformations during training.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+Molecule readXyz(std::istream& in);
+Molecule readXyzFile(const std::string& path);
+
+void writeXyz(std::ostream& out, const Molecule& mol, const std::string& comment = "");
+void writeXyzFile(const std::string& path, const Molecule& mol, const std::string& comment = "");
+
+}  // namespace dqndock::chem

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for the examples and benches.
+/// Supports --name=value and --name value forms plus boolean switches.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dqndock {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string getString(const std::string& name, const std::string& fallback) const;
+  long getInt(const std::string& name, long fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool getBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dqndock

@@ -1,0 +1,44 @@
+#include "src/common/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dqndock {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  rowStrings(header);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+void CsvWriter::rowStrings(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      out_ << '"';
+      for (char c : cells[i]) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << cells[i];
+    }
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace dqndock

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// Small CSV writer used by the training harness and benches to dump
+/// learning curves (Figure 4 series) and sweep results.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dqndock {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; values are written with full double precision.
+  void row(const std::vector<double>& values);
+
+  /// Append one row of preformatted cells (quoted if they contain commas).
+  void rowStrings(const std::vector<std::string>& cells);
+
+  void flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace dqndock

@@ -1,0 +1,39 @@
+#include "src/common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace dqndock {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mu;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (level < logLevel()) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const double secs =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::milliseconds>(now).count()) /
+      1000.0;
+  std::lock_guard lock(g_mu);
+  std::fprintf(stderr, "[%.3f] %s %s\n", secs, levelName(level), msg.c_str());
+}
+
+}  // namespace dqndock

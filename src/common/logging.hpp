@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file logging.hpp
+/// Lightweight leveled logger. Thread-safe; writes to stderr. Benches and
+/// long training runs use it for progress lines without dragging in a
+/// logging framework dependency.
+
+#include <sstream>
+#include <string>
+
+namespace dqndock {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one formatted line (timestamp, level, message) to stderr.
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace dqndock

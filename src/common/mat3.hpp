@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file mat3.hpp
+/// Row-major 3x3 matrix used for rigid-body rotation of ligand poses.
+
+#include <array>
+#include <cmath>
+
+#include "src/common/vec3.hpp"
+
+namespace dqndock {
+
+/// Row-major 3x3 matrix. Default-constructs to identity.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static constexpr Mat3 identity() { return Mat3{}; }
+
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r * 3 + c)]; }
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r * 3 + c)]; }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
+
+  Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  double trace() const { return m[0] + m[4] + m[8]; }
+
+  /// Rotation about an arbitrary (not necessarily unit) axis by `angleRad`,
+  /// via Rodrigues' formula. A zero axis yields the identity.
+  static Mat3 rotationAboutAxis(const Vec3& axis, double angleRad) {
+    const Vec3 u = axis.normalized();
+    if (u.norm2() == 0.0) return identity();
+    const double c = std::cos(angleRad);
+    const double s = std::sin(angleRad);
+    const double t = 1.0 - c;
+    Mat3 r;
+    r(0, 0) = c + u.x * u.x * t;
+    r(0, 1) = u.x * u.y * t - u.z * s;
+    r(0, 2) = u.x * u.z * t + u.y * s;
+    r(1, 0) = u.y * u.x * t + u.z * s;
+    r(1, 1) = c + u.y * u.y * t;
+    r(1, 2) = u.y * u.z * t - u.x * s;
+    r(2, 0) = u.z * u.x * t - u.y * s;
+    r(2, 1) = u.z * u.y * t + u.x * s;
+    r(2, 2) = c + u.z * u.z * t;
+    return r;
+  }
+};
+
+}  // namespace dqndock

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file quat.hpp
+/// Unit quaternion for composing ligand orientations without drift.
+/// METADOCK's rotational degrees of freedom are stored as a quaternion so
+/// that thousands of incremental 0.5-degree rotations stay orthonormal.
+
+#include <cmath>
+
+#include "src/common/mat3.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock {
+
+/// Quaternion (w, x, y, z). Identity by default.
+struct Quat {
+  double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Quat() = default;
+  constexpr Quat(double w_, double x_, double y_, double z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+  static constexpr Quat identity() { return {}; }
+
+  /// Quaternion representing a rotation of `angleRad` about `axis`.
+  static Quat fromAxisAngle(const Vec3& axis, double angleRad) {
+    const Vec3 u = axis.normalized();
+    const double h = angleRad * 0.5;
+    const double s = std::sin(h);
+    return {std::cos(h), u.x * s, u.y * s, u.z * s};
+  }
+
+  Quat operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  Quat conjugate() const { return {w, -x, -y, -z}; }
+
+  double norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+  Quat normalized() const {
+    const double n = norm();
+    if (n < 1e-300) return identity();
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  /// Rotate a vector by this (assumed unit) quaternion.
+  Vec3 rotate(const Vec3& v) const {
+    // v' = v + 2*q_vec x (q_vec x v + w*v)
+    const Vec3 qv{x, y, z};
+    const Vec3 t = qv.cross(v) * 2.0;
+    return v + t * w + qv.cross(t);
+  }
+
+  /// Equivalent rotation matrix (assumes unit quaternion).
+  Mat3 toMatrix() const {
+    Mat3 r;
+    const double xx = x * x, yy = y * y, zz = z * z;
+    const double xy = x * y, xz = x * z, yz = y * z;
+    const double wx = w * x, wy = w * y, wz = w * z;
+    r(0, 0) = 1 - 2 * (yy + zz);
+    r(0, 1) = 2 * (xy - wz);
+    r(0, 2) = 2 * (xz + wy);
+    r(1, 0) = 2 * (xy + wz);
+    r(1, 1) = 1 - 2 * (xx + zz);
+    r(1, 2) = 2 * (yz - wx);
+    r(2, 0) = 2 * (xz - wy);
+    r(2, 1) = 2 * (yz + wx);
+    r(2, 2) = 1 - 2 * (xx + yy);
+    return r;
+  }
+
+  /// Angle of the rotation this quaternion encodes, in [0, pi].
+  double angle() const {
+    const double cw = std::fabs(w) > 1.0 ? 1.0 : std::fabs(w);
+    return 2.0 * std::acos(cw);
+  }
+};
+
+}  // namespace dqndock

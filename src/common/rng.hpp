@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, splittable pseudo-random number generator.
+///
+/// Every stochastic component (synthetic scenario builder, metaheuristics,
+/// epsilon-greedy exploration, replay sampling, weight init) takes an
+/// explicit Rng so whole training runs are reproducible from one seed and
+/// parallel workers can draw from independent streams via split().
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dqndock {
+
+/// xoshiro256++ generator (Blackman & Vigna). Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to spread low-entropy seeds across the state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniformInt(std::uint64_t n) {
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniformInt(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double gaussian() {
+    if (hasSpare_) {
+      hasSpare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Random unit vector, uniform on the sphere.
+  template <typename V>
+  V unitVector() {
+    const double z = uniform(-1.0, 1.0);
+    const double phi = uniform(0.0, 6.283185307179586);
+    const double r = std::sqrt(1.0 - z * z);
+    return V{r * std::cos(phi), r * std::sin(phi), z};
+  }
+
+  /// Derive an independent child stream (e.g. one per worker thread).
+  Rng split() { return Rng((*this)() ^ 0xdeadbeefcafef00dULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool hasSpare_ = false;
+};
+
+}  // namespace dqndock

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-D vector type used throughout the chemistry and docking
+/// substrates. Kept as a trivially-copyable aggregate so arrays of Vec3
+/// can be memcpy'd, hashed into spatial grids, and streamed to disk.
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+#include <ostream>
+
+namespace dqndock {
+
+/// 3-component double-precision vector (positions, directions, forces).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  Vec3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; returns zero vector for ~zero input.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 1e-300 ? (*this) / n : Vec3{};
+  }
+
+  /// Component-wise minimum.
+  constexpr Vec3 min(const Vec3& o) const {
+    return {x < o.x ? x : o.x, y < o.y ? y : o.y, z < o.z ? z : o.z};
+  }
+  /// Component-wise maximum.
+  constexpr Vec3 max(const Vec3& o) const {
+    return {x > o.x ? x : o.x, y > o.y ? y : o.y, z > o.z ? z : o.z};
+  }
+
+  double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+inline double distance2(const Vec3& a, const Vec3& b) { return (a - b).norm2(); }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace dqndock

@@ -1,0 +1,56 @@
+#include "src/core/config.hpp"
+
+namespace dqndock::core {
+
+DqnDockingConfig DqnDockingConfig::paper2bsm() {
+  DqnDockingConfig cfg;
+  cfg.scenario = chem::ScenarioSpec::paper2bsm();
+
+  cfg.env.shiftStep = 1.0;        // Table 1: shifting length per step
+  cfg.env.rotateStepDeg = 0.5;    // Table 1: rotating angle per step
+  cfg.env.maxSteps = 1000;        // Table 1: T
+  cfg.env.scoreFloor = -100000.0; // Section 3
+  cfg.env.floorPatience = 20;     // Section 3
+  cfg.env.boundaryFactor = 4.0 / 3.0;
+
+  cfg.stateMode = StateMode::kFullWithBonds;  // 16,599 reals for 2BSM
+  cfg.normalizeStates = true;
+
+  cfg.agent.gamma = 0.99;
+  cfg.agent.learningRate = 0.00025;
+  cfg.agent.optimizer = "rmsprop";
+  cfg.agent.batchSize = 32;
+  cfg.agent.targetSyncInterval = 1000;  // C
+  cfg.agent.hiddenSizes = {135, 135};   // 45 x 3 atoms of the ligand
+  cfg.agent.variant = rl::DqnVariant::kVanilla;
+
+  cfg.trainer.episodes = 1800;       // M
+  cfg.trainer.learningStart = 10000; // Table 1: learning start
+  cfg.trainer.epsilon = rl::EpsilonSchedule(1.0, 0.05, 4.5e-5, 20000);
+  cfg.trainer.seed = 2018;
+
+  cfg.replayCapacity = 400000;  // N
+  cfg.compactReplay = false;    // the paper stores raw states
+  return cfg;
+}
+
+DqnDockingConfig DqnDockingConfig::scaled() {
+  DqnDockingConfig cfg = paper2bsm();
+  cfg.scenario = chem::ScenarioSpec::tiny();
+
+  cfg.env.maxSteps = 120;
+  cfg.env.scoreFloor = -100000.0;
+
+  cfg.stateMode = StateMode::kLigandPositions;
+  cfg.agent.hiddenSizes = {64, 64};
+
+  cfg.trainer.episodes = 60;
+  cfg.trainer.learningStart = 300;
+  cfg.trainer.epsilon = rl::EpsilonSchedule(1.0, 0.05, 2e-4, 600);
+
+  cfg.replayCapacity = 20000;
+  cfg.compactReplay = true;
+  return cfg;
+}
+
+}  // namespace dqndock::core

@@ -1,0 +1,251 @@
+#include "src/core/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dqndock::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+bool parseBool(const std::string& v, std::size_t line) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::runtime_error("config line " + std::to_string(line) + ": bad boolean '" + v + "'");
+}
+
+std::vector<std::size_t> parseSizeList(const std::string& v, std::size_t line) {
+  std::vector<std::size_t> out;
+  std::istringstream ss(v);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    try {
+      out.push_back(static_cast<std::size_t>(std::stoul(trim(token))));
+    } catch (const std::exception&) {
+      throw std::runtime_error("config line " + std::to_string(line) + ": bad list entry '" +
+                               token + "'");
+    }
+  }
+  if (out.empty()) {
+    throw std::runtime_error("config line " + std::to_string(line) + ": empty list");
+  }
+  return out;
+}
+
+/// Key dispatch table: section.key -> setter.
+using Setter = std::function<void(DqnDockingConfig&, const std::string&, std::size_t)>;
+
+double parseDouble(const std::string& v, std::size_t line) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("config line " + std::to_string(line) + ": bad number '" + v + "'");
+  }
+}
+
+long parseLong(const std::string& v, std::size_t line) {
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("config line " + std::to_string(line) + ": bad integer '" + v + "'");
+  }
+}
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> table = {
+      // [scenario]
+      {"scenario.receptor_atoms",
+       [](auto& c, const auto& v, auto l) { c.scenario.receptorAtoms = parseLong(v, l); }},
+      {"scenario.ligand_atoms",
+       [](auto& c, const auto& v, auto l) { c.scenario.ligandAtoms = parseLong(v, l); }},
+      {"scenario.rotatable_bonds",
+       [](auto& c, const auto& v, auto l) { c.scenario.ligandRotatableBonds = parseLong(v, l); }},
+      {"scenario.receptor_bond_features",
+       [](auto& c, const auto& v, auto l) { c.scenario.receptorBondFeatures = parseLong(v, l); }},
+      {"scenario.seed",
+       [](auto& c, const auto& v, auto l) { c.scenario.seed = parseLong(v, l); }},
+      // [env]
+      {"env.shift_step",
+       [](auto& c, const auto& v, auto l) { c.env.shiftStep = parseDouble(v, l); }},
+      {"env.rotate_step_deg",
+       [](auto& c, const auto& v, auto l) { c.env.rotateStepDeg = parseDouble(v, l); }},
+      {"env.torsion_step_deg",
+       [](auto& c, const auto& v, auto l) { c.env.torsionStepDeg = parseDouble(v, l); }},
+      {"env.flexible",
+       [](auto& c, const auto& v, auto l) { c.env.flexibleLigand = parseBool(v, l); }},
+      {"env.max_steps",
+       [](auto& c, const auto& v, auto l) { c.env.maxSteps = static_cast<int>(parseLong(v, l)); }},
+      {"env.score_floor",
+       [](auto& c, const auto& v, auto l) { c.env.scoreFloor = parseDouble(v, l); }},
+      {"env.floor_patience",
+       [](auto& c, const auto& v, auto l) { c.env.floorPatience = static_cast<int>(parseLong(v, l)); }},
+      {"env.boundary_factor",
+       [](auto& c, const auto& v, auto l) { c.env.boundaryFactor = parseDouble(v, l); }},
+      {"env.cutoff",
+       [](auto& c, const auto& v, auto l) { c.env.scoring.cutoff = parseDouble(v, l); }},
+      {"env.reward_mode",
+       [](auto& c, const auto& v, auto l) {
+         if (v == "sign-clip") {
+           c.env.rewardMode = metadock::RewardMode::kSignClip;
+         } else if (v == "raw-delta") {
+           c.env.rewardMode = metadock::RewardMode::kRawDelta;
+         } else if (v == "clipped-delta") {
+           c.env.rewardMode = metadock::RewardMode::kClippedDelta;
+         } else if (v == "absolute") {
+           c.env.rewardMode = metadock::RewardMode::kAbsolute;
+         } else {
+           throw std::runtime_error("config line " + std::to_string(l) +
+                                    ": unknown reward mode '" + v + "'");
+         }
+       }},
+      // [state]
+      {"state.mode", [](auto& c, const auto& v, auto) { c.stateMode = stateModeFromName(v); }},
+      {"state.normalize",
+       [](auto& c, const auto& v, auto l) { c.normalizeStates = parseBool(v, l); }},
+      // [agent]
+      {"agent.gamma", [](auto& c, const auto& v, auto l) { c.agent.gamma = parseDouble(v, l); }},
+      {"agent.learning_rate",
+       [](auto& c, const auto& v, auto l) { c.agent.learningRate = parseDouble(v, l); }},
+      {"agent.optimizer", [](auto& c, const auto& v, auto) { c.agent.optimizer = v; }},
+      {"agent.batch_size",
+       [](auto& c, const auto& v, auto l) { c.agent.batchSize = parseLong(v, l); }},
+      {"agent.target_sync",
+       [](auto& c, const auto& v, auto l) { c.agent.targetSyncInterval = parseLong(v, l); }},
+      {"agent.hidden",
+       [](auto& c, const auto& v, auto l) { c.agent.hiddenSizes = parseSizeList(v, l); }},
+      {"agent.double_dqn",
+       [](auto& c, const auto& v, auto l) {
+         c.agent.variant = parseBool(v, l) ? rl::DqnVariant::kDouble : rl::DqnVariant::kVanilla;
+       }},
+      {"agent.dueling",
+       [](auto& c, const auto& v, auto l) { c.agent.dueling = parseBool(v, l); }},
+      {"agent.clip_td_error",
+       [](auto& c, const auto& v, auto l) { c.agent.clipTdError = parseBool(v, l); }},
+      // [trainer]
+      {"trainer.episodes",
+       [](auto& c, const auto& v, auto l) { c.trainer.episodes = parseLong(v, l); }},
+      {"trainer.learning_start",
+       [](auto& c, const auto& v, auto l) { c.trainer.learningStart = parseLong(v, l); }},
+      {"trainer.seed", [](auto& c, const auto& v, auto l) { c.trainer.seed = parseLong(v, l); }},
+      {"trainer.epsilon_start",
+       [](auto& c, const auto& v, auto l) {
+         c.trainer.epsilon = rl::EpsilonSchedule(parseDouble(v, l), c.trainer.epsilon.end(),
+                                                 4.5e-5, c.trainer.epsilon.pureExplorationSteps());
+       }},
+      // [replay]
+      {"replay.capacity",
+       [](auto& c, const auto& v, auto l) { c.replayCapacity = parseLong(v, l); }},
+      {"replay.compact",
+       [](auto& c, const auto& v, auto l) { c.compactReplay = parseBool(v, l); }},
+      {"replay.prioritized",
+       [](auto& c, const auto& v, auto l) { c.prioritizedReplay = parseBool(v, l); }},
+      {"replay.n_step",
+       [](auto& c, const auto& v, auto l) { c.nStep = static_cast<int>(parseLong(v, l)); }},
+  };
+  return table;
+}
+
+}  // namespace
+
+void writeConfig(std::ostream& out, const DqnDockingConfig& cfg) {
+  out << "# dqn-docking run configuration\n";
+  out << "[scenario]\n";
+  out << "receptor_atoms = " << cfg.scenario.receptorAtoms << '\n';
+  out << "ligand_atoms = " << cfg.scenario.ligandAtoms << '\n';
+  out << "rotatable_bonds = " << cfg.scenario.ligandRotatableBonds << '\n';
+  out << "receptor_bond_features = " << cfg.scenario.receptorBondFeatures << '\n';
+  out << "seed = " << cfg.scenario.seed << '\n';
+  out << "[env]\n";
+  out << "shift_step = " << cfg.env.shiftStep << '\n';
+  out << "rotate_step_deg = " << cfg.env.rotateStepDeg << '\n';
+  out << "torsion_step_deg = " << cfg.env.torsionStepDeg << '\n';
+  out << "flexible = " << (cfg.env.flexibleLigand ? "true" : "false") << '\n';
+  out << "max_steps = " << cfg.env.maxSteps << '\n';
+  out << "score_floor = " << cfg.env.scoreFloor << '\n';
+  out << "floor_patience = " << cfg.env.floorPatience << '\n';
+  out << "boundary_factor = " << cfg.env.boundaryFactor << '\n';
+  out << "cutoff = " << cfg.env.scoring.cutoff << '\n';
+  out << "reward_mode = " << metadock::rewardModeName(cfg.env.rewardMode) << '\n';
+  out << "[state]\n";
+  out << "mode = " << stateModeName(cfg.stateMode) << '\n';
+  out << "normalize = " << (cfg.normalizeStates ? "true" : "false") << '\n';
+  out << "[agent]\n";
+  out << "gamma = " << cfg.agent.gamma << '\n';
+  out << "learning_rate = " << cfg.agent.learningRate << '\n';
+  out << "optimizer = " << cfg.agent.optimizer << '\n';
+  out << "batch_size = " << cfg.agent.batchSize << '\n';
+  out << "target_sync = " << cfg.agent.targetSyncInterval << '\n';
+  out << "hidden = ";
+  for (std::size_t i = 0; i < cfg.agent.hiddenSizes.size(); ++i) {
+    if (i) out << ',';
+    out << cfg.agent.hiddenSizes[i];
+  }
+  out << '\n';
+  out << "double_dqn = " << (cfg.agent.variant == rl::DqnVariant::kDouble ? "true" : "false")
+      << '\n';
+  out << "dueling = " << (cfg.agent.dueling ? "true" : "false") << '\n';
+  out << "clip_td_error = " << (cfg.agent.clipTdError ? "true" : "false") << '\n';
+  out << "[trainer]\n";
+  out << "episodes = " << cfg.trainer.episodes << '\n';
+  out << "learning_start = " << cfg.trainer.learningStart << '\n';
+  out << "seed = " << cfg.trainer.seed << '\n';
+  out << "[replay]\n";
+  out << "capacity = " << cfg.replayCapacity << '\n';
+  out << "compact = " << (cfg.compactReplay ? "true" : "false") << '\n';
+  out << "prioritized = " << (cfg.prioritizedReplay ? "true" : "false") << '\n';
+  out << "n_step = " << cfg.nStep << '\n';
+}
+
+void writeConfigFile(const std::string& path, const DqnDockingConfig& cfg) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeConfigFile: cannot open " + path);
+  writeConfig(out, cfg);
+}
+
+DqnDockingConfig readConfig(std::istream& in, DqnDockingConfig base) {
+  std::string line;
+  std::string section;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        throw std::runtime_error("config line " + std::to_string(lineNo) + ": unterminated section");
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(lineNo) + ": expected key = value");
+    }
+    const std::string key = section + "." + trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    const auto it = setters().find(key);
+    if (it == setters().end()) {
+      throw std::runtime_error("config line " + std::to_string(lineNo) + ": unknown key '" + key +
+                               "'");
+    }
+    it->second(base, value, lineNo);
+  }
+  return base;
+}
+
+DqnDockingConfig readConfigFile(const std::string& path, DqnDockingConfig base) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readConfigFile: cannot open " + path);
+  return readConfig(in, std::move(base));
+}
+
+}  // namespace dqndock::core

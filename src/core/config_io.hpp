@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file config_io.hpp
+/// Text (INI-style) serialization of DqnDockingConfig, so experiments are
+/// driven by versionable config files instead of code edits:
+///
+///   # dqn-docking run configuration
+///   [scenario]
+///   receptor_atoms = 3264
+///   ligand_atoms = 45
+///   [env]
+///   shift_step = 1.0
+///   max_steps = 1000
+///   [agent]
+///   optimizer = rmsprop
+///   hidden = 135,135
+///   ...
+///
+/// Unknown keys raise errors (catching typos); missing keys keep the
+/// preset's value, so a file only states deviations from the base preset.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/config.hpp"
+
+namespace dqndock::core {
+
+/// Write every tunable of `cfg` as an INI document.
+void writeConfig(std::ostream& out, const DqnDockingConfig& cfg);
+void writeConfigFile(const std::string& path, const DqnDockingConfig& cfg);
+
+/// Apply an INI document on top of `base` and return the result.
+/// Throws std::runtime_error with the line number for syntax errors,
+/// unknown sections/keys, or unparsable values.
+DqnDockingConfig readConfig(std::istream& in, DqnDockingConfig base = DqnDockingConfig::scaled());
+DqnDockingConfig readConfigFile(const std::string& path,
+                                DqnDockingConfig base = DqnDockingConfig::scaled());
+
+}  // namespace dqndock::core

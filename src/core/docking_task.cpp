@@ -1,0 +1,21 @@
+#include "src/core/docking_task.hpp"
+
+namespace dqndock::core {
+
+DockingTask::DockingTask(metadock::DockingEnv& env, const StateEncoder& encoder)
+    : env_(env), encoder_(encoder) {}
+
+void DockingTask::reset(std::vector<double>& state) {
+  env_.reset();
+  previousPose_ = env_.pose();
+  encoder_.encode(env_, state);
+}
+
+rl::EnvStep DockingTask::step(int action, std::vector<double>& nextState) {
+  previousPose_ = env_.pose();
+  const metadock::StepResult result = env_.step(action);
+  encoder_.encode(env_, nextState);
+  return {result.reward, result.terminal};
+}
+
+}  // namespace dqndock::core

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file docking_task.hpp
+/// Adapter presenting the METADOCK DockingEnv as an rl::Environment.
+/// Keeps the pose of the state before the latest step so the compact
+/// pose-based replay buffer can record (pose, action, reward, pose')
+/// tuples instead of full state vectors.
+
+#include "src/core/state_encoder.hpp"
+#include "src/metadock/docking_env.hpp"
+#include "src/rl/env.hpp"
+
+namespace dqndock::core {
+
+class DockingTask final : public rl::Environment {
+ public:
+  DockingTask(metadock::DockingEnv& env, const StateEncoder& encoder);
+
+  std::size_t stateDim() const override { return encoder_.dim(); }
+  int actionCount() const override { return env_.actionCount(); }
+
+  void reset(std::vector<double>& state) override;
+  rl::EnvStep step(int action, std::vector<double>& nextState) override;
+
+  double score() const override { return env_.score(); }
+
+  /// Pose of the state observed *before* the latest step() call.
+  const metadock::Pose& previousPose() const { return previousPose_; }
+  /// Pose after the latest step()/reset().
+  const metadock::Pose& currentPose() const { return env_.pose(); }
+
+  metadock::Termination terminationReason() const { return env_.terminationReason(); }
+
+  metadock::DockingEnv& env() { return env_; }
+  const metadock::DockingEnv& env() const { return env_; }
+  const StateEncoder& encoder() const { return encoder_; }
+
+ private:
+  metadock::DockingEnv& env_;
+  const StateEncoder& encoder_;
+  metadock::Pose previousPose_;
+};
+
+}  // namespace dqndock::core

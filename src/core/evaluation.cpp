@@ -1,0 +1,48 @@
+#include "src/core/evaluation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dqndock::core {
+
+EvaluationReport evaluatePolicy(DqnDocking& system, EvaluationOptions options) {
+  EvaluationReport report;
+  report.bestScore = -std::numeric_limits<double>::infinity();
+  report.bestRmsd = std::numeric_limits<double>::infinity();
+
+  metadock::DockingEnv& env = system.env();
+  const StateEncoder& encoder = system.encoder();
+  rl::DqnAgent& agent = system.agent();
+  const std::size_t evalsBefore = env.evaluationCount();
+
+  std::vector<double> state;
+  double meanAcc = 0.0;
+  for (std::size_t e = 0; e < options.episodes; ++e) {
+    env.reset();
+    encoder.encode(env, state);
+    double episodeBest = env.score();
+    double episodeBestRmsd = env.rmsdToCrystal();
+    bool success = episodeBestRmsd <= options.successRmsd;
+    while (!env.terminated()) {
+      const int action = agent.greedyAction(state);
+      env.step(action);
+      encoder.encode(env, state);
+      episodeBest = std::max(episodeBest, env.score());
+      const double rmsd = env.rmsdToCrystal();
+      episodeBestRmsd = std::min(episodeBestRmsd, rmsd);
+      success = success || rmsd <= options.successRmsd;
+    }
+    report.bestScore = std::max(report.bestScore, episodeBest);
+    report.bestRmsd = std::min(report.bestRmsd, episodeBestRmsd);
+    meanAcc += episodeBest;
+    if (success) ++report.successes;
+    ++report.episodes;
+  }
+  report.successRate =
+      report.episodes ? static_cast<double>(report.successes) / report.episodes : 0.0;
+  report.meanEpisodeScore = report.episodes ? meanAcc / report.episodes : 0.0;
+  report.scoringEvaluations = env.evaluationCount() - evalsBefore;
+  return report;
+}
+
+}  // namespace dqndock::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// Docking-standard policy evaluation: roll the greedy policy for K
+/// episodes and report the metrics the docking literature uses — best
+/// score, best RMSD to the crystallographic pose, and the success rate
+/// under the conventional "RMSD below 2 Angstrom" criterion — plus the
+/// scoring-evaluation cost, which is the paper's headline economic
+/// argument for a trained policy.
+
+#include "src/core/dqn_docking.hpp"
+
+namespace dqndock::core {
+
+struct EvaluationOptions {
+  std::size_t episodes = 5;
+  /// An episode "succeeds" when the ligand gets within this RMSD of the
+  /// crystallographic pose at any step (2 A is the community convention).
+  double successRmsd = 2.0;
+};
+
+struct EvaluationReport {
+  std::size_t episodes = 0;
+  std::size_t successes = 0;
+  double successRate = 0.0;
+  double bestScore = 0.0;        ///< best score over all episodes/steps
+  double bestRmsd = 0.0;         ///< lowest RMSD-to-crystal reached
+  double meanEpisodeScore = 0.0; ///< mean of per-episode best scores
+  std::size_t scoringEvaluations = 0;  ///< METADOCK calls consumed
+};
+
+/// Evaluate `system`'s current greedy policy. Does not train; the
+/// environment is reset between episodes. Deterministic (greedy policy +
+/// deterministic env), so multiple episodes differ only if the policy
+/// leaves the deterministic start (they measure stability, not variance).
+EvaluationReport evaluatePolicy(DqnDocking& system, EvaluationOptions options = {});
+
+}  // namespace dqndock::core

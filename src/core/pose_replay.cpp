@@ -1,0 +1,68 @@
+#include "src/core/pose_replay.hpp"
+
+#include <stdexcept>
+
+namespace dqndock::core {
+
+PoseReplayBuffer::PoseReplayBuffer(std::size_t capacity, const DockingTask& task)
+    : capacity_(capacity), task_(task) {
+  if (capacity == 0) throw std::invalid_argument("PoseReplayBuffer: capacity must be > 0");
+  slots_.resize(capacity);
+}
+
+void PoseReplayBuffer::push(std::span<const double> /*state*/, int action, double reward,
+                            std::span<const double> /*nextState*/, bool terminal) {
+  pushPose(task_.previousPose(), action, reward, task_.currentPose(), terminal);
+}
+
+void PoseReplayBuffer::pushPose(const metadock::Pose& pose, int action, double reward,
+                                const metadock::Pose& nextPose, bool terminal) {
+  Slot& slot = slots_[head_];
+  slot.pose = pose;
+  slot.nextPose = nextPose;
+  slot.action = action;
+  slot.reward = static_cast<float>(reward);
+  slot.terminal = terminal;
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+rl::Minibatch PoseReplayBuffer::sample(std::size_t batch, Rng& rng) const {
+  if (count_ == 0) throw std::logic_error("PoseReplayBuffer::sample: buffer is empty");
+  const StateEncoder& encoder = task_.encoder();
+  const metadock::LigandModel& ligand = task_.env().ligand();
+
+  rl::Minibatch mb;
+  mb.states.resize(batch, encoder.dim());
+  mb.nextStates.resize(batch, encoder.dim());
+  mb.actions.resize(batch);
+  mb.rewards.resize(batch);
+  mb.terminals.resize(batch);
+
+  std::vector<Vec3> positions;
+  std::vector<double> encoded;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const Slot& slot = slots_[rng.uniformInt(count_)];
+    ligand.applyPose(slot.pose, positions);
+    encoder.encodeFromPositions(positions, encoded);
+    std::copy(encoded.begin(), encoded.end(), mb.states.data() + b * encoder.dim());
+    ligand.applyPose(slot.nextPose, positions);
+    encoder.encodeFromPositions(positions, encoded);
+    std::copy(encoded.begin(), encoded.end(), mb.nextStates.data() + b * encoder.dim());
+    mb.actions[b] = slot.action;
+    mb.rewards[b] = slot.reward;
+    mb.terminals[b] = slot.terminal ? 1 : 0;
+  }
+  return mb;
+}
+
+std::size_t PoseReplayBuffer::memoryBytes() const {
+  std::size_t bytes = slots_.size() * sizeof(Slot);
+  // Torsion vectors allocate out-of-line.
+  for (const auto& slot : slots_) {
+    bytes += (slot.pose.torsions.capacity() + slot.nextPose.torsions.capacity()) * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace dqndock::core

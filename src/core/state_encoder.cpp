@@ -1,0 +1,96 @@
+#include "src/core/state_encoder.hpp"
+
+#include <stdexcept>
+
+namespace dqndock::core {
+
+const char* stateModeName(StateMode m) {
+  switch (m) {
+    case StateMode::kLigandPositions: return "ligand-positions";
+    case StateMode::kFullPositions: return "full-positions";
+    case StateMode::kFullWithBonds: return "full-with-bonds";
+  }
+  return "?";
+}
+
+StateMode stateModeFromName(const std::string& name) {
+  if (name == "ligand-positions") return StateMode::kLigandPositions;
+  if (name == "full-positions") return StateMode::kFullPositions;
+  if (name == "full-with-bonds") return StateMode::kFullWithBonds;
+  throw std::invalid_argument("stateModeFromName: unknown mode '" + name + "'");
+}
+
+StateEncoder::StateEncoder(const chem::Scenario& scenario, StateMode mode, bool normalize)
+    : mode_(mode), normalize_(normalize) {
+  const chem::Molecule& receptor = scenario.receptor;
+  const chem::Molecule& ligand = scenario.ligand;
+  ligandAtoms_ = ligand.atomCount();
+
+  origin_ = receptor.centerOfMass();
+  const auto [lo, hi] = receptor.boundingBox();
+  const double radius = 0.5 * (hi - lo).norm();
+  invScale_ = (normalize_ && radius > 0.0) ? 1.0 / radius : 1.0;
+
+  for (const auto& b : ligand.bonds()) ligandBonds_.emplace_back(b.a, b.b);
+
+  // Precompute the static receptor block.
+  if (mode_ != StateMode::kLigandPositions) {
+    std::size_t at = 0;
+    receptorBlock_.resize(3 * receptor.atomCount() +
+                          (mode_ == StateMode::kFullWithBonds ? 3 * receptor.bondCount() : 0));
+    for (const auto& p : receptor.positions()) writeVec(receptorBlock_, at, p, true);
+    if (mode_ == StateMode::kFullWithBonds) {
+      for (const auto& b : receptor.bonds()) {
+        const Vec3 dir = (receptor.position(static_cast<std::size_t>(b.b)) -
+                          receptor.position(static_cast<std::size_t>(b.a)))
+                             .normalized();
+        writeVec(receptorBlock_, at, dir, false);
+      }
+    }
+  }
+
+  dim_ = 3 * ligandAtoms_;
+  if (mode_ != StateMode::kLigandPositions) dim_ += receptorBlock_.size();
+  if (mode_ == StateMode::kFullWithBonds) dim_ += 3 * ligandBonds_.size();
+}
+
+void StateEncoder::writeVec(std::vector<double>& out, std::size_t& at, const Vec3& v,
+                            bool isPosition) const {
+  if (isPosition) {
+    out[at++] = (v.x - origin_.x) * invScale_;
+    out[at++] = (v.y - origin_.y) * invScale_;
+    out[at++] = (v.z - origin_.z) * invScale_;
+  } else {
+    out[at++] = v.x;
+    out[at++] = v.y;
+    out[at++] = v.z;
+  }
+}
+
+void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
+                                       std::vector<double>& out) const {
+  if (ligandPositions.size() != ligandAtoms_) {
+    throw std::invalid_argument("StateEncoder: ligand position count mismatch");
+  }
+  out.resize(dim_);
+  std::size_t at = 0;
+  if (mode_ != StateMode::kLigandPositions) {
+    std::copy(receptorBlock_.begin(), receptorBlock_.end(), out.begin());
+    at = receptorBlock_.size();
+  }
+  for (const auto& p : ligandPositions) writeVec(out, at, p, true);
+  if (mode_ == StateMode::kFullWithBonds) {
+    for (const auto& [a, b] : ligandBonds_) {
+      const Vec3 dir = (ligandPositions[static_cast<std::size_t>(b)] -
+                        ligandPositions[static_cast<std::size_t>(a)])
+                           .normalized();
+      writeVec(out, at, dir, false);
+    }
+  }
+}
+
+void StateEncoder::encode(const metadock::DockingEnv& env, std::vector<double>& out) const {
+  encodeFromPositions(env.ligandPositions(), out);
+}
+
+}  // namespace dqndock::core

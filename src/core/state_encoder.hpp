@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file state_encoder.hpp
+/// Flattens METADOCK's internal state into the real vector the Q-network
+/// consumes (paper Section 3: "vectors x_t in R^d representing the
+/// position of the atoms of the ligand and receptor and their respective
+/// bonds").
+///
+/// Three modes:
+///  * kLigandPositions — only the coordinates that actually change
+///    (paper Table 1 sizes the hidden layers by exactly this: 45 x 3 =
+///    135 for 2BSM); cheapest, used by the scaled presets.
+///  * kFullPositions — receptor + ligand coordinates.
+///  * kFullWithBonds — receptor + ligand coordinates plus one unit
+///    direction vector per bond; with the 2BSM dimensions this is the
+///    paper's 16,599-real state.
+///
+/// Coordinates are normalised (receptor COM origin, receptor bounding
+/// radius scale) so the MLP sees O(1) inputs.
+
+#include <string>
+#include <vector>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/docking_env.hpp"
+
+namespace dqndock::core {
+
+enum class StateMode : unsigned char {
+  kLigandPositions = 0,
+  kFullPositions,
+  kFullWithBonds,
+};
+
+const char* stateModeName(StateMode m);
+StateMode stateModeFromName(const std::string& name);
+
+class StateEncoder {
+ public:
+  StateEncoder(const chem::Scenario& scenario, StateMode mode, bool normalize = true);
+
+  StateMode mode() const { return mode_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Encode the environment's current state.
+  void encode(const metadock::DockingEnv& env, std::vector<double>& out) const;
+
+  /// Encode from raw ligand coordinates (used by the pose-based replay to
+  /// re-materialise states without touching the environment).
+  void encodeFromPositions(std::span<const Vec3> ligandPositions,
+                           std::vector<double>& out) const;
+
+ private:
+  void writeVec(std::vector<double>& out, std::size_t& at, const Vec3& v, bool isPosition) const;
+
+  StateMode mode_;
+  bool normalize_;
+  std::size_t dim_ = 0;
+  Vec3 origin_;        ///< receptor center of mass
+  double invScale_ = 1.0;
+
+  // Static receptor features, precomputed once (normalised).
+  std::vector<double> receptorBlock_;
+  // Ligand bond topology for the per-bond direction features.
+  std::vector<std::pair<int, int>> ligandBonds_;
+  std::size_t ligandAtoms_ = 0;
+};
+
+}  // namespace dqndock::core

@@ -1,0 +1,180 @@
+#include "src/metadock/docking_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+const char* rewardModeName(RewardMode m) {
+  switch (m) {
+    case RewardMode::kSignClip: return "sign-clip";
+    case RewardMode::kRawDelta: return "raw-delta";
+    case RewardMode::kClippedDelta: return "clipped-delta";
+    case RewardMode::kAbsolute: return "absolute";
+  }
+  return "?";
+}
+
+const char* terminationName(Termination t) {
+  switch (t) {
+    case Termination::kNone: return "none";
+    case Termination::kBoundary: return "boundary";
+    case Termination::kScoreFloor: return "score-floor";
+    case Termination::kTimeLimit: return "time-limit";
+    case Termination::kSuccess: return "success";
+  }
+  return "?";
+}
+
+namespace {
+Vec3 centerOfMass(std::span<const Vec3> positions, const chem::Molecule& mol) {
+  Vec3 acc;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double m = chem::elementMass(mol.element(i));
+    acc += positions[i] * m;
+    mass += m;
+  }
+  return mass > 0 ? acc / mass : acc;
+}
+}  // namespace
+
+DockingEnv::DockingEnv(const chem::Scenario& scenario, EnvConfig config)
+    : scenario_(scenario),
+      receptor_(scenario.receptor,
+                config.scoring.useGrid && config.scoring.cutoff > 0 ? config.scoring.cutoff : 0.0),
+      ligand_(scenario.ligand),
+      config_(config) {
+  scoring_ = std::make_unique<ScoringFunction>(receptor_, ligand_, config_.scoring);
+  evaluator_ = std::make_unique<PoseEvaluator>(*scoring_, config_.scoring.pool);
+  initialPose_ = ligand_.restPose();
+  reset();
+  initialComDistance_ =
+      distance(centerOfMass(positions_, ligand_.molecule()), receptor_.centerOfMass());
+}
+
+int DockingEnv::actionCount() const {
+  return 12 + (config_.flexibleLigand ? static_cast<int>(ligand_.torsionCount()) : 0);
+}
+
+double DockingEnv::reset() {
+  pose_ = initialPose_;
+  ligand_.applyPose(pose_, positions_);
+  score_ = evaluator_->evaluate(pose_);
+  steps_ = 0;
+  floorStreak_ = 0;
+  lastReason_ = Termination::kNone;
+  return score_;
+}
+
+void DockingEnv::setPose(const Pose& pose) {
+  pose_ = pose;
+  ligand_.applyPose(pose_, positions_);
+  score_ = evaluator_->evaluate(pose_);
+}
+
+StepResult DockingEnv::step(int action) {
+  if (terminated()) {
+    throw std::logic_error("DockingEnv::step: episode already terminated; call reset()");
+  }
+  if (action < 0 || action >= actionCount()) {
+    throw std::out_of_range("DockingEnv::step: action out of range");
+  }
+
+  Pose next = pose_;
+  if (action < 6) {
+    // Translations: (-x,+x,-y,+y,-z,+z).
+    const int axis = action / 2;
+    const double sign = (action % 2 == 0) ? -1.0 : 1.0;
+    Vec3 delta;
+    if (axis == 0) delta = {sign * config_.shiftStep, 0, 0};
+    if (axis == 1) delta = {0, sign * config_.shiftStep, 0};
+    if (axis == 2) delta = {0, 0, sign * config_.shiftStep};
+    next.translation += delta;
+  } else if (action < 12) {
+    // Rotations about world axes, (-x,+x,-y,+y,-z,+z) ordering.
+    const int a = action - 6;
+    const int axis = a / 2;
+    const double sign = (a % 2 == 0) ? -1.0 : 1.0;
+    const Vec3 axes[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    const double angle = sign * config_.rotateStepDeg * M_PI / 180.0;
+    next.orientation = (Quat::fromAxisAngle(axes[axis], angle) * next.orientation).normalized();
+  } else {
+    // Torsion twist on rotatable bond (action - 12).
+    const std::size_t bond = static_cast<std::size_t>(action - 12);
+    next.torsions[bond] =
+        std::remainder(next.torsions[bond] + config_.torsionStepDeg * M_PI / 180.0, 2.0 * M_PI);
+  }
+  return applyAndScore(next);
+}
+
+StepResult DockingEnv::applyAndScore(const Pose& next) {
+  const double previous = score_;
+  pose_ = next;
+  ligand_.applyPose(pose_, positions_);
+  score_ = evaluator_->evaluate(pose_);
+  ++steps_;
+
+  StepResult result;
+  result.score = score_;
+  result.scoreDelta = score_ - previous;
+  switch (config_.rewardMode) {
+    case RewardMode::kSignClip:
+      result.reward = result.scoreDelta > 0.0 ? 1.0 : (result.scoreDelta < 0.0 ? -1.0 : 0.0);
+      break;
+    case RewardMode::kRawDelta:
+      result.reward = result.scoreDelta;
+      break;
+    case RewardMode::kClippedDelta:
+      result.reward = std::clamp(result.scoreDelta, -1.0, 1.0);
+      break;
+    case RewardMode::kAbsolute:
+      result.reward = score_ * config_.rewardScale;
+      break;
+  }
+
+  // Optional success rule: the crystallographic spot was found.
+  if (config_.successRmsd > 0.0 && rmsdToCrystal() <= config_.successRmsd) {
+    lastReason_ = Termination::kSuccess;
+    result.reward = config_.successReward;
+  }
+
+  // Termination rule 1: restricted movement area (extra third of the
+  // initial center-of-mass distance). Success, once set, is not
+  // overridden by the failure rules.
+  const double com =
+      distance(centerOfMass(positions_, ligand_.molecule()), receptor_.centerOfMass());
+  if (lastReason_ == Termination::kNone &&
+      com > config_.boundaryFactor * initialComDistance_) {
+    lastReason_ = Termination::kBoundary;
+  }
+
+  // Termination rule 2: sustained deep steric penetration.
+  if (score_ < config_.scoreFloor) {
+    if (++floorStreak_ >= config_.floorPatience && lastReason_ == Termination::kNone) {
+      lastReason_ = Termination::kScoreFloor;
+    }
+  } else {
+    floorStreak_ = 0;
+  }
+
+  // Termination rule 3: step budget.
+  if (lastReason_ == Termination::kNone && steps_ >= config_.maxSteps) {
+    lastReason_ = Termination::kTimeLimit;
+  }
+
+  result.terminal = lastReason_ != Termination::kNone;
+  result.reason = lastReason_;
+  return result;
+}
+
+double DockingEnv::rmsdToCrystal() const {
+  return chem::rmsd(std::span<const Vec3>(positions_), scenario_.crystalPositions);
+}
+
+double DockingEnv::crystalScore() const {
+  return scoring_->score(scenario_.crystalPositions);
+}
+
+}  // namespace dqndock::metadock

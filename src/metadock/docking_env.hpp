@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file docking_env.hpp
+/// The METADOCK-backed reinforcement-learning environment of DQN-Docking
+/// (paper Section 3). The agent is the ligand; an action is a fixed-size
+/// translation/rotation (optionally a torsion twist for flexible
+/// ligands); the environment applies it, rescores the complex, and
+/// reports reward = clip(sign(delta score)) plus the termination rules
+/// the authors added on top of METADOCK:
+///   * boundary: the ligand may wander at most an extra third beyond the
+///     initial receptor-ligand center-of-mass distance;
+///   * score floor: 20 consecutive scores below -100,000 (deep steric
+///     penetration) terminate the episode;
+///   * time limit: T = 1,000 steps.
+
+#include <memory>
+#include <optional>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/evaluator.hpp"
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock {
+
+/// Why an episode ended.
+enum class Termination : unsigned char {
+  kNone = 0,    ///< episode still running
+  kBoundary,    ///< ligand left the allowed movement area
+  kScoreFloor,  ///< sustained deep-clash scores
+  kTimeLimit,   ///< step budget exhausted
+  kSuccess,     ///< crystallographic spot reached (optional rule)
+};
+
+const char* terminationName(Termination t);
+
+/// Reward construction from the METADOCK score (paper Section 3 discusses
+/// this design decision at length).
+enum class RewardMode : unsigned char {
+  /// The paper's choice: reward = sign(delta score) in {-1, 0, +1}
+  /// ("we keep fixed all the positive rewards to be 1 and all the
+  /// negative rewards to be -1").
+  kSignClip = 0,
+  /// Raw score change (unclipped; exposes the huge clash magnitudes).
+  kRawDelta,
+  /// Score change clipped to [-1, 1] without the fixed-magnitude snap.
+  kClippedDelta,
+  /// Absolute score scaled by `rewardScale` (what Atari-style cumulative
+  /// scores would look like; included for the ablation).
+  kAbsolute,
+};
+
+const char* rewardModeName(RewardMode m);
+
+struct EnvConfig {
+  /// Translation per shift action, in length units (paper Table 1: 1).
+  double shiftStep = 1.0;
+  /// Rotation per rotate action, degrees (paper Table 1: 0.5).
+  double rotateStepDeg = 0.5;
+  /// Enable torsion actions: one extra action per rotatable bond
+  /// (paper Section 5: 2BSM ligand folds in 6 bonds -> 18 actions).
+  bool flexibleLigand = false;
+  /// Torsion twist per flexible action, degrees.
+  double torsionStepDeg = 5.0;
+  /// Maximum steps per episode (paper Table 1: T = 1,000).
+  int maxSteps = 1000;
+  /// Movement area: initial COM distance times this factor
+  /// (paper Section 3: an additional third -> 4/3).
+  double boundaryFactor = 4.0 / 3.0;
+  /// Episode ends after `floorPatience` consecutive scores below
+  /// `scoreFloor` (paper Section 3: 20 steps below -100,000).
+  double scoreFloor = -100000.0;
+  int floorPatience = 20;
+  /// Reward construction (paper default: sign-clipped score change).
+  RewardMode rewardMode = RewardMode::kSignClip;
+  /// Scale for RewardMode::kAbsolute.
+  double rewardScale = 1e-3;
+  /// Optional success rule: terminate (Termination::kSuccess) with
+  /// `successReward` when the ligand comes within `successRmsd` Angstrom
+  /// of the crystallographic pose — "discover the crystallographic
+  /// solution" is the paper's stated training goal. 0 disables the rule
+  /// (the paper's configuration: METADOCK has no such stop condition).
+  double successRmsd = 0.0;
+  double successReward = 10.0;
+  /// Scoring configuration (cutoff, grid, thread pool).
+  ScoringOptions scoring;
+};
+
+struct StepResult {
+  double score = 0.0;        ///< absolute METADOCK score of the new pose
+  double scoreDelta = 0.0;   ///< raw change in score
+  double reward = 0.0;       ///< clipped reward in {-1, 0, +1}
+  bool terminal = false;
+  Termination reason = Termination::kNone;
+};
+
+/// Action encoding: 0..5 = translate -x,+x,-y,+y,-z,+z; 6..11 = rotate
+/// about x,y,z (negative then positive); 12.. = +torsion twist per
+/// rotatable bond (flexible mode only).
+class DockingEnv {
+ public:
+  DockingEnv(const chem::Scenario& scenario, EnvConfig config = {});
+
+  int actionCount() const;
+
+  /// Reset the ligand to the scenario's initial pose; returns the score
+  /// of that pose.
+  double reset();
+
+  /// Apply one action. Calling step() on a terminated episode throws.
+  StepResult step(int action);
+
+  // -- Observation accessors (consumed by the state encoders) ------------
+  const Pose& pose() const { return pose_; }
+  std::span<const Vec3> ligandPositions() const { return positions_; }
+  double score() const { return score_; }
+  int stepCount() const { return steps_; }
+  bool terminated() const { return lastReason_ != Termination::kNone; }
+  Termination terminationReason() const { return lastReason_; }
+
+  const ReceptorModel& receptor() const { return receptor_; }
+  const LigandModel& ligand() const { return ligand_; }
+  const ScoringFunction& scoring() const { return *scoring_; }
+  const chem::Scenario& scenario() const { return scenario_; }
+
+  /// Total scoring-function invocations across all episodes.
+  std::size_t evaluationCount() const { return evaluator_->evaluationCount(); }
+
+  /// RMSD of the current ligand coordinates to the crystallographic pose.
+  double rmsdToCrystal() const;
+
+  /// Score of the crystallographic (solution) pose.
+  double crystalScore() const;
+
+  /// Restore an arbitrary pose (used by the compact replay buffer to
+  /// re-materialise stored states). Does not alter episode counters.
+  void setPose(const Pose& pose);
+
+ private:
+  StepResult applyAndScore(const Pose& next);
+
+  chem::Scenario scenario_;
+  ReceptorModel receptor_;
+  LigandModel ligand_;
+  std::unique_ptr<ScoringFunction> scoring_;
+  std::unique_ptr<PoseEvaluator> evaluator_;
+  EnvConfig config_;
+
+  Pose initialPose_;
+  double initialComDistance_ = 0.0;
+
+  Pose pose_;
+  std::vector<Vec3> positions_;
+  double score_ = 0.0;
+  int steps_ = 0;
+  int floorStreak_ = 0;
+  Termination lastReason_ = Termination::kNone;
+};
+
+}  // namespace dqndock::metadock

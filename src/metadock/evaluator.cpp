@@ -1,0 +1,31 @@
+#include "src/metadock/evaluator.hpp"
+
+namespace dqndock::metadock {
+
+PoseEvaluator::PoseEvaluator(const ScoringFunction& scoring, ThreadPool* pool)
+    : scoring_(scoring), pool_(pool) {}
+
+double PoseEvaluator::evaluate(const Pose& pose) {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  return scoring_.scorePose(pose, scratch_);
+}
+
+std::vector<double> PoseEvaluator::evaluateBatch(std::span<const Pose> poses) {
+  std::vector<double> scores(poses.size());
+  evals_.fetch_add(poses.size(), std::memory_order_relaxed);
+  if (pool_ == nullptr || poses.size() < 2) {
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+      scores[i] = scoring_.scorePose(poses[i], scratch_);
+    }
+    return scores;
+  }
+  pool_->parallelFor(0, poses.size(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<Vec3> scratch;  // one buffer per chunk/worker
+    for (std::size_t i = lo; i < hi; ++i) {
+      scores[i] = scoring_.scorePose(poses[i], scratch);
+    }
+  });
+  return scores;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file evaluator.hpp
+/// Batched pose evaluation: METADOCK scores the ligand "in millions of
+/// positions" per screening run, so the population loop of the
+/// metaheuristic schema fans whole pose batches across the thread pool
+/// (one scratch coordinate buffer per worker, zero allocation per pose).
+
+#include <atomic>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock {
+
+class PoseEvaluator {
+ public:
+  /// `pool` may be nullptr for serial evaluation. The evaluator keeps a
+  /// running count of scoring-function invocations (the "evaluations"
+  /// budget metaheuristics are compared on).
+  PoseEvaluator(const ScoringFunction& scoring, ThreadPool* pool);
+
+  /// Score one pose.
+  double evaluate(const Pose& pose);
+
+  /// Score a batch; results align with `poses`. Parallel across poses.
+  std::vector<double> evaluateBatch(std::span<const Pose> poses);
+
+  /// Total scoring-function invocations so far.
+  std::size_t evaluationCount() const { return evals_.load(std::memory_order_relaxed); }
+  void resetEvaluationCount() { evals_.store(0, std::memory_order_relaxed); }
+
+  const ScoringFunction& scoring() const { return scoring_; }
+
+ private:
+  const ScoringFunction& scoring_;
+  ThreadPool* pool_;
+  std::vector<Vec3> scratch_;  ///< serial-path scratch buffer
+  std::atomic<std::size_t> evals_{0};
+};
+
+}  // namespace dqndock::metadock

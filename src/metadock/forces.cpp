@@ -1,0 +1,199 @@
+#include "src/metadock/forces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqndock::metadock {
+
+using chem::Element;
+using chem::HBondRole;
+
+double electrostaticForceDr(double qi, double qj, double r) {
+  const double rc = std::max(r, kMinPairDistance);
+  // E = k q q / r  =>  dE/dr = -k q q / r^2 (zero inside the clamp).
+  if (r < kMinPairDistance) return 0.0;
+  return -chem::kCoulomb * qi * qj / (rc * rc);
+}
+
+double lennardJonesForceDr(double epsilon, double sigma, double r) {
+  if (r < kMinPairDistance) return 0.0;
+  const double inv = sigma / r;
+  const double inv2 = inv * inv;
+  const double inv6 = inv2 * inv2 * inv2;
+  // E = 4 eps (x^12 - x^6), x = sigma/r  =>  dE/dr = 4 eps (-12 x^12 + 6 x^6) / r.
+  return 4.0 * epsilon * (-12.0 * inv6 * inv6 + 6.0 * inv6) / r;
+}
+
+double hbondForceDr(const chem::HBondParams& hb, double epsilon, double sigma, double r,
+                    double cosTheta) {
+  if (r < kMinPairDistance) return 0.0;
+  const double c = std::clamp(cosTheta, 0.0, 1.0);
+  const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+  const double r2 = r * r;
+  const double r10 = r2 * r2 * r2 * r2 * r2;
+  const double r12 = r10 * r2;
+  // d/dr [ c (C/r^12 - D/r^10) ] = c (-12 C / r^13 + 10 D / r^11)
+  const double radial = c * (-12.0 * hb.c12 / (r12 * r) + 10.0 * hb.d10 / (r10 * r));
+  return radial + s * lennardJonesForceDr(epsilon, sigma, r);
+}
+
+ScoringGradient::ScoringGradient(const ReceptorModel& receptor, const LigandModel& ligand,
+                                 ScoringOptions options)
+    : receptor_(receptor), ligand_(ligand), options_(options) {
+  if (options_.useGrid && options_.cutoff > 0.0 && !receptor_.hasGrid()) {
+    throw std::invalid_argument(
+        "ScoringGradient: useGrid requires a ReceptorModel built with a grid");
+  }
+  const chem::ForceField& ff = chem::ForceField::standard();
+  for (int a = 0; a < chem::kElementCount; ++a) {
+    for (int b = 0; b < chem::kElementCount; ++b) {
+      ljTable_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          ff.ljPair(static_cast<Element>(a), static_cast<Element>(b));
+    }
+  }
+  hbond_ = ff.hbond();
+}
+
+double ScoringGradient::atomGradients(std::span<const Vec3> ligandPositions,
+                                      std::vector<Vec3>& gradients) const {
+  if (ligandPositions.size() != ligand_.atomCount()) {
+    throw std::invalid_argument("ScoringGradient: ligand position count mismatch");
+  }
+  gradients.assign(ligandPositions.size(), Vec3{});
+  double energy = 0.0;
+
+  const bool pruned = options_.useGrid && options_.cutoff > 0.0;
+  const chem::Molecule& mol = ligand_.molecule();
+
+  for (std::size_t la = 0; la < ligandPositions.size(); ++la) {
+    const Vec3& lpos = ligandPositions[la];
+    const Element le = mol.element(la);
+    const double lq = mol.charge(la);
+    const HBondRole lRole = mol.hbondRole(la);
+
+    auto accumulate = [&](std::size_t ra) {
+      const Vec3& rpos = receptor_.positions()[ra];
+      const Vec3 d = lpos - rpos;
+      const double r = d.norm();
+      if (options_.cutoff > 0.0 && r > options_.cutoff) return;
+      const Element re = receptor_.elements()[ra];
+      const chem::LjParams lj =
+          ljTable_[static_cast<std::size_t>(re)][static_cast<std::size_t>(le)];
+      const double rq = receptor_.charges()[ra];
+
+      energy += electrostaticEnergy(rq, lq, r) + lennardJonesEnergy(lj.epsilon, lj.sigma, r);
+      double dEdr = electrostaticForceDr(rq, lq, r) + lennardJonesForceDr(lj.epsilon, lj.sigma, r);
+
+      const HBondRole rRole = receptor_.roles()[ra];
+      if (rRole == HBondRole::kDonorHydrogen && lRole == HBondRole::kAcceptor) {
+        const Vec3 dir = receptor_.donorDirections()[ra];
+        const double cosTheta =
+            dir.norm2() > 0.0 ? dir.dot((lpos - rpos).normalized()) : 1.0;
+        energy += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+        dEdr += hbondForceDr(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+      } else if (rRole == HBondRole::kAcceptor && lRole == HBondRole::kDonorHydrogen) {
+        const int anchor = ligand_.hydrogenAnchors()[la];
+        double cosTheta = 1.0;
+        if (anchor >= 0) {
+          const Vec3 dir =
+              (lpos - ligandPositions[static_cast<std::size_t>(anchor)]).normalized();
+          cosTheta = dir.dot((rpos - lpos).normalized());
+        }
+        energy += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+        dEdr += hbondForceDr(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+      }
+
+      if (r > kMinPairDistance) {
+        gradients[la] += d * (dEdr / r);
+      }
+    };
+
+    if (pruned) {
+      receptor_.grid().forEachNear(lpos, accumulate);
+    } else {
+      for (std::size_t ra = 0; ra < receptor_.atomCount(); ++ra) accumulate(ra);
+    }
+  }
+  return energy;
+}
+
+RigidBodyForce ScoringGradient::rigidBodyForce(std::span<const Vec3> ligandPositions) const {
+  std::vector<Vec3> gradients;
+  RigidBodyForce out;
+  out.energy = atomGradients(ligandPositions, gradients);
+
+  Vec3 centroid;
+  for (const auto& p : ligandPositions) centroid += p;
+  centroid /= static_cast<double>(ligandPositions.size());
+
+  for (std::size_t i = 0; i < ligandPositions.size(); ++i) {
+    const Vec3 f = -gradients[i];  // force = -dE/dx
+    out.force += f;
+    out.torque += (ligandPositions[i] - centroid).cross(f);
+  }
+  return out;
+}
+
+MinimizeResult minimizePose(const ScoringFunction& scoring, const ScoringGradient& gradient,
+                            const Pose& start, MinimizeOptions options) {
+  MinimizeResult result;
+  result.pose = start;
+  std::vector<Vec3> positions;
+  result.initialScore = scoring.scorePose(result.pose, positions);
+  double score = result.initialScore;
+
+  double step = options.initialStep;
+  double rotStep = options.initialRotStep;
+
+  for (int it = 0; it < options.maxIterations; ++it) {
+    ++result.iterations;
+    scoring.ligand().applyPose(result.pose, positions);
+    const RigidBodyForce rb = gradient.rigidBodyForce(positions);
+
+    const Vec3 moveDir = rb.force.normalized();
+    const Vec3 spinAxis = rb.torque.normalized();
+    const double spinMag = rb.torque.norm();
+
+    Pose trial = result.pose;
+    trial.translation += moveDir * step;
+    if (spinMag > 1e-12) {
+      trial.orientation =
+          (Quat::fromAxisAngle(spinAxis, rotStep) * trial.orientation).normalized();
+    }
+    const double trialScore = scoring.scorePose(trial, positions);
+    if (trialScore > score) {
+      result.pose = trial;
+      score = trialScore;
+      step *= options.grow;
+      rotStep *= options.grow;
+    } else {
+      step *= options.shrink;
+      rotStep *= options.shrink;
+      if (step < options.minStep && rotStep < options.minStep) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // Optional torsional descent: try +/- torsionStep on each DOF.
+    if (options.refineTorsions) {
+      for (std::size_t k = 0; k < result.pose.torsions.size(); ++k) {
+        for (const double sign : {+1.0, -1.0}) {
+          Pose twisted = result.pose;
+          twisted.torsions[k] =
+              std::remainder(twisted.torsions[k] + sign * options.torsionStep, 2.0 * M_PI);
+          const double twistedScore = scoring.scorePose(twisted, positions);
+          if (twistedScore > score) {
+            result.pose = twisted;
+            score = twistedScore;
+            break;
+          }
+        }
+      }
+    }
+  }
+  result.finalScore = score;
+  return result;
+}
+
+}  // namespace dqndock::metadock

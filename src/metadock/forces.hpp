@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file forces.hpp
+/// Analytic gradients of the Equation 1 scoring function.
+///
+/// Docking engines pair global search (metaheuristics, or DQN here) with
+/// gradient-based local refinement of candidate poses: the derivative of
+/// the interaction energy with respect to each ligand atom position gives
+/// per-atom forces, which reduce to a net force + torque on the rigid
+/// body. The hydrogen-bond angular factor is treated as locally constant
+/// (its derivative is an order of magnitude below the radial terms),
+/// which the finite-difference tests bound explicitly.
+
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock {
+
+/// Pairwise radial derivatives dE/dr (exposed for unit testing).
+double electrostaticForceDr(double qi, double qj, double r);
+double lennardJonesForceDr(double epsilon, double sigma, double r);
+double hbondForceDr(const chem::HBondParams& hb, double epsilon, double sigma, double r,
+                    double cosTheta);
+
+/// Net rigid-body generalized force on a ligand conformation.
+struct RigidBodyForce {
+  Vec3 force;    ///< -dE/d(translation), kcal/mol/Angstrom
+  Vec3 torque;   ///< -dE/d(rotation) about the ligand centroid
+  double energy = 0.0;
+};
+
+/// Computes per-atom gradients of the interaction energy.
+class ScoringGradient {
+ public:
+  ScoringGradient(const ReceptorModel& receptor, const LigandModel& ligand,
+                  ScoringOptions options = {});
+
+  /// Per-atom gradient dE/dx_i for every ligand atom; returns the energy.
+  /// `gradients` is resized to the ligand atom count.
+  double atomGradients(std::span<const Vec3> ligandPositions,
+                       std::vector<Vec3>& gradients) const;
+
+  /// Aggregate to a rigid-body force/torque about the current centroid.
+  RigidBodyForce rigidBodyForce(std::span<const Vec3> ligandPositions) const;
+
+ private:
+  const ReceptorModel& receptor_;
+  const LigandModel& ligand_;
+  ScoringOptions options_;
+  std::array<std::array<chem::LjParams, chem::kElementCount>, chem::kElementCount> ljTable_{};
+  chem::HBondParams hbond_{};
+};
+
+/// Steepest-descent pose refinement with adaptive step size: moves the
+/// rigid-body DOFs along the force/torque until improvement stalls. The
+/// standard post-search "energy minimization" stage.
+struct MinimizeOptions {
+  int maxIterations = 200;
+  double initialStep = 0.3;      ///< Angstrom per unit force direction
+  double initialRotStep = 0.05;  ///< radians per unit torque direction
+  double shrink = 0.5;           ///< step multiplier on failure
+  double grow = 1.2;             ///< step multiplier on success
+  double minStep = 1e-5;         ///< convergence threshold
+  /// Also descend the torsion DOFs (coordinate-wise line search with
+  /// central finite differences; the rigid DOFs use the analytic
+  /// gradient). Off by default to preserve rigid-body semantics.
+  bool refineTorsions = false;
+  double torsionStep = 0.05;     ///< radians, adaptive like the others
+};
+
+struct MinimizeResult {
+  Pose pose;
+  double initialScore = 0.0;
+  double finalScore = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+MinimizeResult minimizePose(const ScoringFunction& scoring, const ScoringGradient& gradient,
+                            const Pose& start, MinimizeOptions options = {});
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,162 @@
+#include "src/metadock/grid_potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+using chem::Element;
+using chem::ForceField;
+
+ScalarGrid::ScalarGrid(const Vec3& origin, double spacing, int nx, int ny, int nz)
+    : origin_(origin), spacing_(spacing), nx_(nx), ny_(ny), nz_(nz) {
+  if (spacing <= 0 || nx < 2 || ny < 2 || nz < 2) {
+    throw std::invalid_argument("ScalarGrid: need spacing > 0 and >= 2 points per axis");
+  }
+  values_.assign(static_cast<std::size_t>(nx) * ny * nz, 0.0);
+}
+
+double& ScalarGrid::at(int ix, int iy, int iz) {
+  return values_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+}
+
+double ScalarGrid::at(int ix, int iy, int iz) const {
+  return values_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+}
+
+bool ScalarGrid::contains(const Vec3& p) const {
+  const double fx = (p.x - origin_.x) / spacing_;
+  const double fy = (p.y - origin_.y) / spacing_;
+  const double fz = (p.z - origin_.z) / spacing_;
+  return fx >= 0.0 && fy >= 0.0 && fz >= 0.0 && fx <= nx_ - 1 && fy <= ny_ - 1 && fz <= nz_ - 1;
+}
+
+double ScalarGrid::sample(const Vec3& p) const {
+  if (!contains(p)) return 0.0;  // far field: the padded boundary is ~0
+  const double fx = (p.x - origin_.x) / spacing_;
+  const double fy = (p.y - origin_.y) / spacing_;
+  const double fz = (p.z - origin_.z) / spacing_;
+  // Clamp into the valid interpolation range [0, n-1).
+  const double cx = std::clamp(fx, 0.0, static_cast<double>(nx_ - 1) - 1e-9);
+  const double cy = std::clamp(fy, 0.0, static_cast<double>(ny_ - 1) - 1e-9);
+  const double cz = std::clamp(fz, 0.0, static_cast<double>(nz_ - 1) - 1e-9);
+  const int ix = static_cast<int>(cx);
+  const int iy = static_cast<int>(cy);
+  const int iz = static_cast<int>(cz);
+  const double tx = cx - ix, ty = cy - iy, tz = cz - iz;
+
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  const double c00 = lerp(at(ix, iy, iz), at(ix + 1, iy, iz), tx);
+  const double c10 = lerp(at(ix, iy + 1, iz), at(ix + 1, iy + 1, iz), tx);
+  const double c01 = lerp(at(ix, iy, iz + 1), at(ix + 1, iy, iz + 1), tx);
+  const double c11 = lerp(at(ix, iy + 1, iz + 1), at(ix + 1, iy + 1, iz + 1), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+GridPotential::GridPotential(const ReceptorModel& receptor, GridPotentialOptions options)
+    : options_(options) {
+  const auto [lo, hi] = receptor.molecule().boundingBox();
+  const Vec3 origin = lo - Vec3{options_.padding, options_.padding, options_.padding};
+  const Vec3 extent = hi - lo + Vec3{2 * options_.padding, 2 * options_.padding,
+                                     2 * options_.padding};
+  const int nx = std::max(2, static_cast<int>(std::ceil(extent.x / options_.spacing)) + 1);
+  const int ny = std::max(2, static_cast<int>(std::ceil(extent.y / options_.spacing)) + 1);
+  const int nz = std::max(2, static_cast<int>(std::ceil(extent.z / options_.spacing)) + 1);
+
+  electrostatic_ = std::make_unique<ScalarGrid>(origin, options_.spacing, nx, ny, nz);
+  // Elements that occur in drug-like ligands and therefore need LJ maps.
+  const Element probeElements[] = {Element::H, Element::C, Element::N, Element::O,
+                                   Element::S, Element::F, Element::Cl};
+  for (Element e : probeElements) {
+    perElement_[static_cast<std::size_t>(e)] =
+        std::make_unique<ScalarGrid>(origin, options_.spacing, nx, ny, nz);
+  }
+
+  const double cut2 = options_.cutoff * options_.cutoff;
+  const ForceField& ff = ForceField::standard();
+  const chem::HBondParams hb = ff.hbond();
+
+  // Fill plane-by-plane; planes are independent, so the pool splits on z.
+  auto fillPlanes = [&](std::size_t zLo, std::size_t zHi) {
+    for (std::size_t z = zLo; z < zHi; ++z) {
+      for (int iy = 0; iy < ny; ++iy) {
+        for (int ix = 0; ix < nx; ++ix) {
+          const Vec3 p = origin + Vec3{ix * options_.spacing, iy * options_.spacing,
+                                       static_cast<double>(z) * options_.spacing};
+          double elec = 0.0;
+          double lj[chem::kElementCount] = {};
+          for (std::size_t ra = 0; ra < receptor.atomCount(); ++ra) {
+            const double r2 = distance2(receptor.positions()[ra], p);
+            if (r2 > cut2) continue;
+            const double r = std::sqrt(r2);
+            elec += chem::kCoulomb * receptor.charges()[ra] /
+                    std::max(r, kMinPairDistance);
+            for (Element e : probeElements) {
+              const chem::LjParams pair = ff.ljPair(receptor.elements()[ra], e);
+              double energy = lennardJonesEnergy(pair.epsilon, pair.sigma, r);
+              // Fold the aligned 12-10 H-bond well into the map when the
+              // receptor atom is a donor hydrogen and the probe element
+              // is a typical acceptor (N/O).
+              if (receptor.roles()[ra] == chem::HBondRole::kDonorHydrogen &&
+                  (e == Element::N || e == Element::O)) {
+                energy += hb.c12 / std::pow(std::max(r, kMinPairDistance), 12) -
+                          hb.d10 / std::pow(std::max(r, kMinPairDistance), 10);
+              }
+              lj[static_cast<std::size_t>(e)] += energy;
+            }
+          }
+          electrostatic_->at(ix, iy, static_cast<int>(z)) =
+              std::clamp(elec, -options_.energyClamp, options_.energyClamp);
+          for (Element e : probeElements) {
+            perElement_[static_cast<std::size_t>(e)]->at(ix, iy, static_cast<int>(z)) =
+                std::clamp(lj[static_cast<std::size_t>(e)], -options_.energyClamp,
+                           options_.energyClamp);
+          }
+        }
+      }
+    }
+  };
+
+  if (options_.pool) {
+    options_.pool->parallelFor(0, static_cast<std::size_t>(nz), fillPlanes);
+  } else {
+    fillPlanes(0, static_cast<std::size_t>(nz));
+  }
+}
+
+const ScalarGrid& GridPotential::elementMap(Element e) const {
+  const auto& map = perElement_[static_cast<std::size_t>(e)];
+  if (!map) {
+    // Fall back to carbon for exotic elements.
+    return *perElement_[static_cast<std::size_t>(Element::C)];
+  }
+  return *map;
+}
+
+double GridPotential::atomEnergy(Element e, double q, const Vec3& p) const {
+  return q * electrostatic_->sample(p) + elementMap(e).sample(p);
+}
+
+double GridPotential::score(const LigandModel& ligand,
+                            std::span<const Vec3> positions) const {
+  if (positions.size() != ligand.atomCount()) {
+    throw std::invalid_argument("GridPotential::score: position count mismatch");
+  }
+  double energy = 0.0;
+  const chem::Molecule& mol = ligand.molecule();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    energy += atomEnergy(mol.element(i), mol.charge(i), positions[i]);
+  }
+  return -energy;
+}
+
+std::size_t GridPotential::memoryBytes() const {
+  std::size_t bytes = electrostatic_->memoryBytes();
+  for (const auto& map : perElement_) {
+    if (map) bytes += map->memoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,73 @@
+#include "src/metadock/landscape.hpp"
+
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+
+namespace dqndock::metadock {
+
+namespace {
+LandscapeSample sampleAt(const ScoringFunction& scoring, const Vec3& position, double t, double u,
+                         std::vector<Vec3>& scratch) {
+  Pose pose(scoring.ligand().torsionCount());
+  pose.translation = position;
+  LandscapeSample sample;
+  sample.t = t;
+  sample.u = u;
+  sample.position = position;
+  sample.score = scoring.scorePose(pose, scratch);
+  return sample;
+}
+}  // namespace
+
+std::vector<LandscapeSample> profileLine(const ScoringFunction& scoring, const Vec3& origin,
+                                         const Vec3& direction, double t0, double t1,
+                                         std::size_t samples) {
+  if (samples < 2) throw std::invalid_argument("profileLine: need at least 2 samples");
+  const Vec3 dir = direction.normalized();
+  if (dir.norm2() == 0.0) throw std::invalid_argument("profileLine: zero direction");
+  std::vector<LandscapeSample> out;
+  out.reserve(samples);
+  std::vector<Vec3> scratch;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(samples - 1);
+    out.push_back(sampleAt(scoring, origin + dir * t, t, 0.0, scratch));
+  }
+  return out;
+}
+
+std::vector<LandscapeSample> profilePlane(const ScoringFunction& scoring, const Vec3& center,
+                                          const Vec3& axisU, const Vec3& axisV, double extentU,
+                                          double extentV, std::size_t samplesU,
+                                          std::size_t samplesV) {
+  if (samplesU < 2 || samplesV < 2) {
+    throw std::invalid_argument("profilePlane: need at least 2 samples per axis");
+  }
+  const Vec3 u = axisU.normalized();
+  const Vec3 v = axisV.normalized();
+  if (u.norm2() == 0.0 || v.norm2() == 0.0) {
+    throw std::invalid_argument("profilePlane: zero axis");
+  }
+  std::vector<LandscapeSample> out;
+  out.reserve(samplesU * samplesV);
+  std::vector<Vec3> scratch;
+  for (std::size_t i = 0; i < samplesU; ++i) {
+    const double tu =
+        -extentU + 2.0 * extentU * static_cast<double>(i) / static_cast<double>(samplesU - 1);
+    for (std::size_t j = 0; j < samplesV; ++j) {
+      const double tv =
+          -extentV + 2.0 * extentV * static_cast<double>(j) / static_cast<double>(samplesV - 1);
+      out.push_back(sampleAt(scoring, center + u * tu + v * tv, tu, tv, scratch));
+    }
+  }
+  return out;
+}
+
+void writeLandscapeCsv(const std::string& path, const std::vector<LandscapeSample>& samples) {
+  CsvWriter csv(path, {"t", "u", "x", "y", "z", "score"});
+  for (const auto& s : samples) {
+    csv.row({s.t, s.u, s.position.x, s.position.y, s.position.z, s.score});
+  }
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file landscape.hpp
+/// Scoring-landscape profiling: sample the docking score along a line or
+/// over a plane through the receptor. Regenerates the approach profile
+/// that motivates the paper's episode rules (flat far field, positive
+/// pocket basin, catastrophic clash core) and provides CSV series for
+/// plotting.
+
+#include <string>
+#include <vector>
+
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock {
+
+struct LandscapeSample {
+  double t = 0.0;   ///< line parameter (or grid u for planes)
+  double u = 0.0;   ///< second plane parameter (0 for lines)
+  Vec3 position;    ///< ligand centroid placement
+  double score = 0.0;
+};
+
+/// Score of the ligand translated (in its reference orientation) so its
+/// centroid traverses origin + t * direction for t in [t0, t1] with
+/// `samples` points.
+std::vector<LandscapeSample> profileLine(const ScoringFunction& scoring, const Vec3& origin,
+                                         const Vec3& direction, double t0, double t1,
+                                         std::size_t samples);
+
+/// Score over a plane patch spanned by (axisU, axisV) around `center`,
+/// samplesU x samplesV grid with half-extents extentU/extentV.
+std::vector<LandscapeSample> profilePlane(const ScoringFunction& scoring, const Vec3& center,
+                                          const Vec3& axisU, const Vec3& axisV, double extentU,
+                                          double extentV, std::size_t samplesU,
+                                          std::size_t samplesV);
+
+/// Write samples as CSV (t, u, x, y, z, score).
+void writeLandscapeCsv(const std::string& path, const std::vector<LandscapeSample>& samples);
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,60 @@
+#include "src/metadock/ligand_model.hpp"
+
+#include "src/chem/topology.hpp"
+#include "src/common/mat3.hpp"
+
+namespace dqndock::metadock {
+
+LigandModel::LigandModel(const chem::Molecule& ligand) : molecule_(ligand) {
+  originalCentroid_ = molecule_.centroid();
+  molecule_.translate(-originalCentroid_);
+  templatePositions_.assign(molecule_.positions().begin(), molecule_.positions().end());
+
+  for (const auto& bond : molecule_.bonds()) {
+    if (!bond.rotatable) continue;
+    TorsionDof dof;
+    dof.axisA = bond.a;
+    dof.axisB = bond.b;
+    dof.movedAtoms = chem::atomsMovedByTorsion(molecule_, bond);
+    torsions_.push_back(std::move(dof));
+  }
+
+  chem::Topology topo(molecule_);
+  anchors_ = topo.hydrogenAnchors(molecule_);
+  // Only donor hydrogens keep an anchor; other atoms get -1.
+  for (std::size_t i = 0; i < molecule_.atomCount(); ++i) {
+    if (molecule_.hbondRole(i) != chem::HBondRole::kDonorHydrogen) anchors_[i] = -1;
+  }
+}
+
+void LigandModel::applyPose(const Pose& pose, std::vector<Vec3>& out) const {
+  out.assign(templatePositions_.begin(), templatePositions_.end());
+
+  // 1. Torsions, applied in DOF order against the current geometry.
+  const std::size_t nt = std::min(pose.torsions.size(), torsions_.size());
+  for (std::size_t k = 0; k < nt; ++k) {
+    const double angle = pose.torsions[k];
+    if (angle == 0.0) continue;
+    const TorsionDof& dof = torsions_[k];
+    const Vec3 pivot = out[static_cast<std::size_t>(dof.axisA)];
+    const Vec3 axis = out[static_cast<std::size_t>(dof.axisB)] - pivot;
+    const Mat3 rot = Mat3::rotationAboutAxis(axis, angle);
+    for (int idx : dof.movedAtoms) {
+      Vec3& p = out[static_cast<std::size_t>(idx)];
+      p = pivot + rot * (p - pivot);
+    }
+  }
+
+  // 2. Rigid orientation about the template centroid (the origin), then
+  // 3. translation into world space.
+  const Mat3 rot = pose.orientation.toMatrix();
+  for (auto& p : out) p = rot * p + pose.translation;
+}
+
+Pose LigandModel::restPose() const {
+  Pose p(torsionCount());
+  p.translation = originalCentroid_;
+  return p;
+}
+
+}  // namespace dqndock::metadock

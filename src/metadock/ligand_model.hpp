@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file ligand_model.hpp
+/// Precompiled ligand: template coordinates in a canonical local frame
+/// plus the torsion machinery (per-rotatable-bond moved-atom sets), so
+/// that applying a Pose is a pure function with no per-call graph
+/// traversal. One LigandModel is shared by every scoring thread.
+
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+#include "src/metadock/pose.hpp"
+
+namespace dqndock::metadock {
+
+/// One torsional degree of freedom.
+struct TorsionDof {
+  int axisA = 0;                ///< fixed-side axis atom
+  int axisB = 0;                ///< moved-side axis atom
+  std::vector<int> movedAtoms;  ///< atoms rotated by this torsion
+};
+
+class LigandModel {
+ public:
+  /// Compiles `ligand`. Template coordinates are the ligand's positions
+  /// re-centered on their centroid; rotatable bonds become TorsionDofs in
+  /// bond order. Throws if a rotatable bond lies on a ring.
+  explicit LigandModel(const chem::Molecule& ligand);
+
+  std::size_t atomCount() const { return templatePositions_.size(); }
+  std::size_t torsionCount() const { return torsions_.size(); }
+
+  const chem::Molecule& molecule() const { return molecule_; }
+  const std::vector<TorsionDof>& torsions() const { return torsions_; }
+  const std::vector<Vec3>& templatePositions() const { return templatePositions_; }
+
+  /// For each atom: index of the bonded heavy atom if this atom is a
+  /// donor hydrogen, else -1 (drives the H-bond angular term).
+  const std::vector<int>& hydrogenAnchors() const { return anchors_; }
+
+  /// World coordinates of every atom under `pose`:
+  /// torsions (innermost) -> rigid rotation about the centroid ->
+  /// translation. `out` is resized to atomCount().
+  void applyPose(const Pose& pose, std::vector<Vec3>& out) const;
+
+  /// Identity pose placing the ligand back at the world coordinates the
+  /// source molecule had (translation = original centroid).
+  Pose restPose() const;
+
+ private:
+  chem::Molecule molecule_;            ///< local-frame copy (centroid origin)
+  std::vector<Vec3> templatePositions_;
+  std::vector<TorsionDof> torsions_;
+  std::vector<int> anchors_;
+  Vec3 originalCentroid_;
+};
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,250 @@
+#include "src/metadock/metaheuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqndock::metadock {
+
+MetaheuristicParams MetaheuristicParams::randomSearch() {
+  MetaheuristicParams p;
+  p.name = "random-search";
+  p.populationSize = 64;
+  p.selectBest = 0;
+  p.selectRandom = 0;
+  p.offspringPerPair = 0;
+  p.improveSteps = 1;
+  // Pure random: "mutations" resample from a very wide kernel and always
+  // accept (infinite temperature), so the population is a random stream.
+  p.mutationTranslation = 8.0;
+  p.mutationRotationDeg = 90.0;
+  p.mutationTorsionDeg = 90.0;
+  p.temperature = 1e12;
+  p.cooling = 1.0;
+  return p;
+}
+
+MetaheuristicParams MetaheuristicParams::localSearch() {
+  MetaheuristicParams p;
+  p.name = "local-search";
+  p.populationSize = 8;  // multi-start
+  p.selectBest = 4;
+  p.selectRandom = 0;
+  p.offspringPerPair = 0;
+  p.improveSteps = 8;
+  p.mutationTranslation = 0.5;
+  p.mutationRotationDeg = 5.0;
+  p.mutationTorsionDeg = 8.0;
+  p.temperature = 0.0;  // greedy
+  return p;
+}
+
+MetaheuristicParams MetaheuristicParams::monteCarlo() {
+  MetaheuristicParams p;
+  p.name = "monte-carlo";
+  p.populationSize = 1;
+  p.selectBest = 1;
+  p.selectRandom = 0;
+  p.offspringPerPair = 0;
+  p.improveSteps = 16;
+  p.mutationTranslation = 1.0;
+  p.mutationRotationDeg = 10.0;
+  p.mutationTorsionDeg = 15.0;
+  p.temperature = 20.0;  // annealed by `cooling`
+  p.cooling = 0.95;
+  return p;
+}
+
+MetaheuristicParams MetaheuristicParams::genetic() {
+  MetaheuristicParams p;
+  p.name = "genetic";
+  p.populationSize = 48;
+  p.selectBest = 8;
+  p.selectRandom = 4;
+  p.offspringPerPair = 2;
+  p.improveSteps = 2;
+  p.mutationTranslation = 0.8;
+  p.mutationRotationDeg = 8.0;
+  p.mutationTorsionDeg = 12.0;
+  p.temperature = 0.0;
+  return p;
+}
+
+Pose crossoverPoses(const Pose& a, const Pose& b, Rng& rng) {
+  Pose child(a.torsions.size());
+  const double wx = rng.uniform(), wy = rng.uniform(), wz = rng.uniform();
+  child.translation = {a.translation.x * wx + b.translation.x * (1 - wx),
+                       a.translation.y * wy + b.translation.y * (1 - wy),
+                       a.translation.z * wz + b.translation.z * (1 - wz)};
+  const double wq = rng.uniform();
+  // Hemisphere-align before blending so antipodal quaternions (same
+  // rotation) do not cancel out.
+  Quat qb = b.orientation;
+  const double dot = a.orientation.w * qb.w + a.orientation.x * qb.x + a.orientation.y * qb.y +
+                     a.orientation.z * qb.z;
+  if (dot < 0) qb = {-qb.w, -qb.x, -qb.y, -qb.z};
+  child.orientation = Quat{a.orientation.w * wq + qb.w * (1 - wq),
+                           a.orientation.x * wq + qb.x * (1 - wq),
+                           a.orientation.y * wq + qb.y * (1 - wq),
+                           a.orientation.z * wq + qb.z * (1 - wq)}
+                          .normalized();
+  for (std::size_t k = 0; k < child.torsions.size(); ++k) {
+    child.torsions[k] = rng.bernoulli(0.5) ? a.torsions[k] : b.torsions[k];
+  }
+  return child;
+}
+
+MetaheuristicEngine::MetaheuristicEngine(PoseEvaluator& evaluator, MetaheuristicParams params)
+    : evaluator_(evaluator), params_(std::move(params)) {
+  torsionCount_ = evaluator_.scoring().ligand().torsionCount();
+  if (params_.populationSize == 0) params_.populationSize = 1;
+}
+
+std::vector<Candidate> MetaheuristicEngine::initialize(const Pose* start, Rng& rng) {
+  const ReceptorModel& receptor = evaluator_.scoring().receptor();
+  double radius = params_.searchRadius;
+  if (radius <= 0.0) {
+    const auto [lo, hi] = receptor.molecule().boundingBox();
+    radius = 0.5 * (hi - lo).norm() + 10.0;
+  }
+  const Vec3 center =
+      params_.useSearchCenter ? params_.searchCenter : receptor.centerOfMass();
+  std::vector<Pose> poses;
+  poses.reserve(params_.populationSize);
+  if (start != nullptr) poses.push_back(*start);
+  while (poses.size() < params_.populationSize) {
+    poses.push_back(randomPose(center, radius, torsionCount_, rng));
+  }
+  const auto scores = evaluator_.evaluateBatch(poses);
+  std::vector<Candidate> population(poses.size());
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    population[i] = {std::move(poses[i]), scores[i]};
+  }
+  return population;
+}
+
+std::vector<std::size_t> MetaheuristicEngine::select(const std::vector<Candidate>& population,
+                                                     Rng& rng) const {
+  // Elite by score, then random extras for diversity.
+  std::vector<std::size_t> order(population.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t l, std::size_t r) {
+    return population[l].score > population[r].score;
+  });
+  std::vector<std::size_t> picked;
+  const std::size_t elites = std::min(params_.selectBest, order.size());
+  picked.assign(order.begin(), order.begin() + static_cast<long>(elites));
+  for (std::size_t i = 0; i < params_.selectRandom && elites < order.size(); ++i) {
+    picked.push_back(order[elites + rng.uniformInt(order.size() - elites)]);
+  }
+  if (picked.empty() && !population.empty()) picked.push_back(order.front());
+  return picked;
+}
+
+std::vector<Pose> MetaheuristicEngine::combine(const std::vector<Candidate>& population,
+                                               const std::vector<std::size_t>& selected,
+                                               Rng& rng) const {
+  std::vector<Pose> children;
+  if (params_.offspringPerPair == 0 || selected.size() < 2) return children;
+  for (std::size_t i = 0; i + 1 < selected.size(); i += 2) {
+    const Candidate& a = population[selected[i]];
+    const Candidate& b = population[selected[i + 1]];
+    for (std::size_t c = 0; c < params_.offspringPerPair; ++c) {
+      children.push_back(crossoverPoses(a.pose, b.pose, rng));
+    }
+  }
+  return children;
+}
+
+void MetaheuristicEngine::improve(std::vector<Candidate>& candidates, double temperature,
+                                  Rng& rng) {
+  if (params_.improveSteps == 0) return;
+  const double rotRad = params_.mutationRotationDeg * M_PI / 180.0;
+  const double torRad = params_.mutationTorsionDeg * M_PI / 180.0;
+  for (std::size_t step = 0; step < params_.improveSteps; ++step) {
+    // Batch all proposals so the evaluator can parallelise across them.
+    std::vector<Pose> proposals;
+    proposals.reserve(candidates.size());
+    for (const auto& c : candidates) {
+      proposals.push_back(perturbPose(c.pose, params_.mutationTranslation, rotRad, torRad, rng));
+    }
+    const auto scores = evaluator_.evaluateBatch(proposals);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double delta = scores[i] - candidates[i].score;
+      const bool accept =
+          delta >= 0.0 || (temperature > 0.0 && rng.uniform() < std::exp(delta / temperature));
+      if (accept) {
+        candidates[i].pose = std::move(proposals[i]);
+        candidates[i].score = scores[i];
+      }
+    }
+  }
+}
+
+void MetaheuristicEngine::include(std::vector<Candidate>& population,
+                                  std::vector<Candidate>&& newcomers) const {
+  for (auto& c : newcomers) population.push_back(std::move(c));
+  std::sort(population.begin(), population.end(),
+            [](const Candidate& l, const Candidate& r) { return l.score > r.score; });
+  if (population.size() > params_.populationSize) population.resize(params_.populationSize);
+}
+
+MetaheuristicResult MetaheuristicEngine::run(Rng& rng) { return runImpl(nullptr, rng); }
+
+MetaheuristicResult MetaheuristicEngine::runFrom(const Pose& start, Rng& rng) {
+  return runImpl(&start, rng);
+}
+
+MetaheuristicResult MetaheuristicEngine::runImpl(const Pose* start, Rng& rng) {
+  evaluator_.resetEvaluationCount();
+  MetaheuristicResult result;
+  double temperature = params_.temperature;
+
+  std::vector<Candidate> population = initialize(start, rng);
+  auto updateBest = [&result](const std::vector<Candidate>& pop) {
+    for (const auto& c : pop) {
+      if (c.score > result.best.score) result.best = c;
+    }
+  };
+  updateBest(population);
+  result.history.push_back(result.best.score);
+
+  while (evaluator_.evaluationCount() < params_.maxEvaluations) {
+    const auto selected = select(population, rng);
+
+    // Combine: crossover children of the selected parents.
+    std::vector<Pose> childPoses = combine(population, selected, rng);
+    std::vector<Candidate> newcomers;
+    if (!childPoses.empty()) {
+      const auto scores = evaluator_.evaluateBatch(childPoses);
+      newcomers.resize(childPoses.size());
+      for (std::size_t i = 0; i < childPoses.size(); ++i) {
+        newcomers[i] = {std::move(childPoses[i]), scores[i]};
+      }
+    }
+
+    // Improve: anneal/mutate the selected candidates in place.
+    std::vector<Candidate> improved;
+    improved.reserve(selected.size());
+    for (std::size_t idx : selected) improved.push_back(population[idx]);
+    improve(improved, temperature, rng);
+
+    // For random search, also refill with fresh random candidates so the
+    // stream keeps exploring.
+    if (params_.selectBest == 0 && params_.offspringPerPair == 0) {
+      population = initialize(nullptr, rng);
+    }
+
+    for (auto& c : improved) newcomers.push_back(std::move(c));
+    include(population, std::move(newcomers));
+
+    updateBest(population);
+    result.history.push_back(result.best.score);
+    temperature *= params_.cooling;
+    ++result.iterations;
+  }
+
+  result.evaluations = evaluator_.evaluationCount();
+  return result;
+}
+
+}  // namespace dqndock::metadock

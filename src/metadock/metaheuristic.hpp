@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file metaheuristic.hpp
+/// METADOCK's parameterised metaheuristic schema [Imbernón et al. 2017].
+///
+/// METADOCK expresses a family of population-based optimisers as one
+/// schema whose stages are tuned by numeric parameters:
+///
+///   Initialize -> while !End { Select -> Combine -> Improve -> Include }
+///
+/// Choosing the parameters instantiates classic algorithms: a population
+/// of 1 with annealed improvement is Monte Carlo / simulated annealing; a
+/// large population with crossover is a genetic algorithm; no combination
+/// and greedy improvement is multi-start local search; improvement only
+/// at temperature infinity is pure random search. All instantiations
+/// share the thread-pool pose evaluator, matching the paper's claim that
+/// "several heuristic strategies can be applied" on the same engine.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/metadock/evaluator.hpp"
+
+namespace dqndock::metadock {
+
+/// Numeric knobs of the schema (the "parameterised" part of METADOCK).
+struct MetaheuristicParams {
+  std::string name = "custom";
+
+  std::size_t populationSize = 32;   ///< candidates kept between iterations
+  std::size_t selectBest = 8;        ///< elite candidates selected per iteration
+  std::size_t selectRandom = 4;      ///< diversity candidates selected per iteration
+  std::size_t offspringPerPair = 2;  ///< crossover children per selected pair (0 = no Combine)
+  std::size_t improveSteps = 4;      ///< mutation/annealing steps per candidate (0 = no Improve)
+
+  double mutationTranslation = 1.0;  ///< Angstrom stddev of Improve moves
+  double mutationRotationDeg = 10.0; ///< degrees stddev of Improve moves
+  double mutationTorsionDeg = 15.0;  ///< degrees stddev of Improve moves
+
+  /// Metropolis temperature for Improve: <=0 accepts only improvements
+  /// (greedy local search); >0 accepts worse poses with
+  /// exp(delta/T) probability; cooled by `cooling` each iteration.
+  double temperature = 0.0;
+  double cooling = 0.97;
+
+  /// End condition: stop after this many scoring-function evaluations.
+  std::size_t maxEvaluations = 20000;
+
+  /// Box half-extent around the search centre that Initialize samples
+  /// translations from; 0 = auto (receptor bounding radius + 10 A).
+  double searchRadius = 0.0;
+  /// Optional search centre override (surface-spot docking searches a
+  /// box around the spot instead of the whole receptor).
+  bool useSearchCenter = false;
+  Vec3 searchCenter;
+
+  // ---- Named instantiations of the schema ------------------------------
+  static MetaheuristicParams randomSearch();
+  static MetaheuristicParams localSearch();
+  static MetaheuristicParams monteCarlo();  ///< simulated annealing chain
+  static MetaheuristicParams genetic();
+};
+
+/// One candidate solution.
+struct Candidate {
+  Pose pose;
+  double score = -1e300;
+};
+
+/// Outcome of a run.
+struct MetaheuristicResult {
+  Candidate best;
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  /// Best score after each schema iteration (convergence curve).
+  std::vector<double> history;
+};
+
+class MetaheuristicEngine {
+ public:
+  /// The engine evaluates candidates through `evaluator` (which carries
+  /// the thread pool) against the scoring function it wraps.
+  MetaheuristicEngine(PoseEvaluator& evaluator, MetaheuristicParams params);
+
+  /// Run the schema with a fully random initial population.
+  /// Deterministic in `rng`.
+  MetaheuristicResult run(Rng& rng);
+
+  /// Run the schema seeded with a starting pose (e.g. the RL initial
+  /// state, so baselines and DQN-Docking face the same problem).
+  MetaheuristicResult runFrom(const Pose& start, Rng& rng);
+
+  const MetaheuristicParams& params() const { return params_; }
+
+ private:
+  MetaheuristicResult runImpl(const Pose* start, Rng& rng);
+  std::vector<Candidate> initialize(const Pose* start, Rng& rng);
+  std::vector<std::size_t> select(const std::vector<Candidate>& population, Rng& rng) const;
+  std::vector<Pose> combine(const std::vector<Candidate>& population,
+                            const std::vector<std::size_t>& selected, Rng& rng) const;
+  void improve(std::vector<Candidate>& candidates, double temperature, Rng& rng);
+  void include(std::vector<Candidate>& population, std::vector<Candidate>&& newcomers) const;
+
+  PoseEvaluator& evaluator_;
+  MetaheuristicParams params_;
+  std::size_t torsionCount_ = 0;
+};
+
+/// Crossover of two poses: per-component uniform mix of translations,
+/// normalized quaternion blend, per-torsion pick. Exposed for testing.
+Pose crossoverPoses(const Pose& a, const Pose& b, Rng& rng);
+
+}  // namespace dqndock::metadock

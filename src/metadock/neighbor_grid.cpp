@@ -1,0 +1,56 @@
+#include "src/metadock/neighbor_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize) : cell_(cellSize) {
+  if (cellSize <= 0.0) throw std::invalid_argument("NeighborGrid: cellSize must be > 0");
+  if (!points.empty()) {
+    origin_ = points.front();
+    for (const auto& p : points) origin_ = origin_.min(p);
+  }
+  pointCell_.resize(points.size());
+  // Count per cell, then bucket (counting sort by cell).
+  std::unordered_map<long, std::size_t> counts;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [cx, cy, cz] = cellCoords(points[i]);
+    const long key = cellKey(cx, cy, cz);
+    pointCell_[i] = key;
+    ++counts[key];
+  }
+  cellStart_.reserve(counts.size());
+  std::size_t offset = 0;
+  for (const auto& [key, count] : counts) {
+    cellStart_[key] = Range{offset, 0};
+    offset += count;
+  }
+  cellPoints_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Range& r = cellStart_[pointCell_[i]];
+    cellPoints_[r.first + r.count] = i;
+    ++r.count;
+  }
+}
+
+std::vector<std::size_t> NeighborGrid::near(const Vec3& query) const {
+  std::vector<std::size_t> out;
+  forEachNear(query, [&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::tuple<int, int, int> NeighborGrid::cellCoords(const Vec3& p) const {
+  return {static_cast<int>(std::floor((p.x - origin_.x) / cell_)),
+          static_cast<int>(std::floor((p.y - origin_.y) / cell_)),
+          static_cast<int>(std::floor((p.z - origin_.z) / cell_))};
+}
+
+long NeighborGrid::cellKey(int x, int y, int z) {
+  // Pack three 21-bit signed coordinates into one 64-bit key.
+  const long bias = 1 << 20;
+  return ((static_cast<long>(x) + bias) << 42) | ((static_cast<long>(y) + bias) << 21) |
+         (static_cast<long>(z) + bias);
+}
+
+}  // namespace dqndock::metadock

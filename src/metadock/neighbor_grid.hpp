@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file neighbor_grid.hpp
+/// Uniform spatial hash over receptor atoms. With a scoring cutoff of
+/// r_c, each ligand atom only needs the receptor atoms in the 27 cells
+/// around it, turning the O(n*m) pair loop of Algorithm 1 into an output-
+/// sensitive sweep — the same pruning METADOCK's GPU kernels perform by
+/// tiling the receptor surface into independent spots.
+
+#include <cstddef>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/vec3.hpp"
+
+namespace dqndock::metadock {
+
+class NeighborGrid {
+ public:
+  /// Builds a grid with cell edge `cellSize` (usually the scoring cutoff)
+  /// over `points`. cellSize must be > 0.
+  NeighborGrid(std::span<const Vec3> points, double cellSize);
+
+  double cellSize() const { return cell_; }
+  std::size_t pointCount() const { return pointCell_.size(); }
+
+  /// Invoke fn(pointIndex) for every stored point within the 27-cell
+  /// neighbourhood of `query` (superset of all points within cellSize of
+  /// the query; callers still apply the exact distance test).
+  template <typename Fn>
+  void forEachNear(const Vec3& query, Fn&& fn) const {
+    const auto [cx, cy, cz] = cellCoords(query);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const long key = cellKey(cx + dx, cy + dy, cz + dz);
+          const auto it = cellStart_.find(key);
+          if (it == cellStart_.end()) continue;
+          const auto [start, count] = it->second;
+          for (std::size_t i = 0; i < count; ++i) fn(cellPoints_[start + i]);
+        }
+      }
+    }
+  }
+
+  /// All stored points within the 27-cell neighbourhood (convenience for
+  /// tests and non-hot paths).
+  std::vector<std::size_t> near(const Vec3& query) const;
+
+ private:
+  struct Range {
+    std::size_t first;
+    std::size_t count;
+  };
+
+  std::tuple<int, int, int> cellCoords(const Vec3& p) const;
+  static long cellKey(int x, int y, int z);
+
+  double cell_ = 1.0;
+  Vec3 origin_;
+  std::vector<long> pointCell_;                 ///< cell key per point
+  std::vector<std::size_t> cellPoints_;         ///< point indices grouped by cell
+  std::unordered_map<long, Range> cellStart_;   ///< key -> range in cellPoints_
+};
+
+}  // namespace dqndock::metadock

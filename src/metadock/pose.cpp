@@ -1,0 +1,69 @@
+#include "src/metadock/pose.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+std::vector<double> Pose::flatten() const {
+  std::vector<double> v;
+  v.reserve(dofCount());
+  v.push_back(translation.x);
+  v.push_back(translation.y);
+  v.push_back(translation.z);
+  v.push_back(orientation.w);
+  v.push_back(orientation.x);
+  v.push_back(orientation.y);
+  v.push_back(orientation.z);
+  v.insert(v.end(), torsions.begin(), torsions.end());
+  return v;
+}
+
+Pose Pose::unflatten(const std::vector<double>& data, std::size_t torsionCount) {
+  if (data.size() != 7 + torsionCount) {
+    throw std::invalid_argument("Pose::unflatten: size mismatch");
+  }
+  Pose p(torsionCount);
+  p.translation = {data[0], data[1], data[2]};
+  p.orientation = Quat{data[3], data[4], data[5], data[6]}.normalized();
+  for (std::size_t k = 0; k < torsionCount; ++k) p.torsions[k] = data[7 + k];
+  return p;
+}
+
+bool Pose::operator==(const Pose& o) const {
+  return translation == o.translation && orientation.w == o.orientation.w &&
+         orientation.x == o.orientation.x && orientation.y == o.orientation.y &&
+         orientation.z == o.orientation.z && torsions == o.torsions;
+}
+
+Pose randomPose(const Vec3& center, double radius, std::size_t torsionCount, Rng& rng) {
+  Pose p(torsionCount);
+  p.translation = center + Vec3{rng.uniform(-radius, radius), rng.uniform(-radius, radius),
+                                rng.uniform(-radius, radius)};
+  // Uniform random rotation: random axis, angle with sin-weighted sampling
+  // via quaternion of four gaussians.
+  Quat q{rng.gaussian(), rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  p.orientation = q.normalized();
+  for (auto& t : p.torsions) t = rng.uniform(-M_PI, M_PI);
+  return p;
+}
+
+Pose perturbPose(const Pose& base, double transStddev, double rotStddevRad,
+                 double torsionStddevRad, Rng& rng) {
+  Pose p = base;
+  p.translation += Vec3{rng.gaussian(0, transStddev), rng.gaussian(0, transStddev),
+                        rng.gaussian(0, transStddev)};
+  if (rotStddevRad > 0) {
+    const Vec3 axis = rng.unitVector<Vec3>();
+    p.orientation = (Quat::fromAxisAngle(axis, rng.gaussian(0, rotStddevRad)) * p.orientation)
+                        .normalized();
+  }
+  for (auto& t : p.torsions) {
+    t += rng.gaussian(0, torsionStddevRad);
+    // Wrap into (-pi, pi].
+    t = std::remainder(t, 2.0 * M_PI);
+  }
+  return p;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file pose.hpp
+/// Ligand pose: the degrees of freedom METADOCK optimizes. A pose is a
+/// rigid-body placement (translation + orientation) plus one torsion
+/// angle per rotatable bond for flexible ligands.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/quat.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock::metadock {
+
+struct Pose {
+  Vec3 translation;                ///< ligand frame origin in world space
+  Quat orientation;                ///< rotation about the ligand centroid
+  std::vector<double> torsions;    ///< radians, one per rotatable bond
+
+  Pose() = default;
+  explicit Pose(std::size_t torsionCount) : torsions(torsionCount, 0.0) {}
+
+  /// Number of scalar degrees of freedom (3 + 4 + torsions).
+  std::size_t dofCount() const { return 7 + torsions.size(); }
+
+  /// Serialize to a flat vector (translation, quaternion, torsions) — the
+  /// wire format of the file-based environment and the compact replay.
+  std::vector<double> flatten() const;
+  static Pose unflatten(const std::vector<double>& data, std::size_t torsionCount);
+
+  bool operator==(const Pose& o) const;
+};
+
+/// Uniformly random pose: translation inside a box around `center` with
+/// half-extent `radius`, uniform random orientation, torsions in (-pi,pi].
+Pose randomPose(const Vec3& center, double radius, std::size_t torsionCount, Rng& rng);
+
+/// Gaussian perturbation of a pose (metaheuristic mutation move).
+Pose perturbPose(const Pose& base, double transStddev, double rotStddevRad,
+                 double torsionStddevRad, Rng& rng);
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,57 @@
+#include "src/metadock/pose_cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/chem/kabsch.hpp"
+
+namespace dqndock::metadock {
+
+double poseRmsd(const LigandModel& ligand, const Pose& a, const Pose& b, bool aligned) {
+  std::vector<Vec3> pa, pb;
+  ligand.applyPose(a, pa);
+  ligand.applyPose(b, pb);
+  if (aligned) return chem::alignedRmsd(pa, pb);
+  return chem::rmsd(std::span<const Vec3>(pa), std::span<const Vec3>(pb));
+}
+
+std::vector<PoseCluster> clusterPoses(const LigandModel& ligand,
+                                      std::span<const Candidate> candidates,
+                                      ClusterOptions options) {
+  // Score-descending processing order.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t l, std::size_t r) {
+    return candidates[l].score > candidates[r].score;
+  });
+
+  std::vector<PoseCluster> clusters;
+  std::vector<std::vector<Vec3>> repPositions;  // cached representative coords
+  std::vector<Vec3> scratch;
+
+  for (std::size_t idx : order) {
+    const Candidate& c = candidates[idx];
+    ligand.applyPose(c.pose, scratch);
+    bool placed = false;
+    for (std::size_t k = 0; k < clusters.size() && !placed; ++k) {
+      const double d = options.aligned
+                           ? chem::alignedRmsd(scratch, repPositions[k])
+                           : chem::rmsd(std::span<const Vec3>(scratch),
+                                        std::span<const Vec3>(repPositions[k]));
+      if (d <= options.rmsdThreshold) {
+        clusters[k].members.push_back(idx);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      PoseCluster cluster;
+      cluster.representative = c;
+      cluster.members.push_back(idx);
+      clusters.push_back(std::move(cluster));
+      repPositions.push_back(scratch);
+    }
+  }
+  return clusters;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file pose_cluster.hpp
+/// RMSD-based pose clustering. Docking runs end with a population of
+/// candidate poses; engines report *distinct binding modes* by greedily
+/// clustering the score-sorted poses with an RMSD threshold (the
+/// AutoDock convention, typically 2 A). Used by the virtual-screening
+/// example and the baselines bench to summarise metaheuristic output.
+
+#include <vector>
+
+#include "src/metadock/ligand_model.hpp"
+#include "src/metadock/metaheuristic.hpp"
+
+namespace dqndock::metadock {
+
+struct PoseCluster {
+  Candidate representative;       ///< best-scoring member
+  std::vector<std::size_t> members;  ///< indices into the input list
+};
+
+struct ClusterOptions {
+  double rmsdThreshold = 2.0;  ///< Angstrom; join a cluster if within this
+  /// Use optimal-superposition RMSD (binding *mode*) instead of direct
+  /// index-wise RMSD (absolute placement).
+  bool aligned = false;
+};
+
+/// Greedy leader clustering: sort candidates by score (best first); each
+/// candidate joins the first existing cluster whose representative is
+/// within the threshold, else founds a new cluster. Returns clusters in
+/// representative-score order.
+std::vector<PoseCluster> clusterPoses(const LigandModel& ligand,
+                                      std::span<const Candidate> candidates,
+                                      ClusterOptions options = {});
+
+/// Pairwise ligand-conformation RMSD under two poses.
+double poseRmsd(const LigandModel& ligand, const Pose& a, const Pose& b, bool aligned = false);
+
+}  // namespace dqndock::metadock

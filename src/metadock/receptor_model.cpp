@@ -1,0 +1,31 @@
+#include "src/metadock/receptor_model.hpp"
+
+#include "src/chem/topology.hpp"
+
+namespace dqndock::metadock {
+
+ReceptorModel::ReceptorModel(const chem::Molecule& receptor, double gridCellSize)
+    : molecule_(receptor) {
+  molecule_.validate();
+  positions_.assign(molecule_.positions().begin(), molecule_.positions().end());
+  charges_.assign(molecule_.charges().begin(), molecule_.charges().end());
+  elements_.assign(molecule_.elements().begin(), molecule_.elements().end());
+  roles_.assign(molecule_.hbondRoles().begin(), molecule_.hbondRoles().end());
+  centerOfMass_ = molecule_.centerOfMass();
+
+  donorDirs_.assign(atomCount(), Vec3{});
+  chem::Topology topo(molecule_);
+  const auto anchors = topo.hydrogenAnchors(molecule_);
+  for (std::size_t i = 0; i < atomCount(); ++i) {
+    if (roles_[i] != chem::HBondRole::kDonorHydrogen) continue;
+    const int anchor = anchors[i];
+    if (anchor < 0) continue;
+    donorDirs_[i] = (positions_[i] - positions_[static_cast<std::size_t>(anchor)]).normalized();
+  }
+
+  if (gridCellSize > 0.0) {
+    grid_ = std::make_unique<NeighborGrid>(positions_, gridCellSize);
+  }
+}
+
+}  // namespace dqndock::metadock

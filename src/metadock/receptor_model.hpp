@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file receptor_model.hpp
+/// Precompiled rigid receptor: SoA parameter arrays the scoring kernels
+/// stream, donor-hydrogen anchor directions for the H-bond angular term,
+/// and an optional neighbour grid for cutoff pruning. Built once per
+/// docking problem and shared read-only across threads.
+
+#include <memory>
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+#include "src/metadock/neighbor_grid.hpp"
+
+namespace dqndock::metadock {
+
+class ReceptorModel {
+ public:
+  /// Compiles `receptor`. When gridCellSize > 0 a NeighborGrid is built
+  /// with that cell edge (callers normally pass the scoring cutoff).
+  explicit ReceptorModel(const chem::Molecule& receptor, double gridCellSize = 0.0);
+
+  std::size_t atomCount() const { return positions_.size(); }
+
+  const std::vector<Vec3>& positions() const { return positions_; }
+  const std::vector<double>& charges() const { return charges_; }
+  const std::vector<chem::Element>& elements() const { return elements_; }
+  const std::vector<chem::HBondRole>& roles() const { return roles_; }
+
+  /// Unit vector from the anchor heavy atom to donor hydrogen i, or the
+  /// zero vector when atom i is not a bonded donor hydrogen.
+  const std::vector<Vec3>& donorDirections() const { return donorDirs_; }
+
+  const chem::Molecule& molecule() const { return molecule_; }
+  Vec3 centerOfMass() const { return centerOfMass_; }
+
+  bool hasGrid() const { return grid_ != nullptr; }
+  const NeighborGrid& grid() const { return *grid_; }
+
+ private:
+  chem::Molecule molecule_;
+  std::vector<Vec3> positions_;
+  std::vector<double> charges_;
+  std::vector<chem::Element> elements_;
+  std::vector<chem::HBondRole> roles_;
+  std::vector<Vec3> donorDirs_;
+  Vec3 centerOfMass_;
+  std::unique_ptr<NeighborGrid> grid_;
+};
+
+}  // namespace dqndock::metadock

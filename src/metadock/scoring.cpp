@@ -1,0 +1,148 @@
+#include "src/metadock/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+using chem::Element;
+using chem::ForceField;
+using chem::HBondRole;
+
+double electrostaticEnergy(double qi, double qj, double r) {
+  return chem::kCoulomb * qi * qj / std::max(r, kMinPairDistance);
+}
+
+double lennardJonesEnergy(double epsilon, double sigma, double r) {
+  const double inv = sigma / std::max(r, kMinPairDistance);
+  const double inv2 = inv * inv;
+  const double inv6 = inv2 * inv2 * inv2;
+  return 4.0 * epsilon * (inv6 * inv6 - inv6);
+}
+
+double hbondEnergy(const chem::HBondParams& hb, double epsilon, double sigma, double r,
+                   double cosTheta) {
+  const double rc = std::max(r, kMinPairDistance);
+  // cos(theta) gates the directional 12-10 well; the off-axis remainder
+  // sin(theta) falls back to the plain Lennard-Jones shape (Eq. 1).
+  const double c = std::clamp(cosTheta, 0.0, 1.0);
+  const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+  const double r2 = rc * rc;
+  const double r10 = r2 * r2 * r2 * r2 * r2;
+  const double r12 = r10 * r2;
+  return c * (hb.c12 / r12 - hb.d10 / r10) + s * lennardJonesEnergy(epsilon, sigma, rc);
+}
+
+ScoringFunction::ScoringFunction(const ReceptorModel& receptor, const LigandModel& ligand,
+                                 ScoringOptions options)
+    : receptor_(receptor), ligand_(ligand), options_(options) {
+  if (options_.useGrid && options_.cutoff > 0.0 && !receptor_.hasGrid()) {
+    throw std::invalid_argument(
+        "ScoringFunction: useGrid requires a ReceptorModel built with a grid");
+  }
+  if (options_.useGrid && options_.cutoff > 0.0 &&
+      receptor_.grid().cellSize() + 1e-12 < options_.cutoff) {
+    throw std::invalid_argument(
+        "ScoringFunction: grid cell size must be >= cutoff for 27-cell coverage");
+  }
+  const ForceField& ff = ForceField::standard();
+  for (int a = 0; a < chem::kElementCount; ++a) {
+    for (int b = 0; b < chem::kElementCount; ++b) {
+      ljTable_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          ff.ljPair(static_cast<Element>(a), static_cast<Element>(b));
+    }
+  }
+  hbond_ = ff.hbond();
+}
+
+ScoreTerms ScoringFunction::pairEnergy(std::size_t ra, std::size_t la, const Vec3& ligandPos,
+                                       std::span<const Vec3> allLigandPositions) const {
+  ScoreTerms terms;
+  const Vec3& rpos = receptor_.positions()[ra];
+  const double r = distance(rpos, ligandPos);
+  if (options_.cutoff > 0.0 && r > options_.cutoff) return terms;
+
+  const Element re = receptor_.elements()[ra];
+  const Element le = ligand_.molecule().element(la);
+  const chem::LjParams lj = ljTable_[static_cast<std::size_t>(re)][static_cast<std::size_t>(le)];
+
+  terms.electrostatic =
+      electrostaticEnergy(receptor_.charges()[ra], ligand_.molecule().charge(la), r);
+  terms.vdw = lennardJonesEnergy(lj.epsilon, lj.sigma, r);
+
+  // Hydrogen bond: donor hydrogen on one side, acceptor on the other.
+  const HBondRole rRole = receptor_.roles()[ra];
+  const HBondRole lRole = ligand_.molecule().hbondRole(la);
+  if (rRole == HBondRole::kDonorHydrogen && lRole == HBondRole::kAcceptor) {
+    const Vec3 dir = receptor_.donorDirections()[ra];
+    const Vec3 toAcceptor = (ligandPos - rpos).normalized();
+    const double cosTheta = dir.norm2() > 0.0 ? dir.dot(toAcceptor) : 1.0;
+    terms.hbond = hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+  } else if (rRole == HBondRole::kAcceptor && lRole == HBondRole::kDonorHydrogen) {
+    const int anchor = ligand_.hydrogenAnchors()[la];
+    double cosTheta = 1.0;
+    if (anchor >= 0) {
+      const Vec3 dir =
+          (ligandPos - allLigandPositions[static_cast<std::size_t>(anchor)]).normalized();
+      cosTheta = dir.dot((rpos - ligandPos).normalized());
+    }
+    terms.hbond = hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+  }
+  return terms;
+}
+
+ScoreTerms ScoringFunction::energyForLigandRange(std::span<const Vec3> ligandPositions,
+                                                 std::size_t begin, std::size_t end) const {
+  ScoreTerms acc;
+  const bool pruned = options_.useGrid && options_.cutoff > 0.0;
+  for (std::size_t la = begin; la < end; ++la) {
+    const Vec3& lpos = ligandPositions[la];
+    if (pruned) {
+      receptor_.grid().forEachNear(lpos, [&](std::size_t ra) {
+        acc += pairEnergy(ra, la, lpos, ligandPositions);
+      });
+    } else {
+      const std::size_t n = receptor_.atomCount();
+      for (std::size_t ra = 0; ra < n; ++ra) {
+        acc += pairEnergy(ra, la, lpos, ligandPositions);
+      }
+    }
+  }
+  return acc;
+}
+
+ScoreTerms ScoringFunction::energy(std::span<const Vec3> ligandPositions) const {
+  if (ligandPositions.size() != ligand_.atomCount()) {
+    throw std::invalid_argument("ScoringFunction::energy: ligand position count mismatch");
+  }
+  const std::size_t n = ligandPositions.size();
+  if (options_.pool == nullptr || n < 8) {
+    return energyForLigandRange(ligandPositions, 0, n);
+  }
+  ScoreTerms total;
+  std::mutex mu;
+  options_.pool->parallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    const ScoreTerms part = energyForLigandRange(ligandPositions, lo, hi);
+    std::lock_guard lock(mu);
+    total += part;
+  });
+  return total;
+}
+
+double ScoringFunction::score(std::span<const Vec3> ligandPositions) const {
+  return -energy(ligandPositions).total();
+}
+
+double ScoringFunction::scorePose(const Pose& pose, std::vector<Vec3>& scratch) const {
+  ligand_.applyPose(pose, scratch);
+  return score(scratch);
+}
+
+double ScoringFunction::scorePose(const Pose& pose) const {
+  std::vector<Vec3> scratch;
+  return scorePose(pose, scratch);
+}
+
+}  // namespace dqndock::metadock

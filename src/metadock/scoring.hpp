@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file scoring.hpp
+/// METADOCK's three-term scoring function (Equation 1 of the paper):
+///
+///   E = sum_ij k q_i q_j / r_ij                         (electrostatics)
+///     + sum_ij 4 eps_ij [ (s/r)^12 - (s/r)^6 ]          (Lennard-Jones)
+///     + sum_ij cos(th) [ C/r^12 - D/r^10 ]
+///            + sin(th) 4 eps_ij [ (s/r)^12 - (s/r)^6 ]  (hydrogen bond)
+///
+/// The docking *score* reported to callers is the negated energy, so
+/// higher is better and steric clashes drive the score to huge negative
+/// values — matching the paper's description of the score range
+/// ("from big negative numbers (e.g. -4.5e+21) to 500 at most").
+///
+/// Three execution paths share one inner kernel: scalar brute force
+/// (Algorithm 1 of the paper), cutoff + neighbour-grid pruned, and
+/// thread-pool parallel (the CPU analogue of METADOCK's GPU kernels).
+
+#include <span>
+
+#include "src/chem/forcefield.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/metadock/ligand_model.hpp"
+#include "src/metadock/receptor_model.hpp"
+
+namespace dqndock::metadock {
+
+/// Distances are clamped to this floor before any 1/r term; keeps the
+/// energy finite (though astronomically large) for coincident atoms.
+constexpr double kMinPairDistance = 0.05;
+
+/// Per-term energy decomposition, kcal/mol.
+struct ScoreTerms {
+  double electrostatic = 0.0;
+  double vdw = 0.0;
+  double hbond = 0.0;
+
+  double total() const { return electrostatic + vdw + hbond; }
+
+  ScoreTerms& operator+=(const ScoreTerms& o) {
+    electrostatic += o.electrostatic;
+    vdw += o.vdw;
+    hbond += o.hbond;
+    return *this;
+  }
+};
+
+/// Pairwise terms, exposed for unit testing and reuse.
+double electrostaticEnergy(double qi, double qj, double r);
+double lennardJonesEnergy(double epsilon, double sigma, double r);
+/// 12-10 hydrogen-bond well modulated by the donor geometry angle theta.
+double hbondEnergy(const chem::HBondParams& hb, double epsilon, double sigma, double r,
+                   double cosTheta);
+
+struct ScoringOptions {
+  /// Interaction cutoff in Angstrom; 0 disables the cutoff (full O(n*m)
+  /// sum, Algorithm 1 of the paper).
+  double cutoff = 12.0;
+  /// Prune receptor atoms through the neighbour grid (requires cutoff > 0
+  /// and a ReceptorModel built with a grid).
+  bool useGrid = true;
+  /// Thread pool for parallel evaluation; nullptr = single-threaded.
+  ThreadPool* pool = nullptr;
+};
+
+/// Scores ligand conformations against one compiled receptor.
+class ScoringFunction {
+ public:
+  ScoringFunction(const ReceptorModel& receptor, const LigandModel& ligand,
+                  ScoringOptions options = {});
+
+  /// Interaction energy of the ligand at `ligandPositions` (size must be
+  /// ligand.atomCount()).
+  ScoreTerms energy(std::span<const Vec3> ligandPositions) const;
+
+  /// Docking score := -energy.total(); higher is better.
+  double score(std::span<const Vec3> ligandPositions) const;
+
+  /// Convenience: apply `pose` to the ligand model, then score. The
+  /// scratch buffer avoids per-call allocation in hot loops.
+  double scorePose(const Pose& pose, std::vector<Vec3>& scratch) const;
+  double scorePose(const Pose& pose) const;
+
+  const ReceptorModel& receptor() const { return receptor_; }
+  const LigandModel& ligand() const { return ligand_; }
+  const ScoringOptions& options() const { return options_; }
+
+ private:
+  ScoreTerms energyForLigandRange(std::span<const Vec3> ligandPositions, std::size_t begin,
+                                  std::size_t end) const;
+  ScoreTerms pairEnergy(std::size_t receptorAtom, std::size_t ligandAtom, const Vec3& ligandPos,
+                        std::span<const Vec3> allLigandPositions) const;
+
+  const ReceptorModel& receptor_;
+  const LigandModel& ligand_;
+  ScoringOptions options_;
+  /// Precombined Lorentz-Berthelot pair parameters, indexed
+  /// [receptorElement][ligandElement].
+  std::array<std::array<chem::LjParams, chem::kElementCount>, chem::kElementCount> ljTable_{};
+  chem::HBondParams hbond_{};
+};
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,114 @@
+#include "src/metadock/surface_spots.hpp"
+
+#include <algorithm>
+
+namespace dqndock::metadock {
+
+std::vector<char> surfaceAtoms(const ReceptorModel& receptor, const SurfaceSpotOptions& opts) {
+  const auto& positions = receptor.positions();
+  std::vector<char> exposed(positions.size(), 0);
+  const double probe2 = opts.probeRadius * opts.probeRadius;
+
+  // Neighbour counting; uses the receptor grid when its cell size covers
+  // the probe radius, else brute force.
+  const bool useGrid = receptor.hasGrid() && receptor.grid().cellSize() >= opts.probeRadius;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    std::size_t neighbors = 0;
+    if (useGrid) {
+      receptor.grid().forEachNear(positions[i], [&](std::size_t j) {
+        if (j != i && distance2(positions[i], positions[j]) <= probe2) ++neighbors;
+      });
+    } else {
+      for (std::size_t j = 0; j < positions.size(); ++j) {
+        if (j != i && distance2(positions[i], positions[j]) <= probe2) ++neighbors;
+      }
+    }
+    exposed[i] = neighbors < opts.buriedNeighborCount ? 1 : 0;
+  }
+  return exposed;
+}
+
+std::vector<SurfaceSpot> findSurfaceSpots(const ReceptorModel& receptor,
+                                          const SurfaceSpotOptions& opts) {
+  const auto exposed = surfaceAtoms(receptor, opts);
+  const auto& positions = receptor.positions();
+
+  // Greedy leader clustering over the exposed atoms.
+  std::vector<SurfaceSpot> spots;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (!exposed[i]) continue;
+    bool placed = false;
+    for (auto& spot : spots) {
+      if (distance(positions[i], spot.center) <= opts.spotRadius) {
+        spot.atoms.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      SurfaceSpot spot;
+      spot.center = positions[i];
+      spot.atoms.push_back(i);
+      spots.push_back(std::move(spot));
+    }
+  }
+
+  // Finalize: recompute centres/radii, drop noise spots, sort by size.
+  std::vector<SurfaceSpot> result;
+  for (auto& spot : spots) {
+    if (spot.atoms.size() < opts.minSpotAtoms) continue;
+    Vec3 center;
+    for (std::size_t idx : spot.atoms) center += positions[idx];
+    center /= static_cast<double>(spot.atoms.size());
+    spot.center = center;
+    spot.radius = 0.0;
+    for (std::size_t idx : spot.atoms) {
+      spot.radius = std::max(spot.radius, distance(positions[idx], center));
+    }
+    result.push_back(std::move(spot));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const SurfaceSpot& a, const SurfaceSpot& b) { return a.atoms.size() > b.atoms.size(); });
+  return result;
+}
+
+std::vector<SpotDockingResult> dockAllSpots(const ScoringFunction& scoring,
+                                            const std::vector<SurfaceSpot>& spots,
+                                            MetaheuristicParams params, std::uint64_t seed,
+                                            ThreadPool* pool) {
+  std::vector<SpotDockingResult> results(spots.size());
+  // Independent RNG stream per spot so parallel order cannot change
+  // outcomes.
+  Rng root(seed);
+  std::vector<Rng> streams;
+  streams.reserve(spots.size());
+  for (std::size_t i = 0; i < spots.size(); ++i) streams.push_back(root.split());
+
+  auto dockSpot = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      MetaheuristicParams spotParams = params;
+      spotParams.searchRadius = spots[s].radius + 4.0;
+      spotParams.useSearchCenter = true;
+      spotParams.searchCenter = spots[s].center;
+      // Serial evaluator per spot: the parallelism is across spots.
+      PoseEvaluator evaluator(scoring, nullptr);
+      MetaheuristicEngine engine(evaluator, spotParams);
+      Pose start(scoring.ligand().torsionCount());
+      start.translation = spots[s].center;
+      const MetaheuristicResult r = engine.runFrom(start, streams[s]);
+      results[s] = SpotDockingResult{spots[s], r.best, r.evaluations};
+    }
+  };
+  if (pool) {
+    pool->parallelFor(0, spots.size(), dockSpot);
+  } else {
+    dockSpot(0, spots.size());
+  }
+
+  std::sort(results.begin(), results.end(), [](const SpotDockingResult& a, const SpotDockingResult& b) {
+    return a.best.score > b.best.score;
+  });
+  return results;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file surface_spots.hpp
+/// Receptor surface-spot decomposition (paper Section 2.1: BINDSURF and
+/// METADOCK "divide the whole protein surface into independent regions or
+/// spots" and dock into each in parallel — blind docking without knowing
+/// the binding site).
+///
+/// Surface detection uses a neighbour-count criterion (atoms with few
+/// neighbours inside a probe radius are exposed), and spots are formed by
+/// greedy leader clustering of the exposed atoms. Each spot yields a
+/// search box; `dockAllSpots` then runs one metaheuristic per spot across
+/// the thread pool and ranks the spots by their best score — the
+/// METADOCK screening topology.
+
+#include <vector>
+
+#include "src/metadock/metaheuristic.hpp"
+
+namespace dqndock::metadock {
+
+struct SurfaceSpotOptions {
+  /// An atom is "exposed" when fewer than this many other receptor atoms
+  /// lie within probeRadius.
+  double probeRadius = 5.0;
+  std::size_t buriedNeighborCount = 28;
+  /// Exposed atoms within this distance of a spot centre join that spot.
+  double spotRadius = 8.0;
+  /// Spots with fewer exposed atoms than this are dropped (noise).
+  std::size_t minSpotAtoms = 4;
+};
+
+struct SurfaceSpot {
+  Vec3 center;                    ///< mean position of the spot's atoms
+  std::vector<std::size_t> atoms; ///< exposed receptor atom indices
+  double radius = 0.0;            ///< max distance of a member from the centre
+};
+
+/// Identify exposed receptor atoms. Returns one flag per atom.
+std::vector<char> surfaceAtoms(const ReceptorModel& receptor, const SurfaceSpotOptions& opts = {});
+
+/// Decompose the receptor surface into spots (sorted by size, largest
+/// first).
+std::vector<SurfaceSpot> findSurfaceSpots(const ReceptorModel& receptor,
+                                          const SurfaceSpotOptions& opts = {});
+
+/// Result of docking into one spot.
+struct SpotDockingResult {
+  SurfaceSpot spot;
+  Candidate best;
+  std::size_t evaluations = 0;
+};
+
+/// Blind docking: run the given metaheuristic independently inside every
+/// spot (search box centred on the spot), in parallel across `pool`.
+/// Results are sorted by best score, descending. Deterministic in `seed`
+/// (each spot gets an independent split of the root stream).
+std::vector<SpotDockingResult> dockAllSpots(const ScoringFunction& scoring,
+                                            const std::vector<SurfaceSpot>& spots,
+                                            MetaheuristicParams params, std::uint64_t seed,
+                                            ThreadPool* pool);
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,106 @@
+#include "src/metadock/tempering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::metadock {
+
+ParallelTempering::ParallelTempering(PoseEvaluator& evaluator, TemperingParams params)
+    : evaluator_(evaluator), params_(params) {
+  if (params_.replicas < 2) throw std::invalid_argument("ParallelTempering: need >= 2 replicas");
+  if (params_.temperatureMin <= 0 || params_.temperatureMax <= params_.temperatureMin) {
+    throw std::invalid_argument("ParallelTempering: bad temperature ladder");
+  }
+  torsionCount_ = evaluator_.scoring().ligand().torsionCount();
+  // Geometric ladder from cold to hot.
+  ladder_.resize(params_.replicas);
+  const double ratio = std::pow(params_.temperatureMax / params_.temperatureMin,
+                                1.0 / static_cast<double>(params_.replicas - 1));
+  double t = params_.temperatureMin;
+  for (auto& temperature : ladder_) {
+    temperature = t;
+    t *= ratio;
+  }
+}
+
+TemperingResult ParallelTempering::run(Rng& rng) {
+  return runFrom(Pose(torsionCount_), rng);
+}
+
+TemperingResult ParallelTempering::runFrom(const Pose& start, Rng& rng) {
+  evaluator_.resetEvaluationCount();
+  TemperingResult result;
+
+  const ReceptorModel& receptor = evaluator_.scoring().receptor();
+  double radius = params_.searchRadius;
+  if (radius <= 0.0) {
+    const auto [lo, hi] = receptor.molecule().boundingBox();
+    radius = 0.5 * (hi - lo).norm() + 10.0;
+  }
+
+  // Independent RNG streams so per-replica work could be pooled without
+  // changing results (swaps happen on the caller thread).
+  std::vector<Rng> streams;
+  for (std::size_t r = 0; r < params_.replicas; ++r) streams.push_back(rng.split());
+
+  // Initialise replicas: replica 0 at the start pose, the rest random.
+  std::vector<Candidate> replicas(params_.replicas);
+  {
+    std::vector<Pose> poses;
+    poses.push_back(start);
+    for (std::size_t r = 1; r < params_.replicas; ++r) {
+      poses.push_back(randomPose(receptor.centerOfMass(), radius, torsionCount_, streams[r]));
+    }
+    const auto scores = evaluator_.evaluateBatch(poses);
+    for (std::size_t r = 0; r < params_.replicas; ++r) {
+      replicas[r] = {std::move(poses[r]), scores[r]};
+      if (replicas[r].score > result.best.score) result.best = replicas[r];
+    }
+  }
+
+  const double rotRad = params_.mutationRotationDeg * M_PI / 180.0;
+  const double torRad = params_.mutationTorsionDeg * M_PI / 180.0;
+
+  while (evaluator_.evaluationCount() < params_.maxEvaluations) {
+    // --- MC sweep per replica at its own temperature. ------------------
+    for (std::size_t step = 0; step < params_.stepsPerRound; ++step) {
+      std::vector<Pose> proposals;
+      proposals.reserve(params_.replicas);
+      for (std::size_t r = 0; r < params_.replicas; ++r) {
+        proposals.push_back(perturbPose(replicas[r].pose, params_.mutationTranslation, rotRad,
+                                        torRad, streams[r]));
+      }
+      const auto scores = evaluator_.evaluateBatch(proposals);
+      for (std::size_t r = 0; r < params_.replicas; ++r) {
+        const double delta = scores[r] - replicas[r].score;
+        if (delta >= 0.0 || streams[r].uniform() < std::exp(delta / ladder_[r])) {
+          replicas[r].pose = std::move(proposals[r]);
+          replicas[r].score = scores[r];
+          if (replicas[r].score > result.best.score) result.best = replicas[r];
+        }
+      }
+    }
+
+    // --- Replica-exchange sweep between adjacent temperatures. ----------
+    for (std::size_t r = 0; r + 1 < params_.replicas; ++r) {
+      ++result.swapsProposed;
+      // Score = -energy; the exchange criterion uses energies E = -score:
+      //   accept with min(1, exp[(1/Ti - 1/Tj)(Ei - Ej)]).
+      const double ei = -replicas[r].score;
+      const double ej = -replicas[r + 1].score;
+      const double arg = (1.0 / ladder_[r] - 1.0 / ladder_[r + 1]) * (ei - ej);
+      if (arg >= 0.0 || rng.uniform() < std::exp(arg)) {
+        std::swap(replicas[r], replicas[r + 1]);
+        ++result.swapsAccepted;
+      }
+    }
+
+    result.history.push_back(result.best.score);
+    ++result.rounds;
+  }
+  result.evaluations = evaluator_.evaluationCount();
+  return result;
+}
+
+}  // namespace dqndock::metadock

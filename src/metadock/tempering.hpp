@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file tempering.hpp
+/// Parallel tempering (replica exchange) docking.
+///
+/// Runs K Monte Carlo chains at a geometric ladder of temperatures; hot
+/// chains cross score barriers, cold chains refine, and periodic
+/// Metropolis swaps between adjacent temperatures let good poses migrate
+/// down the ladder. A classic HPC-friendly sampler (replicas are
+/// independent between swaps, so they parallelise across the pool) that
+/// complements the METADOCK schema's single-temperature annealing.
+
+#include "src/metadock/evaluator.hpp"
+#include "src/metadock/metaheuristic.hpp"  // Candidate
+
+namespace dqndock::metadock {
+
+struct TemperingParams {
+  std::size_t replicas = 6;
+  double temperatureMin = 1.0;
+  double temperatureMax = 200.0;   ///< geometric ladder between min/max
+  std::size_t stepsPerRound = 10;  ///< MC steps per replica between swaps
+  std::size_t maxEvaluations = 20000;
+  double mutationTranslation = 1.0;
+  double mutationRotationDeg = 10.0;
+  double mutationTorsionDeg = 15.0;
+  double searchRadius = 0.0;       ///< 0 = auto (receptor bounding radius + 10)
+};
+
+struct TemperingResult {
+  Candidate best;
+  std::size_t evaluations = 0;
+  std::size_t rounds = 0;
+  std::size_t swapsAccepted = 0;
+  std::size_t swapsProposed = 0;
+  std::vector<double> history;  ///< best score after each round
+};
+
+class ParallelTempering {
+ public:
+  ParallelTempering(PoseEvaluator& evaluator, TemperingParams params);
+
+  /// Deterministic in `rng` (replica streams are split off it).
+  TemperingResult run(Rng& rng);
+  TemperingResult runFrom(const Pose& start, Rng& rng);
+
+  /// The temperature ladder actually used (geometric).
+  const std::vector<double>& ladder() const { return ladder_; }
+
+ private:
+  PoseEvaluator& evaluator_;
+  TemperingParams params_;
+  std::vector<double> ladder_;
+  std::size_t torsionCount_ = 0;
+};
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,57 @@
+#include "src/metadock/trajectory.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/chem/element.hpp"
+
+namespace dqndock::metadock {
+
+void Trajectory::record(const Pose& pose, double score, int action, double reward) {
+  frames_.push_back(TrajectoryFrame{pose, score, action, reward});
+}
+
+void Trajectory::recordFrom(const DockingEnv& env, int action, double reward) {
+  record(env.pose(), env.score(), action, reward);
+}
+
+std::size_t Trajectory::bestFrame() const {
+  if (frames_.empty()) throw std::logic_error("Trajectory::bestFrame: empty trajectory");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < frames_.size(); ++i) {
+    if (frames_[i].score > frames_[best].score) best = i;
+  }
+  return best;
+}
+
+void Trajectory::writeXyz(std::ostream& out) const {
+  const chem::Molecule& mol = ligand_->molecule();
+  std::vector<Vec3> positions;
+  out.precision(6);
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    const TrajectoryFrame& frame = frames_[f];
+    ligand_->applyPose(frame.pose, positions);
+    out << mol.atomCount() << '\n';
+    out << "step=" << f << " score=" << frame.score << " action=" << frame.action
+        << " reward=" << frame.reward << '\n';
+    for (std::size_t i = 0; i < mol.atomCount(); ++i) {
+      out << chem::elementSymbol(mol.element(i)) << ' ' << positions[i].x << ' '
+          << positions[i].y << ' ' << positions[i].z << '\n';
+    }
+  }
+}
+
+void Trajectory::writeXyzFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trajectory::writeXyzFile: cannot open " + path);
+  writeXyz(out);
+}
+
+std::vector<double> Trajectory::scores() const {
+  std::vector<double> out;
+  out.reserve(frames_.size());
+  for (const auto& f : frames_) out.push_back(f.score);
+  return out;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file trajectory.hpp
+/// Episode trajectory recording: captures (pose, score, action, reward)
+/// per step and exports the ligand path as a multi-frame XYZ file that
+/// any molecular viewer (VMD, PyMOL, OVITO) can animate — how Figure 3's
+/// "teach the ligand to find the crystallographic spot" is inspected
+/// visually.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/metadock/docking_env.hpp"
+
+namespace dqndock::metadock {
+
+struct TrajectoryFrame {
+  Pose pose;
+  double score = 0.0;
+  int action = -1;        ///< action that *led* to this frame (-1 for reset)
+  double reward = 0.0;
+};
+
+class Trajectory {
+ public:
+  explicit Trajectory(const LigandModel& ligand) : ligand_(&ligand) {}
+
+  void clear() { frames_.clear(); }
+  void record(const Pose& pose, double score, int action = -1, double reward = 0.0);
+
+  /// Convenience: capture the environment's current state.
+  void recordFrom(const DockingEnv& env, int action = -1, double reward = 0.0);
+
+  std::size_t frameCount() const { return frames_.size(); }
+  const std::vector<TrajectoryFrame>& frames() const { return frames_; }
+
+  /// Best-scoring frame index; throws std::logic_error when empty.
+  std::size_t bestFrame() const;
+
+  /// Multi-frame XYZ export (one XYZ block per frame, comment line holds
+  /// step/score/action/reward).
+  void writeXyz(std::ostream& out) const;
+  void writeXyzFile(const std::string& path) const;
+
+  /// Per-frame score series (for plotting an episode's score profile).
+  std::vector<double> scores() const;
+
+ private:
+  const LigandModel* ligand_;
+  std::vector<TrajectoryFrame> frames_;
+};
+
+/// Roll out one episode under a fixed policy functor `policy(env) -> int`
+/// recording every frame. Returns the trajectory.
+template <typename Policy>
+Trajectory recordEpisode(DockingEnv& env, Policy&& policy, int maxSteps = 1 << 20) {
+  Trajectory traj(env.ligand());
+  env.reset();
+  traj.recordFrom(env);
+  for (int t = 0; t < maxSteps && !env.terminated(); ++t) {
+    const int action = policy(env);
+    const StepResult r = env.step(action);
+    traj.recordFrom(env, action, r.reward);
+  }
+  return traj;
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,106 @@
+#include "src/metadock/vs_pipeline.hpp"
+
+#include <algorithm>
+
+#include "src/common/csv.hpp"
+#include "src/common/stopwatch.hpp"
+
+namespace dqndock::metadock {
+
+ScreeningReport screenLibrary(const chem::Molecule& receptor,
+                              const std::vector<chem::Molecule>& library,
+                              ScreeningOptions options, ThreadPool* pool) {
+  ScreeningReport report;
+  if (library.empty()) return report;
+  Stopwatch clock;
+
+  // The receptor model (and its grid) is shared read-only by every job.
+  const ReceptorModel receptorModel(receptor, options.scoringCutoff);
+  ScoringOptions sopts;
+  sopts.cutoff = options.scoringCutoff;
+  sopts.useGrid = options.scoringCutoff > 0.0;
+
+  // Deterministic per-ligand streams regardless of scheduling.
+  Rng root(options.seed);
+  std::vector<Rng> streams;
+  streams.reserve(library.size());
+  for (std::size_t i = 0; i < library.size(); ++i) streams.push_back(root.split());
+
+  std::vector<ScreeningHit> hits(library.size());
+  auto screenOne = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const LigandModel ligand(library[i]);
+      const ScoringFunction scoring(receptorModel, ligand, sopts);
+      // Serial evaluator inside a job; parallelism is across ligands.
+      PoseEvaluator evaluator(scoring, nullptr);
+      MetaheuristicParams params = options.search;
+      params.maxEvaluations = options.evaluationsPerLigand;
+      MetaheuristicEngine engine(evaluator, params);
+      const MetaheuristicResult searched = engine.run(streams[i]);
+
+      ScreeningHit hit;
+      hit.ligandName = library[i].name();
+      hit.ligandIndex = i;
+      hit.atoms = library[i].atomCount();
+      hit.bestScore = searched.best.score;
+      hit.bestPose = searched.best.pose;
+      hit.evaluations = searched.evaluations;
+      hit.refinedScore = hit.bestScore;
+
+      if (options.refineWithGradient) {
+        const ScoringGradient gradient(receptorModel, ligand, sopts);
+        const MinimizeResult refined = minimizePose(scoring, gradient, searched.best.pose);
+        if (refined.finalScore > hit.refinedScore) {
+          hit.refinedScore = refined.finalScore;
+          hit.bestPose = refined.pose;
+        }
+      }
+      if (options.clusterModes) {
+        // Cluster the best pose against a handful of quick re-runs to
+        // count distinct binding modes cheaply.
+        std::vector<Candidate> finals;
+        finals.push_back({hit.bestPose, hit.refinedScore});
+        MetaheuristicParams quick = params;
+        quick.maxEvaluations = std::max<std::size_t>(200, params.maxEvaluations / 8);
+        for (int extra = 0; extra < 3; ++extra) {
+          MetaheuristicEngine again(evaluator, quick);
+          finals.push_back(again.run(streams[i]).best);
+        }
+        ClusterOptions copts;
+        copts.rmsdThreshold = options.clusterRmsd;
+        hit.bindingModes = clusterPoses(ligand, finals, copts).size();
+      }
+      hits[i] = std::move(hit);
+    }
+  };
+  if (pool) {
+    pool->parallelFor(0, library.size(), screenOne);
+  } else {
+    screenOne(0, library.size());
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const ScreeningHit& a, const ScreeningHit& b) {
+    return a.refinedScore > b.refinedScore;
+  });
+  for (const auto& hit : hits) {
+    if (hit.refinedScore > options.hitThreshold) ++report.hitCount;
+    report.totalEvaluations += hit.evaluations;
+  }
+  report.ranked = std::move(hits);
+  report.hitRate = static_cast<double>(report.hitCount) / report.ranked.size();
+  report.totalSeconds = clock.seconds();
+  return report;
+}
+
+void writeScreeningCsv(const std::string& path, const ScreeningReport& report) {
+  CsvWriter csv(path, {"rank", "ligand", "atoms", "best_score", "refined_score", "binding_modes",
+                       "evaluations"});
+  for (std::size_t rank = 0; rank < report.ranked.size(); ++rank) {
+    const ScreeningHit& hit = report.ranked[rank];
+    csv.rowStrings({std::to_string(rank + 1), hit.ligandName, std::to_string(hit.atoms),
+                    std::to_string(hit.bestScore), std::to_string(hit.refinedScore),
+                    std::to_string(hit.bindingModes), std::to_string(hit.evaluations)});
+  }
+}
+
+}  // namespace dqndock::metadock

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file vs_pipeline.hpp
+/// Virtual-screening pipeline (paper Section 2.1): dock a library of
+/// ligands against one receptor, rank by best docking score, and report
+/// hits. This is the workload METADOCK exists for — "libraries of
+/// chemical compounds may contain millions of ligands" — packaged as a
+/// reusable API: per-ligand docking jobs run across the thread pool, each
+/// with optional gradient refinement and binding-mode clustering, and the
+/// ranked results export to CSV.
+
+#include <string>
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+#include "src/metadock/forces.hpp"
+#include "src/metadock/metaheuristic.hpp"
+#include "src/metadock/pose_cluster.hpp"
+
+namespace dqndock::metadock {
+
+struct ScreeningOptions {
+  MetaheuristicParams search = MetaheuristicParams::monteCarlo();
+  std::size_t evaluationsPerLigand = 4000;
+  bool refineWithGradient = true;   ///< post-search minimization
+  bool clusterModes = true;         ///< report distinct binding modes
+  double clusterRmsd = 2.0;
+  double scoringCutoff = 12.0;
+  std::uint64_t seed = 2020;
+  /// Ligands ranking above this score are counted as "hits".
+  double hitThreshold = 0.0;
+};
+
+struct ScreeningHit {
+  std::string ligandName;
+  std::size_t ligandIndex = 0;
+  std::size_t atoms = 0;
+  double bestScore = 0.0;
+  double refinedScore = 0.0;     ///< == bestScore when refinement is off
+  std::size_t bindingModes = 0;  ///< clusters found (0 when clustering off)
+  std::size_t evaluations = 0;
+  Pose bestPose;
+};
+
+struct ScreeningReport {
+  std::vector<ScreeningHit> ranked;  ///< descending by refinedScore
+  std::size_t hitCount = 0;
+  double hitRate = 0.0;
+  double totalSeconds = 0.0;
+  std::size_t totalEvaluations = 0;
+};
+
+/// Screen `library` against `receptor`. Ligand jobs are independent and
+/// run across `pool`; each job uses a deterministic split RNG stream, so
+/// the report is reproducible regardless of thread count.
+ScreeningReport screenLibrary(const chem::Molecule& receptor,
+                              const std::vector<chem::Molecule>& library,
+                              ScreeningOptions options = {}, ThreadPool* pool = nullptr);
+
+/// Dump a report as CSV (rank, ligand, atoms, scores, modes, evals).
+void writeScreeningCsv(const std::string& path, const ScreeningReport& report);
+
+}  // namespace dqndock::metadock

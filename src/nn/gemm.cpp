@@ -1,0 +1,84 @@
+#include "src/nn/gemm.hpp"
+
+#include <stdexcept>
+
+namespace dqndock::nn {
+
+namespace {
+constexpr std::size_t kParallelThreshold = 8192;  // skip pool dispatch for tiny products
+}
+
+void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("gemmABt: inner dimension mismatch");
+  const std::size_t m = a.rows(), n = b.rows(), k = a.cols();
+  c.resize(m, n);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* ai = a.data() + i * k;
+      double* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* bj = b.data() + j * k;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
+    }
+  };
+  if (pool && m * n * k >= kParallelThreshold) {
+    pool->parallelFor(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemmAB(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("gemmAB: inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.resize(m, n);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* ai = a.data() + i * k;
+      double* ci = c.data() + i * n;
+      // ikj loop order: streams B row-wise, accumulates into C row.
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = ai[p];
+        if (av == 0.0) continue;
+        const double* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  };
+  if (pool && m * n * k >= kParallelThreshold) {
+    pool->parallelFor(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemmAtBAccum(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("gemmAtBAccum: outer dimension mismatch");
+  if (c.rows() != a.cols() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemmAtBAccum: output shape mismatch");
+  }
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  // Parallelize over rows of C (columns of A) so threads never share an
+  // output cache line region.
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double* ci = c.data() + i * n;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = a(p, i);
+        if (av == 0.0) continue;
+        const double* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  };
+  if (pool && m * n * k >= kParallelThreshold) {
+    pool->parallelFor(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace dqndock::nn

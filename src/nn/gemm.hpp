@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Blocked, optionally thread-parallel matrix multiply kernels — the
+/// entire FLOP budget of DQN training flows through these three shapes:
+/// forward (X*W^T), input gradient (dY*W) and weight gradient (dY^T*X).
+
+#include "src/common/thread_pool.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace dqndock::nn {
+
+/// C = A * B^T. A is (m x k), B is (n x k), C becomes (m x n).
+/// Rows of C are distributed over `pool` when given.
+void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool = nullptr);
+
+/// C = A * B. A is (m x k), B is (k x n), C becomes (m x n).
+void gemmAB(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool = nullptr);
+
+/// C += A^T * B. A is (k x m), B is (k x n), C must be (m x n).
+/// (Accumulating form: weight gradients sum over the minibatch.)
+void gemmAtBAccum(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool = nullptr);
+
+}  // namespace dqndock::nn

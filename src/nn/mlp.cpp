@@ -1,0 +1,162 @@
+#include "src/nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/gemm.hpp"
+
+namespace dqndock::nn {
+
+DenseLayer::DenseLayer(std::size_t inDim, std::size_t outDim)
+    : weights_(outDim, inDim), bias_(1, outDim), gradW_(outDim, inDim), gradB_(1, outDim) {}
+
+void DenseLayer::initHe(Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(inDim()));
+  for (double& w : weights_.flat()) w = rng.gaussian(0.0, stddev);
+  bias_.fill(0.0);
+}
+
+void DenseLayer::forward(const Tensor& x, Tensor& y, ThreadPool* pool) const {
+  if (x.cols() != inDim()) throw std::invalid_argument("DenseLayer::forward: input dim mismatch");
+  gemmABt(x, weights_, y, pool);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double* row = y.data() + r * y.cols();
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += bias_(0, c);
+  }
+}
+
+void DenseLayer::backward(const Tensor& xCache, const Tensor& dy, Tensor& dx, ThreadPool* pool) {
+  if (dy.cols() != outDim()) throw std::invalid_argument("DenseLayer::backward: grad dim mismatch");
+  // dW += dY^T * X ; db += column sums of dY ; dX = dY * W.
+  gemmAtBAccum(dy, xCache, gradW_, pool);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const double* row = dy.data() + r * dy.cols();
+    for (std::size_t c = 0; c < dy.cols(); ++c) gradB_(0, c) += row[c];
+  }
+  gemmAB(dy, weights_, dx, pool);
+}
+
+void DenseLayer::zeroGrad() {
+  gradW_.fill(0.0);
+  gradB_.fill(0.0);
+}
+
+void reluForward(Tensor& x, Tensor& mask) {
+  mask.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x.flat()[i] > 0.0) {
+      mask.flat()[i] = 1.0;
+    } else {
+      x.flat()[i] = 0.0;
+    }
+  }
+}
+
+void reluBackward(Tensor& grad, const Tensor& mask) {
+  if (!grad.sameShape(mask)) throw std::invalid_argument("reluBackward: shape mismatch");
+  for (std::size_t i = 0; i < grad.size(); ++i) grad.flat()[i] *= mask.flat()[i];
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, Rng& rng, ThreadPool* pool)
+    : dims_(std::move(dims)), pool_(pool) {
+  if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least input and output dims");
+  for (std::size_t d : dims_) {
+    if (d == 0) throw std::invalid_argument("Mlp: zero-sized layer");
+  }
+  layers_.reserve(dims_.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.emplace_back(dims_[i], dims_[i + 1]);
+    layers_.back().initHe(rng);
+  }
+  inputs_.resize(layers_.size());
+  reluMasks_.resize(layers_.size() - 1);
+}
+
+std::size_t Mlp::parameterCount() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.weights().size() + layer.bias().size();
+  return n;
+}
+
+const Tensor& Mlp::forward(const Tensor& x) {
+  inputs_[0] = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor y;
+    layers_[i].forward(inputs_[i], y, pool_);
+    if (i + 1 < layers_.size()) {
+      reluForward(y, reluMasks_[i]);
+      inputs_[i + 1] = std::move(y);  // input of the next layer
+    } else {
+      output_ = std::move(y);
+    }
+  }
+  return output_;
+}
+
+void Mlp::predict(const Tensor& x, Tensor& y) const {
+  Tensor buf = x;
+  Tensor next;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].forward(buf, next, pool_);
+    if (i + 1 < layers_.size()) {
+      for (double& v : next.flat()) {
+        if (v < 0.0) v = 0.0;
+      }
+    }
+    buf = std::move(next);
+    next = Tensor{};
+  }
+  y = std::move(buf);
+}
+
+void Mlp::backward(const Tensor& dLossDOut) {
+  Tensor grad = dLossDOut;
+  Tensor dx;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i].backward(inputs_[i], grad, dx, pool_);
+    if (i > 0) {
+      reluBackward(dx, reluMasks_[i - 1]);
+    }
+    grad = std::move(dx);
+    dx = Tensor{};
+  }
+}
+
+void Mlp::zeroGrad() {
+  for (auto& layer : layers_) layer.zeroGrad();
+}
+
+std::vector<Tensor*> Mlp::parameters() {
+  std::vector<Tensor*> out;
+  out.reserve(layers_.size() * 2);
+  for (auto& layer : layers_) {
+    out.push_back(&layer.weights());
+    out.push_back(&layer.bias());
+  }
+  return out;
+}
+
+std::vector<Tensor*> Mlp::gradients() {
+  std::vector<Tensor*> out;
+  out.reserve(layers_.size() * 2);
+  for (auto& layer : layers_) {
+    out.push_back(&layer.weightGrad());
+    out.push_back(&layer.biasGrad());
+  }
+  return out;
+}
+
+void Mlp::copyWeightsFrom(const Mlp& other) {
+  if (other.layers_.size() != layers_.size()) {
+    throw std::invalid_argument("Mlp::copyWeightsFrom: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i].weights().sameShape(other.layers_[i].weights())) {
+      throw std::invalid_argument("Mlp::copyWeightsFrom: shape mismatch");
+    }
+    layers_[i].weights() = other.layers_[i].weights();
+    layers_[i].bias() = other.layers_[i].bias();
+  }
+}
+
+}  // namespace dqndock::nn

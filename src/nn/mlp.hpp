@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file mlp.hpp
+/// Multilayer perceptron with ReLU hidden activations and a linear output
+/// layer — the Q-network architecture of DQN-Docking (paper Table 1:
+/// two hidden layers of 135 units). Implements explicit forward/backward
+/// passes; optimizers consume the accumulated gradients.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace dqndock::nn {
+
+/// Fully-connected layer: Y = X * W^T + b.
+/// W is (out x in); X is (batch x in); Y is (batch x out).
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t inDim, std::size_t outDim);
+
+  /// He-normal weight init (suits the ReLU trunk), zero bias.
+  void initHe(Rng& rng);
+
+  void forward(const Tensor& x, Tensor& y, ThreadPool* pool) const;
+
+  /// Given dL/dY, accumulate dL/dW and dL/db and produce dL/dX.
+  /// `xCache` must be the input of the matching forward call.
+  void backward(const Tensor& xCache, const Tensor& dy, Tensor& dx, ThreadPool* pool);
+
+  void zeroGrad();
+
+  std::size_t inDim() const { return weights_.cols(); }
+  std::size_t outDim() const { return weights_.rows(); }
+
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& weights() const { return weights_; }
+  const Tensor& bias() const { return bias_; }
+  const Tensor& weightGrad() const { return gradW_; }
+  const Tensor& biasGrad() const { return gradB_; }
+  Tensor& weightGrad() { return gradW_; }
+  Tensor& biasGrad() { return gradB_; }
+
+ private:
+  Tensor weights_;  // out x in
+  Tensor bias_;     // 1 x out
+  Tensor gradW_;
+  Tensor gradB_;
+};
+
+/// In-place ReLU with mask capture for the backward pass.
+void reluForward(Tensor& x, Tensor& mask);
+void reluBackward(Tensor& grad, const Tensor& mask);
+
+/// MLP: Dense -> ReLU -> ... -> Dense (linear output).
+class Mlp {
+ public:
+  /// `dims` = {input, hidden..., output}; at least {in, out}.
+  Mlp(std::vector<std::size_t> dims, Rng& rng, ThreadPool* pool = nullptr);
+
+  std::size_t inputDim() const { return layers_.front().inDim(); }
+  std::size_t outputDim() const { return layers_.back().outDim(); }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t parameterCount() const;
+
+  /// Forward pass; caches activations for a subsequent backward().
+  const Tensor& forward(const Tensor& x);
+
+  /// Forward without caching (inference-only; reentrant-safe scratch must
+  /// be supplied by the caller).
+  void predict(const Tensor& x, Tensor& y) const;
+
+  /// Backprop dL/dOutput through the cached activations; accumulates
+  /// parameter gradients (call zeroGrad() between optimizer steps).
+  void backward(const Tensor& dLossDOut);
+
+  void zeroGrad();
+
+  /// Stable parameter/gradient pointer lists for optimizers
+  /// (order: W0, b0, W1, b1, ...).
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+
+  /// Copy weights from an identically-shaped network (target-network
+  /// sync). Throws on shape mismatch.
+  void copyWeightsFrom(const Mlp& other);
+
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<DenseLayer> layers_;
+  ThreadPool* pool_ = nullptr;
+
+  // Forward caches: inputs_[i] fed layer i (post-ReLU for i > 0);
+  // reluMasks_[i] masks the ReLU after layer i.
+  std::vector<Tensor> inputs_;
+  std::vector<Tensor> reluMasks_;
+  Tensor output_;
+};
+
+}  // namespace dqndock::nn

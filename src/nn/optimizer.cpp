@@ -1,0 +1,85 @@
+#include "src/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::nn {
+
+namespace {
+void ensureState(std::vector<Tensor>& state, const std::vector<Tensor*>& params) {
+  if (state.size() == params.size()) return;
+  state.clear();
+  state.reserve(params.size());
+  for (const Tensor* p : params) state.emplace_back(p->rows(), p->cols());
+}
+
+void checkPairs(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Optimizer::step: params/grads size mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->sameShape(*grads[i])) {
+      throw std::invalid_argument("Optimizer::step: param/grad shape mismatch");
+    }
+  }
+}
+}  // namespace
+
+void Sgd::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  checkPairs(params, grads);
+  ensureState(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i]->flat();
+    auto g = grads[i]->flat();
+    auto v = velocity_[i].flat();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * g[j];
+      p[j] += v[j];
+    }
+  }
+}
+
+void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  checkPairs(params, grads);
+  ensureState(meanSquare_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i]->flat();
+    auto g = grads[i]->flat();
+    auto ms = meanSquare_[i].flat();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      ms[j] = decay_ * ms[j] + (1.0 - decay_) * g[j] * g[j];
+      p[j] -= lr_ * g[j] / std::sqrt(ms[j] + epsilon_);
+    }
+  }
+}
+
+void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  checkPairs(params, grads);
+  ensureState(m_, params);
+  ensureState(v_, params);
+  ++t_;
+  const double correction1 = 1.0 - std::pow(beta1_, t_);
+  const double correction2 = 1.0 - std::pow(beta2_, t_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i]->flat();
+    auto g = grads[i]->flat();
+    auto m = m_[i].flat();
+    auto v = v_[i].flat();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / correction1;
+      const double vhat = v[j] / correction2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> makeOptimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr);
+  if (name == "rmsprop") return std::make_unique<RmsProp>(lr);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  throw std::invalid_argument("makeOptimizer: unknown optimizer '" + name + "'");
+}
+
+}  // namespace dqndock::nn

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// First-order optimizers. The paper trains with RMSprop (following the
+/// original DQN) and names Adam as the alternative; both are provided,
+/// plus plain SGD with momentum as a baseline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace dqndock::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update: params[i] -= f(grads[i]). The two lists must pair
+  /// up one-to-one with stable ordering across calls (per-parameter state
+  /// is keyed by list position).
+  virtual void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) = 0;
+
+  virtual std::string name() const = 0;
+
+  double learningRate() const { return lr_; }
+  void setLearningRate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0) : Optimizer(lr), momentum_(momentum) {}
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// RMSprop as used by DQN (Mnih et al. 2015): squared-gradient moving
+/// average with decay 0.95 and epsilon inside the square root.
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(double lr = 0.00025, double decay = 0.95, double epsilon = 0.01)
+      : Optimizer(lr), decay_(decay), epsilon_(epsilon) {}
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  double decay_;
+  double epsilon_;
+  std::vector<Tensor> meanSquare_;
+};
+
+/// Adam (Kingma & Ba 2015).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 0.001, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+/// Factory by name ("sgd" | "rmsprop" | "adam"); throws on unknown names.
+std::unique_ptr<Optimizer> makeOptimizer(const std::string& name, double lr);
+
+}  // namespace dqndock::nn

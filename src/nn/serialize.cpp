@@ -1,0 +1,73 @@
+#include "src/nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace dqndock::nn {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x44514e444f434b31ULL;  // "DQNDOCK1"
+
+void writeU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t readU64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("loadMlp: truncated header");
+  return v;
+}
+
+void writeTensor(std::ostream& out, const Tensor& t) {
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(double)));
+}
+
+void readTensor(std::istream& in, Tensor& t) {
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("loadMlp: truncated weights");
+}
+}  // namespace
+
+void saveMlp(std::ostream& out, const Mlp& net) {
+  writeU64(out, kMagic);
+  writeU64(out, net.dims().size());
+  for (std::size_t d : net.dims()) writeU64(out, d);
+  for (const auto& layer : net.layers()) {
+    writeTensor(out, layer.weights());
+    writeTensor(out, layer.bias());
+  }
+  if (!out) throw std::runtime_error("saveMlp: write failure");
+}
+
+void saveMlpFile(const std::string& path, const Mlp& net) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveMlpFile: cannot open " + path);
+  saveMlp(out, net);
+}
+
+Mlp loadMlp(std::istream& in, ThreadPool* pool) {
+  if (readU64(in) != kMagic) throw std::runtime_error("loadMlp: bad magic");
+  const std::uint64_t ndims = readU64(in);
+  if (ndims < 2 || ndims > 64) throw std::runtime_error("loadMlp: implausible layer count");
+  std::vector<std::size_t> dims(ndims);
+  for (auto& d : dims) d = readU64(in);
+  Rng rng(0);
+  Mlp net(dims, rng, pool);
+  for (auto& layer : net.layers()) {
+    readTensor(in, layer.weights());
+    readTensor(in, layer.bias());
+  }
+  return net;
+}
+
+Mlp loadMlpFile(const std::string& path, ThreadPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("loadMlpFile: cannot open " + path);
+  return loadMlp(in, pool);
+}
+
+}  // namespace dqndock::nn

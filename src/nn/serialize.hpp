@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary checkpointing of MLP weights (little-endian host format with a
+/// magic header). Lets a trained Q-network be reloaded for greedy-policy
+/// evaluation — the paper's motivation of "reducing the computational
+/// cost once the NN is already trained".
+
+#include <iosfwd>
+#include <string>
+
+#include "src/nn/mlp.hpp"
+
+namespace dqndock::nn {
+
+void saveMlp(std::ostream& out, const Mlp& net);
+void saveMlpFile(const std::string& path, const Mlp& net);
+
+/// Reconstructs the architecture from the header; `rng` seeds nothing
+/// (weights are overwritten) but is required by the Mlp constructor.
+Mlp loadMlp(std::istream& in, ThreadPool* pool = nullptr);
+Mlp loadMlpFile(const std::string& path, ThreadPool* pool = nullptr);
+
+}  // namespace dqndock::nn

@@ -1,0 +1,20 @@
+#include "src/nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqndock::nn {
+
+double maxAbs(const Tensor& t) {
+  double m = 0.0;
+  for (double v : t.flat()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double l2Norm(const Tensor& t) {
+  double acc = 0.0;
+  for (double v : t.flat()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace dqndock::nn

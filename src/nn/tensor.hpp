@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense row-major 2-D tensor of doubles — the only array type the NN
+/// stack needs (vectors are 1xN tensors). Contiguous storage keeps the
+/// GEMM kernels cache-friendly and makes serialization trivial.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dqndock::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  /// Resize without preserving contents (values are zeroed).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  bool sameShape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Frobenius-style helpers used by tests and optimizers.
+double maxAbs(const Tensor& t);
+double l2Norm(const Tensor& t);
+
+}  // namespace dqndock::nn

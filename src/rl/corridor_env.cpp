@@ -1,0 +1,45 @@
+#include "src/rl/corridor_env.hpp"
+
+#include <stdexcept>
+
+namespace dqndock::rl {
+
+CorridorEnv::CorridorEnv(int length, int maxSteps) : length_(length), maxSteps_(maxSteps) {
+  if (length < 2) throw std::invalid_argument("CorridorEnv: length must be >= 2");
+}
+
+void CorridorEnv::encode(std::vector<double>& state) const {
+  state.assign(static_cast<std::size_t>(length_), 0.0);
+  if (position_ >= 0 && position_ < length_) {
+    state[static_cast<std::size_t>(position_)] = 1.0;
+  }
+}
+
+void CorridorEnv::reset(std::vector<double>& state) {
+  position_ = 0;
+  steps_ = 0;
+  encode(state);
+}
+
+EnvStep CorridorEnv::step(int action, std::vector<double>& nextState) {
+  if (action != 0 && action != 1) throw std::out_of_range("CorridorEnv: bad action");
+  EnvStep result;
+  position_ += action == 1 ? 1 : -1;
+  ++steps_;
+  if (position_ < 0) {
+    position_ = 0;
+    result.reward = -1.0;
+    result.terminal = true;
+  } else if (position_ >= length_ - 1) {
+    position_ = length_ - 1;
+    result.reward = 1.0;
+    result.terminal = true;
+  } else {
+    result.reward = -0.01;
+    result.terminal = steps_ >= maxSteps_;
+  }
+  encode(nextState);
+  return result;
+}
+
+}  // namespace dqndock::rl

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file corridor_env.hpp
+/// Deterministic 1-D corridor MDP used to validate the DQN machinery
+/// independently of the docking stack: the agent starts at cell 0 of a
+/// corridor of length N and must walk right; reaching the last cell pays
+/// +1 and terminates, stepping off the left edge pays -1 and terminates,
+/// every other move pays a small negative step cost. Optimal behaviour
+/// (always right) is learnable within a few hundred episodes, so tests
+/// can assert that the full agent+replay+trainer loop actually learns.
+
+#include "src/rl/env.hpp"
+
+namespace dqndock::rl {
+
+class CorridorEnv final : public Environment {
+ public:
+  explicit CorridorEnv(int length = 8, int maxSteps = 64);
+
+  std::size_t stateDim() const override { return static_cast<std::size_t>(length_); }
+  int actionCount() const override { return 2; }  // 0 = left, 1 = right
+
+  void reset(std::vector<double>& state) override;
+  EnvStep step(int action, std::vector<double>& nextState) override;
+
+  double score() const override { return static_cast<double>(position_); }
+  int position() const { return position_; }
+
+ private:
+  void encode(std::vector<double>& state) const;
+
+  int length_;
+  int maxSteps_;
+  int position_ = 0;
+  int steps_ = 0;
+};
+
+}  // namespace dqndock::rl

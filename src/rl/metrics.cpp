@@ -1,0 +1,48 @@
+#include "src/rl/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/csv.hpp"
+
+namespace dqndock::rl {
+
+std::vector<double> MetricsLog::smoothedAvgMaxQ(std::size_t window) const {
+  std::vector<double> out;
+  if (window == 0 || records_.empty()) return out;
+  out.reserve(records_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    acc += records_[i].avgMaxQ;
+    if (i >= window) acc -= records_[i - window].avgMaxQ;
+    const std::size_t denom = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(denom));
+  }
+  return out;
+}
+
+double MetricsLog::meanAvgMaxQ(std::size_t from, std::size_t to) const {
+  to = std::min(to, records_.size());
+  if (from >= to) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = from; i < to; ++i) acc += records_[i].avgMaxQ;
+  return acc / static_cast<double>(to - from);
+}
+
+double MetricsLog::bestScoreOverall() const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& r : records_) best = std::max(best, r.bestScore);
+  return best;
+}
+
+void MetricsLog::writeCsv(const std::string& path) const {
+  CsvWriter csv(path, {"episode", "steps", "total_reward", "avg_max_q", "final_score",
+                       "best_score", "epsilon", "termination"});
+  for (const auto& r : records_) {
+    csv.row({static_cast<double>(r.episode), static_cast<double>(r.steps), r.totalReward,
+             r.avgMaxQ, r.finalScore, r.bestScore, r.epsilon,
+             static_cast<double>(r.terminationCode)});
+  }
+}
+
+}  // namespace dqndock::rl

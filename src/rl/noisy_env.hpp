@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file noisy_env.hpp
+/// Observation-noise decorator.
+///
+/// The paper notes (Section 3) that DQN-Docking faces an MDP — "a
+/// particularization of the POMDP setting" — because METADOCK's internal
+/// state is fully observed. Real pipelines observe through imperfect
+/// structure determination, so this decorator injects zero-mean Gaussian
+/// noise into every observation (never into the underlying dynamics),
+/// turning the task into a genuine POMDP for robustness studies.
+
+#include "src/common/rng.hpp"
+#include "src/rl/env.hpp"
+
+namespace dqndock::rl {
+
+class NoisyObservationEnv final : public Environment {
+ public:
+  /// Wraps `inner`; every state component is perturbed by N(0, stddev).
+  /// Deterministic in `seed` (independent of the agent's RNG).
+  NoisyObservationEnv(Environment& inner, double stddev, std::uint64_t seed = 1234)
+      : inner_(inner), stddev_(stddev), rng_(seed) {}
+
+  std::size_t stateDim() const override { return inner_.stateDim(); }
+  int actionCount() const override { return inner_.actionCount(); }
+  double score() const override { return inner_.score(); }
+
+  void reset(std::vector<double>& state) override {
+    inner_.reset(state);
+    corrupt(state);
+  }
+
+  EnvStep step(int action, std::vector<double>& nextState) override {
+    const EnvStep r = inner_.step(action, nextState);
+    corrupt(nextState);
+    return r;
+  }
+
+  double stddev() const { return stddev_; }
+  Environment& inner() { return inner_; }
+
+ private:
+  void corrupt(std::vector<double>& state) {
+    if (stddev_ <= 0.0) return;
+    for (double& v : state) v += rng_.gaussian(0.0, stddev_);
+  }
+
+  Environment& inner_;
+  double stddev_;
+  Rng rng_;
+};
+
+}  // namespace dqndock::rl

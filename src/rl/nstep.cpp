@@ -1,0 +1,45 @@
+#include "src/rl/nstep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::rl {
+
+NStepSink::NStepSink(ExperienceSink& inner, int n, double gamma)
+    : inner_(inner), n_(n), gamma_(gamma) {
+  if (n < 1) throw std::invalid_argument("NStepSink: n must be >= 1");
+  if (gamma < 0.0 || gamma > 1.0) throw std::invalid_argument("NStepSink: gamma out of range");
+}
+
+void NStepSink::emitFront(std::span<const double> bootstrapState, bool terminal) {
+  Pending& front = pending_.front();
+  inner_.push(front.state, front.action, front.accumulatedReward, bootstrapState, terminal);
+  pending_.pop_front();
+}
+
+void NStepSink::push(std::span<const double> state, int action, double reward,
+                     std::span<const double> nextState, bool terminal) {
+  pending_.push_back(
+      Pending{std::vector<double>(state.begin(), state.end()), action, 0.0, 0});
+  for (auto& p : pending_) {
+    p.accumulatedReward += std::pow(gamma_, p.stepsAccumulated) * reward;
+    ++p.stepsAccumulated;
+  }
+  lastNextState_.assign(nextState.begin(), nextState.end());
+
+  if (terminal) {
+    // Every pending transition sees the terminal within its n-step
+    // window: emit all as terminal (no bootstrap).
+    while (!pending_.empty()) emitFront(lastNextState_, true);
+    return;
+  }
+  if (pending_.front().stepsAccumulated >= n_) {
+    emitFront(lastNextState_, false);
+  }
+}
+
+void NStepSink::flush() {
+  while (!pending_.empty()) emitFront(lastNextState_, true);
+}
+
+}  // namespace dqndock::rl

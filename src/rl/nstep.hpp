@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file nstep.hpp
+/// n-step return accumulation (Sutton & Barto ch. 7; a Rainbow component
+/// the paper cites as future work). Sits between the trainer and any
+/// ExperienceSink: buffers the last n transitions and emits
+/// (s_t, a_t, sum_{k<n} gamma^k r_{t+k}, s_{t+n}, terminal) tuples. The
+/// consuming agent must bootstrap with gamma^n (DqnConfig::nStep).
+
+#include <deque>
+
+#include "src/rl/replay_buffer.hpp"
+
+namespace dqndock::rl {
+
+class NStepSink final : public ExperienceSink {
+ public:
+  /// Forwards aggregated transitions into `inner`. n >= 1; n == 1 is a
+  /// pass-through.
+  NStepSink(ExperienceSink& inner, int n, double gamma);
+
+  void push(std::span<const double> state, int action, double reward,
+            std::span<const double> nextState, bool terminal) override;
+
+  /// Emit the remaining pending transitions as truncated returns (called
+  /// automatically when a terminal transition arrives; call manually if
+  /// an episode is abandoned without a terminal flag).
+  void flush();
+
+  std::size_t pendingCount() const { return pending_.size(); }
+  int n() const { return n_; }
+
+ private:
+  struct Pending {
+    std::vector<double> state;
+    int action;
+    double accumulatedReward;
+    int stepsAccumulated;
+  };
+
+  void emitFront(std::span<const double> bootstrapState, bool terminal);
+
+  ExperienceSink& inner_;
+  int n_;
+  double gamma_;
+  std::deque<Pending> pending_;
+  std::vector<double> lastNextState_;
+};
+
+}  // namespace dqndock::rl

@@ -1,0 +1,85 @@
+#include "src/rl/parallel_collector.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/running_stats.hpp"
+
+namespace dqndock::rl {
+
+CollectorStats collectParallel(std::vector<std::unique_ptr<Environment>>& envs, DqnAgent& agent,
+                               ExperienceSink& sink, ExperienceSource& source,
+                               ParallelCollectorConfig config, ThreadPool* pool) {
+  CollectorStats stats;
+  if (envs.empty()) return stats;
+
+  LockedSink locked(sink);
+  Rng root(config.seed);
+  std::vector<Rng> streams;
+  streams.reserve(envs.size());
+  for (std::size_t i = 0; i < envs.size(); ++i) streams.push_back(root.split());
+  Rng learnRng = root.split();
+
+  std::atomic<std::size_t> globalStep{0};
+  std::mutex metricsMu;
+  double bestScore = -1e300;
+
+  for (std::size_t sweep = 0; sweep < config.episodesPerReplica; ++sweep) {
+    // --- Acting phase: one episode per replica, in parallel. ------------
+    auto playReplica = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        Environment& env = *envs[e];
+        Rng& rng = streams[e];
+        std::vector<double> state, next;
+        env.reset(state);
+        EpisodeRecord record;
+        record.episode = sweep * envs.size() + e;
+        RunningStats maxQ;
+        double replicaBest = env.score();
+        bool terminal = false;
+        while (!terminal) {
+          maxQ.add(agent.maxQ(state));
+          const double eps = config.epsilon.value(globalStep.load(std::memory_order_relaxed));
+          const int action = agent.selectAction(state, eps, rng);
+          const EnvStep r = env.step(action, next);
+          locked.push(state, action, r.reward, next, r.terminal);
+          state = next;
+          terminal = r.terminal;
+          record.totalReward += r.reward;
+          ++record.steps;
+          record.epsilon = eps;
+          replicaBest = std::max(replicaBest, env.score());
+          globalStep.fetch_add(1, std::memory_order_relaxed);
+        }
+        record.avgMaxQ = maxQ.count() ? maxQ.mean() : 0.0;
+        record.finalScore = env.score();
+        record.bestScore = replicaBest;
+        std::lock_guard lock(metricsMu);
+        stats.metrics.add(record);
+        bestScore = std::max(bestScore, replicaBest);
+        ++stats.totalEpisodes;
+      }
+    };
+    if (pool) {
+      pool->parallelFor(0, envs.size(), playReplica);
+    } else {
+      playReplica(0, envs.size());
+    }
+
+    // --- Learning phase (synchronous): one gradient step per collected
+    // step of this sweep, once warm.
+    const std::size_t collected = globalStep.load(std::memory_order_relaxed);
+    if (collected >= config.learningStart && config.learnEvery > 0) {
+      const std::size_t sweepSteps =
+          collected - stats.totalSteps;  // steps added by this sweep
+      const std::size_t updates = std::max<std::size_t>(1, sweepSteps / config.learnEvery);
+      for (std::size_t u = 0; u < updates; ++u) agent.learn(source, learnRng);
+    }
+    stats.totalSteps = collected;
+  }
+
+  stats.bestScore = bestScore;
+  return stats;
+}
+
+}  // namespace dqndock::rl

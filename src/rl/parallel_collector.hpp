@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file parallel_collector.hpp
+/// Parallel experience collection.
+///
+/// The paper's training loop is strictly sequential: one METADOCK
+/// instance, one transition per step. Because the environment is
+/// CPU-bound (scoring) and the replay buffer decouples acting from
+/// learning, experience can instead be gathered from E independent
+/// environment replicas in parallel — the standard distributed-DQN
+/// (Gorila-style) data layout, and the natural "parallel processing"
+/// extension for an ICPP venue. Each replica acts with the shared online
+/// network under its own RNG stream; transitions funnel into one
+/// thread-safe sink; the learner consumes minibatches on the caller's
+/// thread.
+///
+/// Determinism: replica i always uses stream split(i) of the root seed,
+/// and transitions are pushed under a mutex, so the *set* of collected
+/// transitions is reproducible; their interleaving order is not (uniform
+/// replay sampling makes order immaterial).
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/rl/dqn_agent.hpp"
+#include "src/rl/env.hpp"
+#include "src/rl/metrics.hpp"
+#include "src/rl/replay_buffer.hpp"
+#include "src/rl/schedule.hpp"
+
+namespace dqndock::rl {
+
+/// Wraps any ExperienceSink with a mutex.
+class LockedSink final : public ExperienceSink {
+ public:
+  explicit LockedSink(ExperienceSink& inner) : inner_(inner) {}
+  void push(std::span<const double> state, int action, double reward,
+            std::span<const double> nextState, bool terminal) override {
+    std::lock_guard lock(mu_);
+    inner_.push(state, action, reward, nextState, terminal);
+  }
+
+ private:
+  ExperienceSink& inner_;
+  std::mutex mu_;
+};
+
+struct ParallelCollectorConfig {
+  std::size_t episodesPerReplica = 10;
+  EpsilonSchedule epsilon{};
+  std::size_t learningStart = 1000;  ///< total steps before learning begins
+  std::size_t learnEvery = 1;        ///< learner steps per collected step (approx.)
+  std::uint64_t seed = 99;
+};
+
+struct CollectorStats {
+  std::size_t totalSteps = 0;
+  std::size_t totalEpisodes = 0;
+  double bestScore = 0.0;
+  MetricsLog metrics;  ///< per-episode records from every replica
+};
+
+/// Collect experience from `envs` in parallel (one task per replica) and
+/// train `agent` from `source` on the calling thread between sweeps.
+///
+/// The agent's network is shared read-only by the replicas during a
+/// sweep; learning happens between sweeps (synchronous epochs), so there
+/// are no torn weight reads. One sweep = every replica plays one episode.
+CollectorStats collectParallel(std::vector<std::unique_ptr<Environment>>& envs, DqnAgent& agent,
+                               ExperienceSink& sink, ExperienceSource& source,
+                               ParallelCollectorConfig config, ThreadPool* pool);
+
+}  // namespace dqndock::rl

@@ -1,0 +1,101 @@
+#include "src/rl/prioritized_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::rl {
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(std::size_t capacity, std::size_t stateDim,
+                                                 PrioritizedReplayConfig config)
+    : capacity_(capacity),
+      stateDim_(stateDim),
+      config_(config),
+      beta_(config.beta),
+      tree_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("PrioritizedReplayBuffer: capacity must be > 0");
+  if (stateDim == 0) throw std::invalid_argument("PrioritizedReplayBuffer: stateDim must be > 0");
+  states_.resize(capacity * stateDim);
+  nextStates_.resize(capacity * stateDim);
+  actions_.resize(capacity);
+  rewards_.resize(capacity);
+  terminals_.resize(capacity);
+}
+
+void PrioritizedReplayBuffer::push(std::span<const double> state, int action, double reward,
+                                   std::span<const double> nextState, bool terminal) {
+  if (state.size() != stateDim_ || nextState.size() != stateDim_) {
+    throw std::invalid_argument("PrioritizedReplayBuffer::push: state dim mismatch");
+  }
+  float* s = states_.data() + head_ * stateDim_;
+  float* s2 = nextStates_.data() + head_ * stateDim_;
+  for (std::size_t i = 0; i < stateDim_; ++i) {
+    s[i] = static_cast<float>(state[i]);
+    s2[i] = static_cast<float>(nextState[i]);
+  }
+  actions_[head_] = action;
+  rewards_[head_] = static_cast<float>(reward);
+  terminals_[head_] = terminal ? 1 : 0;
+  tree_.update(head_, std::pow(maxSeenPriority_, config_.alpha));
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+Minibatch PrioritizedReplayBuffer::sample(std::size_t batch, Rng& rng) const {
+  if (count_ == 0) throw std::logic_error("PrioritizedReplayBuffer::sample: buffer is empty");
+  Minibatch mb;
+  mb.states.resize(batch, stateDim_);
+  mb.nextStates.resize(batch, stateDim_);
+  mb.actions.resize(batch);
+  mb.rewards.resize(batch);
+  mb.terminals.resize(batch);
+
+  lastIndices_.assign(batch, 0);
+  lastWeights_.assign(batch, 1.0);
+  const double total = tree_.total();
+  const double segment = total / static_cast<double>(batch);
+
+  double maxWeight = 1e-12;
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Stratified sampling: one draw per equal-mass segment.
+    const double mass = segment * (static_cast<double>(b) + rng.uniform());
+    const std::size_t idx = std::min(tree_.find(mass), count_ - 1);
+    lastIndices_[b] = idx;
+
+    const double p = tree_.priority(idx) / total;
+    const double w = std::pow(static_cast<double>(count_) * std::max(p, 1e-12), -beta_);
+    lastWeights_[b] = w;
+    maxWeight = std::max(maxWeight, w);
+
+    const float* s = states_.data() + idx * stateDim_;
+    const float* s2 = nextStates_.data() + idx * stateDim_;
+    double* ms = mb.states.data() + b * stateDim_;
+    double* ms2 = mb.nextStates.data() + b * stateDim_;
+    for (std::size_t i = 0; i < stateDim_; ++i) {
+      ms[i] = s[i];
+      ms2[i] = s2[i];
+    }
+    mb.actions[b] = actions_[idx];
+    mb.rewards[b] = rewards_[idx];
+    mb.terminals[b] = terminals_[idx];
+  }
+  // Normalise weights by the max (standard PER stabilisation).
+  for (double& w : lastWeights_) w /= maxWeight;
+  beta_ = std::min(1.0, beta_ + config_.betaIncrement);
+  return mb;
+}
+
+void PrioritizedReplayBuffer::updatePriorities(std::span<const double> tdErrors) {
+  if (tdErrors.size() != lastIndices_.size()) {
+    throw std::invalid_argument(
+        "PrioritizedReplayBuffer::updatePriorities: size mismatch with last minibatch");
+  }
+  for (std::size_t b = 0; b < tdErrors.size(); ++b) {
+    const double magnitude =
+        std::min(std::fabs(tdErrors[b]), config_.maxPriority) + config_.epsilon;
+    maxSeenPriority_ = std::max(maxSeenPriority_, magnitude);
+    tree_.update(lastIndices_[b], std::pow(magnitude, config_.alpha));
+  }
+}
+
+}  // namespace dqndock::rl

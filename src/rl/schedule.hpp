@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Epsilon-greedy exploration schedule (paper Table 1): epsilon starts at
+/// 1.0, decays linearly by `decayPerStep` per environment step down to
+/// `end`, and is pinned at 1.0 during the initial pure-exploration phase.
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dqndock::rl {
+
+class EpsilonSchedule {
+ public:
+  EpsilonSchedule(double start = 1.0, double end = 0.05, double decayPerStep = 4.5e-5,
+                  std::size_t pureExplorationSteps = 20000)
+      : start_(start), end_(end), decay_(decayPerStep), pure_(pureExplorationSteps) {}
+
+  /// Epsilon at global environment step `step`.
+  double value(std::size_t step) const {
+    if (step < pure_) return 1.0;
+    const double decayed = start_ - decay_ * static_cast<double>(step - pure_);
+    return std::max(end_, std::min(start_, decayed));
+  }
+
+  double start() const { return start_; }
+  double end() const { return end_; }
+  std::size_t pureExplorationSteps() const { return pure_; }
+
+ private:
+  double start_, end_, decay_;
+  std::size_t pure_;
+};
+
+}  // namespace dqndock::rl

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file sum_tree.hpp
+/// Binary-indexed sum tree supporting O(log n) priority updates and
+/// prefix-sum sampling — the data structure behind proportional
+/// prioritized experience replay (Schaul et al. 2016; part of the
+/// Rainbow line of DQN improvements the paper cites as future work).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace dqndock::rl {
+
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SumTree: capacity must be > 0");
+    // Full binary tree over the next power of two of capacity.
+    leafBase_ = 1;
+    while (leafBase_ < capacity) leafBase_ <<= 1;
+    nodes_.assign(2 * leafBase_, 0.0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  double total() const { return nodes_[1]; }
+
+  double priority(std::size_t index) const {
+    checkIndex(index);
+    return nodes_[leafBase_ + index];
+  }
+
+  /// Set the priority of leaf `index` (>= 0) and propagate.
+  void update(std::size_t index, double priority) {
+    checkIndex(index);
+    if (priority < 0.0) throw std::invalid_argument("SumTree: negative priority");
+    std::size_t node = leafBase_ + index;
+    const double delta = priority - nodes_[node];
+    while (node >= 1) {
+      nodes_[node] += delta;
+      node >>= 1;
+    }
+  }
+
+  /// Find the leaf whose prefix-sum interval contains `mass` in
+  /// [0, total()). Throws std::logic_error when total() is 0.
+  std::size_t find(double mass) const {
+    if (total() <= 0.0) throw std::logic_error("SumTree: find on empty tree");
+    if (mass < 0.0) mass = 0.0;
+    if (mass >= total()) mass = total() * (1.0 - 1e-12);
+    std::size_t node = 1;
+    while (node < leafBase_) {
+      const std::size_t left = node * 2;
+      if (mass < nodes_[left]) {
+        node = left;
+      } else {
+        mass -= nodes_[left];
+        node = left + 1;
+      }
+    }
+    std::size_t leaf = node - leafBase_;
+    // Numerical drift can land on a zero-priority or out-of-range leaf;
+    // walk back to the nearest valid one.
+    if (leaf >= capacity_) leaf = capacity_ - 1;
+    while (leaf > 0 && nodes_[leafBase_ + leaf] <= 0.0) --leaf;
+    return leaf;
+  }
+
+ private:
+  void checkIndex(std::size_t index) const {
+    if (index >= capacity_) throw std::out_of_range("SumTree: index out of range");
+  }
+
+  std::size_t capacity_;
+  std::size_t leafBase_;
+  std::vector<double> nodes_;
+};
+
+}  // namespace dqndock::rl

@@ -1,0 +1,54 @@
+#include "src/rl/tabular_q.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dqndock::rl {
+
+TabularQAgent::TabularQAgent(std::size_t stateCount, int actionCount, TabularQConfig config)
+    : states_(stateCount), actions_(actionCount), config_(config) {
+  if (stateCount == 0) throw std::invalid_argument("TabularQAgent: stateCount must be > 0");
+  if (actionCount <= 0) throw std::invalid_argument("TabularQAgent: actionCount must be > 0");
+  table_.assign(stateCount * static_cast<std::size_t>(actionCount), 0.0);
+}
+
+void TabularQAgent::check(std::size_t state, int action) const {
+  if (state >= states_) throw std::out_of_range("TabularQAgent: state out of range");
+  if (action < 0 || action >= actions_) throw std::out_of_range("TabularQAgent: action out of range");
+}
+
+double TabularQAgent::q(std::size_t state, int action) const {
+  check(state, action);
+  return table_[state * static_cast<std::size_t>(actions_) + static_cast<std::size_t>(action)];
+}
+
+double TabularQAgent::maxQ(std::size_t state) const {
+  check(state, 0);
+  const double* row = table_.data() + state * static_cast<std::size_t>(actions_);
+  return *std::max_element(row, row + actions_);
+}
+
+int TabularQAgent::greedyAction(std::size_t state) const {
+  check(state, 0);
+  const double* row = table_.data() + state * static_cast<std::size_t>(actions_);
+  return static_cast<int>(std::max_element(row, row + actions_) - row);
+}
+
+int TabularQAgent::selectAction(std::size_t state, double epsilon, Rng& rng) const {
+  if (rng.uniform() < epsilon) {
+    return static_cast<int>(rng.uniformInt(static_cast<std::uint64_t>(actions_)));
+  }
+  return greedyAction(state);
+}
+
+void TabularQAgent::update(std::size_t state, int action, double reward, std::size_t nextState,
+                           bool terminal) {
+  check(state, action);
+  if (!terminal) check(nextState, 0);
+  const double bootstrap = terminal ? 0.0 : maxQ(nextState);
+  double& cell =
+      table_[state * static_cast<std::size_t>(actions_) + static_cast<std::size_t>(action)];
+  cell += config_.alpha * (reward + config_.gamma * bootstrap - cell);
+}
+
+}  // namespace dqndock::rl

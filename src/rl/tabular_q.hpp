@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file tabular_q.hpp
+/// Classic tabular Q-learning (Watkins & Dayan 1992) — the exact update
+/// rule the paper quotes in Section 2.2:
+///
+///   Q(s,a) <- Q(s,a) + alpha ( r + gamma max_a' Q(s',a') - Q(s,a) )
+///
+/// Included as the didactic baseline: it solves small discrete tasks
+/// (the corridor MDP) exactly, and its impossibility at 16,599-dimensional
+/// docking states is the reason DQN-Docking exists.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace dqndock::rl {
+
+struct TabularQConfig {
+  double alpha = 0.1;   ///< learning rate (paper Section 2.2)
+  double gamma = 0.99;  ///< discount factor
+};
+
+class TabularQAgent {
+ public:
+  TabularQAgent(std::size_t stateCount, int actionCount, TabularQConfig config = {});
+
+  std::size_t stateCount() const { return states_; }
+  int actionCount() const { return actions_; }
+
+  double q(std::size_t state, int action) const;
+  double maxQ(std::size_t state) const;
+  int greedyAction(std::size_t state) const;
+  int selectAction(std::size_t state, double epsilon, Rng& rng) const;
+
+  /// One Bellman update; terminal transitions bootstrap with 0.
+  void update(std::size_t state, int action, double reward, std::size_t nextState, bool terminal);
+
+ private:
+  void check(std::size_t state, int action) const;
+
+  std::size_t states_;
+  int actions_;
+  TabularQConfig config_;
+  std::vector<double> table_;  ///< states x actions, row-major
+};
+
+}  // namespace dqndock::rl

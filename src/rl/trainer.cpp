@@ -1,0 +1,83 @@
+#include "src/rl/trainer.hpp"
+
+#include <algorithm>
+
+#include "src/common/logging.hpp"
+#include "src/common/running_stats.hpp"
+
+namespace dqndock::rl {
+
+Trainer::Trainer(Environment& env, DqnAgent& agent, ExperienceSink& sink,
+                 ExperienceSource& source, TrainerConfig config)
+    : env_(env), agent_(agent), sink_(sink), source_(source), config_(config), rng_(config.seed) {}
+
+EpisodeRecord Trainer::playEpisode(bool exploring, bool learning) {
+  std::vector<double> state;
+  std::vector<double> nextState;
+  env_.reset(state);
+
+  EpisodeRecord record;
+  record.episode = episodeIndex_;
+  record.finalScore = env_.score();
+  record.bestScore = env_.score();
+  RunningStats maxQ;
+
+  bool terminal = false;
+  while (!terminal) {
+    const double epsilon = exploring ? config_.epsilon.value(globalStep_) : 0.0;
+    record.epsilon = epsilon;
+
+    // Figure 4 metric: the maximum predicted Q for the current state.
+    maxQ.add(agent_.maxQ(state));
+
+    const int action = agent_.selectAction(state, epsilon, rng_);
+    const EnvStep result = env_.step(action, nextState);
+    record.totalReward += result.reward;
+    terminal = result.terminal;
+
+    if (learning) {
+      sink_.push(state, action, result.reward, nextState, terminal);
+    }
+
+    state = nextState;
+    ++record.steps;
+    if (learning) {
+      ++globalStep_;
+      if (globalStep_ >= config_.learningStart && config_.learnEvery > 0 &&
+          globalStep_ % config_.learnEvery == 0) {
+        agent_.learn(source_, rng_);
+      }
+    }
+
+    const double score = env_.score();
+    record.finalScore = score;
+    record.bestScore = std::max(record.bestScore, score);
+  }
+
+  record.avgMaxQ = maxQ.count() ? maxQ.mean() : 0.0;
+  return record;
+}
+
+EpisodeRecord Trainer::runEpisode() {
+  EpisodeRecord record = playEpisode(/*exploring=*/true, /*learning=*/true);
+  record.episode = episodeIndex_++;
+  metrics_.add(record);
+  if (episodeCallback_) episodeCallback_(record);
+  if (config_.logEveryEpisodes > 0 && record.episode % config_.logEveryEpisodes == 0) {
+    logInfo() << "episode " << record.episode << ": steps=" << record.steps
+              << " avgMaxQ=" << record.avgMaxQ << " reward=" << record.totalReward
+              << " score=" << record.finalScore << " eps=" << record.epsilon;
+  }
+  return record;
+}
+
+EpisodeRecord Trainer::evaluateGreedy() {
+  return playEpisode(/*exploring=*/false, /*learning=*/false);
+}
+
+const MetricsLog& Trainer::run() {
+  for (std::size_t e = 0; e < config_.episodes; ++e) runEpisode();
+  return metrics_;
+}
+
+}  // namespace dqndock::rl

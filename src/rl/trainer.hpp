@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Episode loop of Algorithm 2 (DQN-Docking): for each episode, reset the
+/// environment, act epsilon-greedily, store transitions in replay, and
+/// take one gradient step per environment step once `learningStart` steps
+/// have elapsed. Produces the MetricsLog that Figure 4 is drawn from.
+
+#include <functional>
+
+#include "src/common/rng.hpp"
+#include "src/rl/dqn_agent.hpp"
+#include "src/rl/env.hpp"
+#include "src/rl/metrics.hpp"
+#include "src/rl/replay_buffer.hpp"
+#include "src/rl/schedule.hpp"
+
+namespace dqndock::rl {
+
+struct TrainerConfig {
+  std::size_t episodes = 1800;        ///< M (Table 1)
+  std::size_t learningStart = 10000;  ///< steps before SGD begins (Table 1)
+  std::size_t learnEvery = 1;         ///< gradient step per this many env steps
+  EpsilonSchedule epsilon{};          ///< includes the 20k pure-exploration steps
+  std::uint64_t seed = 42;
+  std::size_t logEveryEpisodes = 0;   ///< progress log cadence; 0 = silent
+};
+
+class Trainer {
+ public:
+  /// `replay` is used both as sink (push) and source (sample); pass the
+  /// same object twice when using a plain ReplayBuffer.
+  Trainer(Environment& env, DqnAgent& agent, ExperienceSink& sink, ExperienceSource& source,
+          TrainerConfig config);
+
+  /// Run config.episodes episodes; returns the accumulated metrics.
+  const MetricsLog& run();
+
+  /// Run a single episode and append its record to the metrics.
+  EpisodeRecord runEpisode();
+
+  /// Evaluate the greedy policy (no exploration, no learning) for one
+  /// episode; returns its record without touching the training metrics.
+  EpisodeRecord evaluateGreedy();
+
+  std::size_t globalStep() const { return globalStep_; }
+  const MetricsLog& metrics() const { return metrics_; }
+
+  /// Optional callback invoked after every episode (progress reporting).
+  void setEpisodeCallback(std::function<void(const EpisodeRecord&)> cb) {
+    episodeCallback_ = std::move(cb);
+  }
+
+ private:
+  EpisodeRecord playEpisode(bool exploring, bool learning);
+
+  Environment& env_;
+  DqnAgent& agent_;
+  ExperienceSink& sink_;
+  ExperienceSource& source_;
+  TrainerConfig config_;
+  Rng rng_;
+  MetricsLog metrics_;
+  std::size_t globalStep_ = 0;
+  std::size_t episodeIndex_ = 0;
+  std::function<void(const EpisodeRecord&)> episodeCallback_;
+};
+
+}  // namespace dqndock::rl

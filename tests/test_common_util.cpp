@@ -1,0 +1,132 @@
+// Tests for RunningStats, CsvWriter, CliArgs and Stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/running_stats.hpp"
+#include "src/common/stopwatch.hpp"
+
+namespace dqndock {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const auto path = std::filesystem::temp_directory_path() / "dqndock_test.csv";
+  {
+    CsvWriter csv(path.string(), {"a", "b"});
+    csv.row({1.5, 2.5});
+    csv.rowStrings({"x,y", "plain"});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriterTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CliArgsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--name=test"};
+  CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.getDouble("alpha", 0), 0.5);
+  EXPECT_EQ(args.getString("name", ""), "test");
+}
+
+TEST(CliArgsTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--count", "42"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.getInt("count", 0), 42);
+}
+
+TEST(CliArgsTest, BareSwitchIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.getBool("verbose", false));
+  EXPECT_FALSE(args.getBool("quiet", false));
+}
+
+TEST(CliArgsTest, PositionalCollected) {
+  const char* argv[] = {"prog", "input.pdb", "--x=1", "output.pdb"};
+  CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.pdb");
+  EXPECT_EQ(args.positional()[1], "output.pdb");
+}
+
+TEST(CliArgsTest, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.getInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 1.5), 1.5);
+  EXPECT_EQ(args.getString("s", "dflt"), "dflt");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+  EXPECT_NEAR(sw.millis(), sw.seconds() * 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dqndock

@@ -1,0 +1,104 @@
+// Tests for the INI config reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/config_io.hpp"
+
+namespace dqndock::core {
+namespace {
+
+TEST(ConfigIoTest, RoundTripPaperConfig) {
+  const DqnDockingConfig original = DqnDockingConfig::paper2bsm();
+  std::stringstream ss;
+  writeConfig(ss, original);
+  const DqnDockingConfig parsed = readConfig(ss, DqnDockingConfig::scaled());
+
+  EXPECT_EQ(parsed.scenario.receptorAtoms, original.scenario.receptorAtoms);
+  EXPECT_EQ(parsed.scenario.ligandAtoms, original.scenario.ligandAtoms);
+  EXPECT_EQ(parsed.scenario.receptorBondFeatures, original.scenario.receptorBondFeatures);
+  EXPECT_DOUBLE_EQ(parsed.env.shiftStep, original.env.shiftStep);
+  EXPECT_DOUBLE_EQ(parsed.env.rotateStepDeg, original.env.rotateStepDeg);
+  EXPECT_EQ(parsed.env.maxSteps, original.env.maxSteps);
+  EXPECT_DOUBLE_EQ(parsed.env.scoreFloor, original.env.scoreFloor);
+  EXPECT_EQ(parsed.stateMode, original.stateMode);
+  EXPECT_DOUBLE_EQ(parsed.agent.gamma, original.agent.gamma);
+  EXPECT_DOUBLE_EQ(parsed.agent.learningRate, original.agent.learningRate);
+  EXPECT_EQ(parsed.agent.optimizer, original.agent.optimizer);
+  EXPECT_EQ(parsed.agent.hiddenSizes, original.agent.hiddenSizes);
+  EXPECT_EQ(parsed.trainer.episodes, original.trainer.episodes);
+  EXPECT_EQ(parsed.replayCapacity, original.replayCapacity);
+  EXPECT_EQ(parsed.compactReplay, original.compactReplay);
+  EXPECT_EQ(parsed.nStep, original.nStep);
+}
+
+TEST(ConfigIoTest, PartialFileOverridesOnlyStatedKeys) {
+  std::istringstream in(
+      "[trainer]\n"
+      "episodes = 99\n"
+      "[agent]\n"
+      "dueling = true\n");
+  const DqnDockingConfig base = DqnDockingConfig::scaled();
+  const DqnDockingConfig parsed = readConfig(in, base);
+  EXPECT_EQ(parsed.trainer.episodes, 99u);
+  EXPECT_TRUE(parsed.agent.dueling);
+  // Untouched keys keep the base values.
+  EXPECT_EQ(parsed.scenario.receptorAtoms, base.scenario.receptorAtoms);
+  EXPECT_EQ(parsed.agent.hiddenSizes, base.agent.hiddenSizes);
+}
+
+TEST(ConfigIoTest, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "; alt comment\n"
+      "[replay]\n"
+      "capacity = 1234\n");
+  EXPECT_EQ(readConfig(in).replayCapacity, 1234u);
+}
+
+TEST(ConfigIoTest, UnknownKeyRejectedWithLineNumber) {
+  std::istringstream in("[agent]\nlerning_rate = 0.1\n");
+  try {
+    readConfig(in);
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("lerning_rate"), std::string::npos);
+  }
+}
+
+TEST(ConfigIoTest, SyntaxErrorsRejected) {
+  std::istringstream noEq("[env]\nmax_steps 7\n");
+  EXPECT_THROW(readConfig(noEq), std::runtime_error);
+  std::istringstream badSection("[env\nmax_steps = 7\n");
+  EXPECT_THROW(readConfig(badSection), std::runtime_error);
+  std::istringstream badNumber("[env]\nmax_steps = seven\n");
+  EXPECT_THROW(readConfig(badNumber), std::runtime_error);
+  std::istringstream badBool("[env]\nflexible = maybe\n");
+  EXPECT_THROW(readConfig(badBool), std::runtime_error);
+  std::istringstream badList("[agent]\nhidden = ,\n");
+  EXPECT_THROW(readConfig(badList), std::runtime_error);
+}
+
+TEST(ConfigIoTest, HiddenListParsed) {
+  std::istringstream in("[agent]\nhidden = 10, 20 ,30\n");
+  const auto cfg = readConfig(in);
+  ASSERT_EQ(cfg.agent.hiddenSizes.size(), 3u);
+  EXPECT_EQ(cfg.agent.hiddenSizes[1], 20u);
+}
+
+TEST(ConfigIoTest, StateModeParsed) {
+  std::istringstream in("[state]\nmode = full-with-bonds\n");
+  EXPECT_EQ(readConfig(in).stateMode, StateMode::kFullWithBonds);
+  std::istringstream bad("[state]\nmode = bogus\n");
+  EXPECT_THROW(readConfig(bad), std::invalid_argument);
+}
+
+TEST(ConfigIoTest, MissingFileThrows) {
+  EXPECT_THROW(readConfigFile("/nonexistent/cfg.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dqndock::core

@@ -1,0 +1,55 @@
+// Tests for the periodic-table subset.
+
+#include <gtest/gtest.h>
+
+#include "src/chem/element.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(ElementTest, SymbolRoundTrip) {
+  for (int i = 0; i < kElementCount; ++i) {
+    const auto e = static_cast<Element>(i);
+    if (e == Element::Unknown) continue;
+    EXPECT_EQ(elementFromSymbol(elementSymbol(e)), e);
+  }
+}
+
+TEST(ElementTest, CaseInsensitiveParsing) {
+  EXPECT_EQ(elementFromSymbol("c"), Element::C);
+  EXPECT_EQ(elementFromSymbol("CL"), Element::Cl);
+  EXPECT_EQ(elementFromSymbol("cl"), Element::Cl);
+  EXPECT_EQ(elementFromSymbol("BR"), Element::Br);
+}
+
+TEST(ElementTest, WhitespaceTolerated) {
+  EXPECT_EQ(elementFromSymbol(" N "), Element::N);
+  EXPECT_EQ(elementFromSymbol("\tO"), Element::O);
+}
+
+TEST(ElementTest, UnknownSymbols) {
+  EXPECT_EQ(elementFromSymbol("Zz"), Element::Unknown);
+  EXPECT_EQ(elementFromSymbol(""), Element::Unknown);
+  EXPECT_EQ(elementFromSymbol("  "), Element::Unknown);
+}
+
+TEST(ElementTest, MassesOrdered) {
+  EXPECT_LT(elementMass(Element::H), elementMass(Element::C));
+  EXPECT_LT(elementMass(Element::C), elementMass(Element::N));
+  EXPECT_LT(elementMass(Element::N), elementMass(Element::O));
+  EXPECT_LT(elementMass(Element::O), elementMass(Element::S));
+  EXPECT_NEAR(elementMass(Element::H), 1.008, 1e-3);
+  EXPECT_NEAR(elementMass(Element::C), 12.011, 1e-3);
+}
+
+TEST(ElementTest, CovalentRadiiPlausible) {
+  for (int i = 0; i < kElementCount; ++i) {
+    const double r = covalentRadius(static_cast<Element>(i));
+    EXPECT_GT(r, 0.2);
+    EXPECT_LT(r, 2.0);
+  }
+  EXPECT_LT(covalentRadius(Element::H), covalentRadius(Element::C));
+}
+
+}  // namespace
+}  // namespace dqndock::chem

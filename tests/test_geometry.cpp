@@ -1,0 +1,167 @@
+// Unit and property tests for the geometry primitives: Vec3, Mat3, Quat.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/mat3.hpp"
+#include "src/common/quat.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Vec3Test, ArithmeticBasics) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 3}).dot(Vec3{4, 5, 6}), 32.0);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, kTol);
+  EXPECT_EQ((Vec3{}).normalized(), Vec3{});
+}
+
+TEST(Vec3Test, MinMaxComponentwise) {
+  const Vec3 a{1, 5, 3}, b{2, 4, 3};
+  EXPECT_EQ(a.min(b), (Vec3{1, 4, 3}));
+  EXPECT_EQ(a.max(b), (Vec3{2, 5, 3}));
+}
+
+TEST(Vec3Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{0, 0, 0}, Vec3{0, 3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2(Vec3{0, 0, 0}, Vec3{0, 3, 4}), 25.0);
+}
+
+TEST(Vec3Test, IndexOperator) {
+  const Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+}
+
+TEST(Mat3Test, IdentityByDefault) {
+  const Mat3 m;
+  const Vec3 v{1, 2, 3};
+  const Vec3 r = m * v;
+  EXPECT_NEAR(distance(r, v), 0.0, kTol);
+  EXPECT_DOUBLE_EQ(m.trace(), 3.0);
+}
+
+TEST(Mat3Test, RotationAboutZ90Degrees) {
+  const Mat3 r = Mat3::rotationAboutAxis(Vec3{0, 0, 1}, M_PI / 2);
+  const Vec3 rotated = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(rotated.x, 0.0, kTol);
+  EXPECT_NEAR(rotated.y, 1.0, kTol);
+  EXPECT_NEAR(rotated.z, 0.0, kTol);
+}
+
+TEST(Mat3Test, ZeroAxisGivesIdentity) {
+  const Mat3 r = Mat3::rotationAboutAxis(Vec3{}, 1.0);
+  EXPECT_NEAR(distance(r * Vec3{1, 2, 3}, Vec3{1, 2, 3}), 0.0, kTol);
+}
+
+TEST(Mat3Test, TransposeOfRotationIsInverse) {
+  const Mat3 r = Mat3::rotationAboutAxis(Vec3{1, 2, 3}, 0.7);
+  const Mat3 rt = r.transposed();
+  const Mat3 prod = r * rt;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(QuatTest, IdentityRotatesNothing) {
+  const Quat q = Quat::identity();
+  const Vec3 v{1, 2, 3};
+  EXPECT_NEAR(distance(q.rotate(v), v), 0.0, kTol);
+  EXPECT_DOUBLE_EQ(q.angle(), 0.0);
+}
+
+TEST(QuatTest, AxisAngleMatchesMatrix) {
+  const Vec3 axis{1, -2, 0.5};
+  const double angle = 1.234;
+  const Quat q = Quat::fromAxisAngle(axis, angle);
+  const Mat3 m = Mat3::rotationAboutAxis(axis, angle);
+  const Vec3 v{0.3, -1.7, 2.2};
+  EXPECT_NEAR(distance(q.rotate(v), m * v), 0.0, 1e-12);
+  EXPECT_NEAR(distance(q.toMatrix() * v, m * v), 0.0, 1e-12);
+}
+
+TEST(QuatTest, ConjugateInverts) {
+  const Quat q = Quat::fromAxisAngle(Vec3{0, 1, 0}, 0.9);
+  const Vec3 v{1, 2, 3};
+  EXPECT_NEAR(distance(q.conjugate().rotate(q.rotate(v)), v), 0.0, 1e-12);
+}
+
+TEST(QuatTest, AngleRecovered) {
+  const Quat q = Quat::fromAxisAngle(Vec3{1, 1, 1}, 0.5);
+  EXPECT_NEAR(q.angle(), 0.5, 1e-12);
+}
+
+TEST(QuatTest, NormalizedDegenerateFallsBackToIdentity) {
+  const Quat q{0, 0, 0, 0};
+  const Quat n = q.normalized();
+  EXPECT_DOUBLE_EQ(n.w, 1.0);
+}
+
+// Property sweep: random rotations preserve lengths, angles, and compose.
+class QuatPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuatPropertyTest, RotationPreservesNormAndDot) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Quat q = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-M_PI, M_PI));
+  const Vec3 a{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  const Vec3 b{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  EXPECT_NEAR(q.rotate(a).norm(), a.norm(), 1e-10);
+  EXPECT_NEAR(q.rotate(a).dot(q.rotate(b)), a.dot(b), 1e-9);
+}
+
+TEST_P(QuatPropertyTest, CompositionMatchesSequentialRotation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Quat q1 = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-M_PI, M_PI));
+  const Quat q2 = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-M_PI, M_PI));
+  const Vec3 v{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  EXPECT_NEAR(distance((q2 * q1).rotate(v), q2.rotate(q1.rotate(v))), 0.0, 1e-9);
+}
+
+TEST_P(QuatPropertyTest, MatrixConversionAgrees) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const Quat q = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-M_PI, M_PI));
+  const Vec3 v{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  EXPECT_NEAR(distance(q.toMatrix() * v, q.rotate(v)), 0.0, 1e-10);
+}
+
+TEST_P(QuatPropertyTest, RepeatedSmallRotationsStayUnit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  Quat q = Quat::identity();
+  const Quat stepRot = Quat::fromAxisAngle(rng.unitVector<Vec3>(), 0.5 * M_PI / 180.0);
+  // Thousands of 0.5-degree increments (one docking episode of rotations).
+  for (int i = 0; i < 2000; ++i) q = (stepRot * q).normalized();
+  EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuatPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dqndock

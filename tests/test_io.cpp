@@ -1,0 +1,161 @@
+// Tests for the PDB and XYZ readers/writers, including failure injection
+// on malformed inputs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/chem/pdb_io.hpp"
+#include "src/chem/xyz_io.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+Molecule sample() {
+  Molecule m("sample");
+  m.addAtom(Element::C, Vec3{1.0, 2.0, 3.0}, -0.1);
+  m.addAtom(Element::N, Vec3{-4.5, 0.25, 6.125}, -0.4);
+  m.addAtom(Element::H, Vec3{0.0, 0.0, 0.0}, 0.3);
+  m.addBond(0, 1);
+  m.addBond(0, 2);
+  return m;
+}
+
+TEST(PdbIoTest, WriteReadRoundTrip) {
+  const Molecule original = sample();
+  std::stringstream ss;
+  writePdb(ss, original);
+  const Molecule parsed = readPdb(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  ASSERT_EQ(parsed.bondCount(), original.bondCount());
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    EXPECT_EQ(parsed.element(i), original.element(i));
+    // PDB coordinates carry 3 decimals.
+    EXPECT_NEAR(distance(parsed.position(i), original.position(i)), 0.0, 1e-3);
+  }
+}
+
+TEST(PdbIoTest, ChargesSurviveRoundTripViaOccupancyColumn) {
+  const Molecule original = sample();
+  std::stringstream ss;
+  writePdb(ss, original);
+  const Molecule parsed = readPdb(ss);
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    EXPECT_NEAR(parsed.charge(i), original.charge(i), 1e-2);
+  }
+}
+
+TEST(PdbIoTest, ParsesMinimalAtomRecord) {
+  const std::string pdb =
+      "ATOM      1  CA  ALA A   1      11.104   6.134  -6.504  1.00  0.00           C\n"
+      "END\n";
+  std::istringstream in(pdb);
+  const Molecule m = readPdb(in);
+  ASSERT_EQ(m.atomCount(), 1u);
+  EXPECT_EQ(m.element(0), Element::C);
+  EXPECT_NEAR(m.position(0).x, 11.104, 1e-6);
+  EXPECT_NEAR(m.position(0).z, -6.504, 1e-6);
+}
+
+TEST(PdbIoTest, HetatmFilteredWhenDisabled) {
+  const std::string pdb =
+      "ATOM      1  CA  ALA A   1      11.104   6.134  -6.504  1.00  0.00           C\n"
+      "HETATM    2  O   HOH A   2       0.000   0.000   0.000  1.00  0.00           O\n";
+  PdbReadOptions opts;
+  opts.hetatm = false;
+  std::istringstream in(pdb);
+  EXPECT_EQ(readPdb(in, opts).atomCount(), 1u);
+  std::istringstream in2(pdb);
+  EXPECT_EQ(readPdb(in2).atomCount(), 2u);
+}
+
+TEST(PdbIoTest, MalformedCoordinateThrowsWithLineNumber) {
+  const std::string pdb =
+      "ATOM      1  CA  ALA A   1      11.104   garbage  -6.504  1.00  0.00          C\n";
+  std::istringstream in(pdb);
+  try {
+    readPdb(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(PdbIoTest, TruncatedRecordThrows) {
+  const std::string pdb = "ATOM      1  CA  ALA A   1      11.104\n";
+  std::istringstream in(pdb);
+  EXPECT_THROW(readPdb(in), std::runtime_error);
+}
+
+TEST(PdbIoTest, ConectRecordsBuildBonds) {
+  const std::string pdb =
+      "ATOM      1  C   LIG A   1       0.000   0.000   0.000  1.00  0.00           C\n"
+      "ATOM      2  C   LIG A   1       1.500   0.000   0.000  1.00  0.00           C\n"
+      "ATOM      3  O   LIG A   1       3.000   0.000   0.000  1.00  0.00           O\n"
+      "CONECT    1    2\n"
+      "CONECT    2    3\n"
+      "CONECT    2    1\n"  // duplicate, must be deduplicated
+      "END\n";
+  std::istringstream in(pdb);
+  const Molecule m = readPdb(in);
+  EXPECT_EQ(m.bondCount(), 2u);
+}
+
+TEST(PdbIoTest, BondPerceptionFallback) {
+  const std::string pdb =
+      "ATOM      1  C   LIG A   1       0.000   0.000   0.000  1.00  0.00           C\n"
+      "ATOM      2  C   LIG A   1       1.500   0.000   0.000  1.00  0.00           C\n";
+  PdbReadOptions opts;
+  opts.perceiveBonds = true;
+  std::istringstream in(pdb);
+  EXPECT_EQ(readPdb(in, opts).bondCount(), 1u);
+}
+
+TEST(PdbIoTest, UnknownRecordsIgnored) {
+  const std::string pdb =
+      "HEADER    TEST\nREMARK  something\n"
+      "ATOM      1  C   LIG A   1       0.000   0.000   0.000  1.00  0.00           C\nTER\n";
+  std::istringstream in(pdb);
+  EXPECT_EQ(readPdb(in).atomCount(), 1u);
+}
+
+TEST(PdbIoTest, MissingFileThrows) {
+  EXPECT_THROW(readPdbFile("/nonexistent/file.pdb"), std::runtime_error);
+}
+
+TEST(XyzIoTest, RoundTrip) {
+  const Molecule original = sample();
+  std::stringstream ss;
+  writeXyz(ss, original, "comment here");
+  const Molecule parsed = readXyz(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  EXPECT_EQ(parsed.name(), "comment here");
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    EXPECT_EQ(parsed.element(i), original.element(i));
+    EXPECT_NEAR(distance(parsed.position(i), original.position(i)), 0.0, 1e-9);
+    EXPECT_NEAR(parsed.charge(i), original.charge(i), 1e-9);
+  }
+}
+
+TEST(XyzIoTest, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(readXyz(in), std::runtime_error);
+}
+
+TEST(XyzIoTest, BadCountThrows) {
+  std::istringstream in("abc\ncomment\n");
+  EXPECT_THROW(readXyz(in), std::runtime_error);
+}
+
+TEST(XyzIoTest, TruncatedAtomsThrow) {
+  std::istringstream in("3\ncomment\nC 0 0 0\n");
+  EXPECT_THROW(readXyz(in), std::runtime_error);
+}
+
+TEST(XyzIoTest, MalformedAtomLineThrows) {
+  std::istringstream in("1\ncomment\nC zero zero zero\n");
+  EXPECT_THROW(readXyz(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

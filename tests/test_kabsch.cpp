@@ -1,0 +1,151 @@
+// Tests for the Kabsch optimal superposition and the Jacobi eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/kabsch.hpp"
+#include "src/chem/molecule.hpp"
+#include "src/common/quat.hpp"
+#include "src/common/rng.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+std::vector<Vec3> randomCloud(std::size_t n, Rng& rng) {
+  std::vector<Vec3> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.gaussian(0, 3), rng.gaussian(0, 3), rng.gaussian(0, 3)});
+  }
+  return pts;
+}
+
+std::vector<Vec3> transformed(const std::vector<Vec3>& pts, const Mat3& rot, const Vec3& shift) {
+  std::vector<Vec3> out;
+  for (const auto& p : pts) out.push_back(rot * p + shift);
+  return out;
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Mat3 m;
+  m(0, 0) = 3;
+  m(1, 1) = 1;
+  m(2, 2) = 2;
+  double values[3];
+  Mat3 vectors;
+  symmetricEigen3(m, values, vectors);
+  EXPECT_NEAR(values[0], 3, 1e-12);
+  EXPECT_NEAR(values[1], 2, 1e-12);
+  EXPECT_NEAR(values[2], 1, 1e-12);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(1);
+  // Random symmetric matrix.
+  Mat3 m;
+  for (int i = 0; i < 3; ++i)
+    for (int j = i; j < 3; ++j) m(i, j) = m(j, i) = rng.gaussian();
+  double values[3];
+  Mat3 v;
+  symmetricEigen3(m, values, v);
+  // m == V diag(values) V^T.
+  Mat3 diag;
+  diag.m.fill(0.0);
+  for (int i = 0; i < 3; ++i) diag(i, i) = values[i];
+  const Mat3 rebuilt = v * diag * v.transposed();
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(rebuilt(i, j), m(i, j), 1e-10);
+  // Eigenvalues descend.
+  EXPECT_GE(values[0], values[1]);
+  EXPECT_GE(values[1], values[2]);
+}
+
+TEST(KabschTest, ValidationErrors) {
+  std::vector<Vec3> a{{0, 0, 0}}, b;
+  EXPECT_THROW(kabsch(a, b), std::invalid_argument);
+  EXPECT_THROW(kabsch(b, b), std::invalid_argument);
+}
+
+TEST(KabschTest, IdentityOnIdenticalSets) {
+  Rng rng(2);
+  const auto pts = randomCloud(20, rng);
+  const Superposition sp = kabsch(pts, pts);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-9);
+  const auto moved = applySuperposition(sp, pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(distance(moved[i], pts[i]), 0.0, 1e-9);
+  }
+}
+
+class KabschPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KabschPropertyTest, RecoversRigidTransformExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 10);
+  const auto mobile = randomCloud(25, rng);
+  const Mat3 rot = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-3, 3)).toMatrix();
+  const Vec3 shift{rng.gaussian(0, 10), rng.gaussian(0, 10), rng.gaussian(0, 10)};
+  const auto target = transformed(mobile, rot, shift);
+
+  const Superposition sp = kabsch(mobile, target);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-8);
+  const auto aligned = applySuperposition(sp, mobile);
+  for (std::size_t i = 0; i < mobile.size(); ++i) {
+    EXPECT_NEAR(distance(aligned[i], target[i]), 0.0, 1e-7);
+  }
+  // The recovered rotation must be proper (det = +1).
+  const Mat3& r = sp.rotation;
+  const double det = r(0, 0) * (r(1, 1) * r(2, 2) - r(1, 2) * r(2, 1)) -
+                     r(0, 1) * (r(1, 0) * r(2, 2) - r(1, 2) * r(2, 0)) +
+                     r(0, 2) * (r(1, 0) * r(2, 1) - r(1, 1) * r(2, 0));
+  EXPECT_NEAR(det, 1.0, 1e-9);
+}
+
+TEST_P(KabschPropertyTest, AlignedRmsdIsInvariantToRigidMotion) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  const auto a = randomCloud(15, rng);
+  auto b = randomCloud(15, rng);  // genuinely different shape
+  const double base = alignedRmsd(a, b);
+  // Rigidly move b: aligned RMSD must not change.
+  const Mat3 rot = Quat::fromAxisAngle(rng.unitVector<Vec3>(), 1.1).toMatrix();
+  const auto bMoved = transformed(b, rot, Vec3{5, -2, 9});
+  EXPECT_NEAR(alignedRmsd(a, bMoved), base, 1e-7);
+}
+
+TEST_P(KabschPropertyTest, AlignedNeverWorseThanDirect) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 90);
+  const auto a = randomCloud(12, rng);
+  const auto b = randomCloud(12, rng);
+  EXPECT_LE(alignedRmsd(a, b), rmsd(std::span<const Vec3>(a), std::span<const Vec3>(b)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KabschPropertyTest, ::testing::Range(0, 8));
+
+TEST(KabschTest, HandlesPlanarPointSets) {
+  // All points in the z = 0 plane (rank-2 covariance).
+  std::vector<Vec3> mobile{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}, {2, 1, 0}};
+  const Mat3 rot = Quat::fromAxisAngle(Vec3{0, 0, 1}, 0.7).toMatrix();
+  const auto target = transformed(mobile, rot, Vec3{3, 4, 5});
+  const Superposition sp = kabsch(mobile, target);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-8);
+}
+
+TEST(KabschTest, ReflectionIsNotUsed) {
+  // A mirrored tetrahedron cannot be superposed by a proper rotation:
+  // RMSD must stay > 0.
+  std::vector<Vec3> mobile{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<Vec3> target = mobile;
+  for (auto& p : target) p.z = -p.z;  // mirror
+  const Superposition sp = kabsch(mobile, target);
+  EXPECT_GT(sp.rmsd, 0.1);
+}
+
+TEST(KabschTest, SinglePoint) {
+  std::vector<Vec3> a{{1, 2, 3}}, b{{4, 5, 6}};
+  const Superposition sp = kabsch(a, b);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-12);
+  const auto moved = applySuperposition(sp, a);
+  EXPECT_NEAR(distance(moved[0], b[0]), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

@@ -1,0 +1,185 @@
+// Tests for the compiled ligand and pose application (rigid + torsions).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/synthetic.hpp"
+#include "src/chem/topology.hpp"
+#include "src/metadock/ligand_model.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+using chem::Element;
+using chem::Molecule;
+
+/// 5-atom chain with the middle bond rotatable:
+/// 0 -(x)- 1 -(x)- 2 -(x)- 3 -(x)- 4, bond (1,2) rotatable.
+Molecule chain5() {
+  Molecule m;
+  for (int i = 0; i < 5; ++i) m.addAtom(Element::C, Vec3{1.5 * i, 0, 0}, 0);
+  m.addBond(0, 1);
+  m.addBond(1, 2, /*rotatable=*/true);
+  m.addBond(2, 3);
+  m.addBond(3, 4);
+  return m;
+}
+
+/// Bent chain so torsion actually moves atoms off the axis.
+Molecule bentChain() {
+  Molecule m;
+  m.addAtom(Element::C, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{1.5, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{3.0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{3.0, 1.5, 0}, 0);  // off-axis
+  m.addBond(0, 1);
+  m.addBond(1, 2, true);
+  m.addBond(2, 3);
+  return m;
+}
+
+TEST(LigandModelTest, TemplateIsCentered) {
+  Molecule m = chain5();
+  m.translate(Vec3{10, 20, 30});
+  LigandModel model(m);
+  Vec3 centroid;
+  for (const auto& p : model.templatePositions()) centroid += p;
+  centroid /= static_cast<double>(model.atomCount());
+  EXPECT_NEAR(centroid.norm(), 0.0, 1e-12);
+}
+
+TEST(LigandModelTest, RestPoseReproducesOriginalCoordinates) {
+  Molecule m = chain5();
+  m.translate(Vec3{10, 20, 30});
+  LigandModel model(m);
+  std::vector<Vec3> out;
+  model.applyPose(model.restPose(), out);
+  ASSERT_EQ(out.size(), m.atomCount());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(distance(out[i], m.position(i)), 0.0, 1e-12);
+  }
+}
+
+TEST(LigandModelTest, TorsionCountMatchesRotatableBonds) {
+  LigandModel model(chain5());
+  EXPECT_EQ(model.torsionCount(), 1u);
+  EXPECT_EQ(model.torsions()[0].axisA, 1);
+  EXPECT_EQ(model.torsions()[0].axisB, 2);
+}
+
+TEST(LigandModelTest, TranslationMovesAllAtoms) {
+  LigandModel model(chain5());
+  Pose p = model.restPose();
+  std::vector<Vec3> before, after;
+  model.applyPose(p, before);
+  p.translation += Vec3{1, 2, 3};
+  model.applyPose(p, after);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(distance(after[i], before[i] + Vec3{1, 2, 3}), 0.0, 1e-12);
+  }
+}
+
+TEST(LigandModelTest, RigidRotationPreservesInternalDistances) {
+  LigandModel model(chain5());
+  Pose p = model.restPose();
+  p.orientation = Quat::fromAxisAngle(Vec3{1, 1, 0}, 0.9);
+  std::vector<Vec3> rest, rotated;
+  model.applyPose(model.restPose(), rest);
+  model.applyPose(p, rotated);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    for (std::size_t j = i + 1; j < rest.size(); ++j) {
+      EXPECT_NEAR(distance(rotated[i], rotated[j]), distance(rest[i], rest[j]), 1e-10);
+    }
+  }
+}
+
+TEST(LigandModelTest, TorsionMovesOnlyDownstreamAtoms) {
+  LigandModel model(bentChain());
+  Pose p = model.restPose();
+  std::vector<Vec3> before, after;
+  model.applyPose(p, before);
+  p.torsions[0] = M_PI / 2;
+  model.applyPose(p, after);
+  // Atoms 0, 1, 2 are fixed/on-axis; atom 3 moves.
+  EXPECT_NEAR(distance(before[0], after[0]), 0.0, 1e-10);
+  EXPECT_NEAR(distance(before[1], after[1]), 0.0, 1e-10);
+  EXPECT_NEAR(distance(before[2], after[2]), 0.0, 1e-10);
+  EXPECT_GT(distance(before[3], after[3]), 0.5);
+}
+
+TEST(LigandModelTest, TorsionPreservesBondLengths) {
+  const Molecule m = bentChain();
+  LigandModel model(m);
+  Pose p = model.restPose();
+  p.torsions[0] = 1.1;
+  std::vector<Vec3> out;
+  model.applyPose(p, out);
+  for (const auto& b : m.bonds()) {
+    const double orig = distance(m.position(static_cast<std::size_t>(b.a)),
+                                 m.position(static_cast<std::size_t>(b.b)));
+    const double now = distance(out[static_cast<std::size_t>(b.a)],
+                                out[static_cast<std::size_t>(b.b)]);
+    EXPECT_NEAR(now, orig, 1e-10);
+  }
+}
+
+TEST(LigandModelTest, FullTorsionTurnIsIdentity) {
+  LigandModel model(bentChain());
+  Pose p = model.restPose();
+  std::vector<Vec3> before, after;
+  model.applyPose(p, before);
+  p.torsions[0] = 2.0 * M_PI;
+  model.applyPose(p, after);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(distance(before[i], after[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(LigandModelTest, SyntheticLigandTorsionsIndependent) {
+  Rng rng(17);
+  const Molecule lig = chem::buildLigand(30, 4, rng);
+  LigandModel model(lig);
+  ASSERT_EQ(model.torsionCount(), 4u);
+  // Twisting one torsion must not move atoms outside its moved set.
+  for (std::size_t k = 0; k < model.torsionCount(); ++k) {
+    Pose p = model.restPose();
+    std::vector<Vec3> before, after;
+    model.applyPose(p, before);
+    p.torsions[k] = 0.7;
+    model.applyPose(p, after);
+    std::vector<char> inMoved(model.atomCount(), 0);
+    for (int idx : model.torsions()[k].movedAtoms) inMoved[static_cast<std::size_t>(idx)] = 1;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (!inMoved[i]) {
+        EXPECT_NEAR(distance(before[i], after[i]), 0.0, 1e-9)
+            << "atom " << i << " moved by torsion " << k;
+      }
+    }
+  }
+}
+
+TEST(LigandModelTest, ExtraPoseTorsionsIgnored) {
+  LigandModel model(chain5());
+  Pose p(5);  // more torsions than the model has
+  p.translation = model.restPose().translation;
+  std::vector<Vec3> out;
+  EXPECT_NO_THROW(model.applyPose(p, out));
+  EXPECT_EQ(out.size(), model.atomCount());
+}
+
+TEST(LigandModelTest, DonorAnchorsOnlyForDonorHydrogens) {
+  chem::Molecule m;
+  m.addAtom(Element::O, Vec3{0, 0, 0}, -0.8, chem::HBondRole::kAcceptor);
+  m.addAtom(Element::H, Vec3{0.96, 0, 0}, 0.4, chem::HBondRole::kDonorHydrogen);
+  m.addAtom(Element::H, Vec3{-0.96, 0, 0}, 0.1, chem::HBondRole::kNone);
+  m.addBond(0, 1);
+  m.addBond(0, 2);
+  LigandModel model(m);
+  EXPECT_EQ(model.hydrogenAnchors()[0], -1);
+  EXPECT_EQ(model.hydrogenAnchors()[1], 0);
+  EXPECT_EQ(model.hydrogenAnchors()[2], -1);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

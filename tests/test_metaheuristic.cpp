@@ -1,0 +1,152 @@
+// Tests for METADOCK's parameterised metaheuristic schema and its named
+// instantiations (random search / local search / Monte Carlo / genetic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/metaheuristic.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class MetaheuristicFixture : public ::testing::Test {
+ protected:
+  MetaheuristicFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())),
+        receptor_(scenario_.receptor, 12.0),
+        ligand_(scenario_.ligand),
+        scoring_(receptor_, ligand_, {}),
+        evaluator_(scoring_, nullptr) {}
+
+  MetaheuristicResult runPreset(MetaheuristicParams params, std::uint64_t seed,
+                                std::size_t evals = 1500) {
+    params.maxEvaluations = evals;
+    MetaheuristicEngine engine(evaluator_, params);
+    Rng rng(seed);
+    return engine.run(rng);
+  }
+
+  chem::Scenario scenario_;
+  ReceptorModel receptor_;
+  LigandModel ligand_;
+  ScoringFunction scoring_;
+  PoseEvaluator evaluator_;
+};
+
+TEST_F(MetaheuristicFixture, PresetsHaveDistinctNames) {
+  EXPECT_EQ(MetaheuristicParams::randomSearch().name, "random-search");
+  EXPECT_EQ(MetaheuristicParams::localSearch().name, "local-search");
+  EXPECT_EQ(MetaheuristicParams::monteCarlo().name, "monte-carlo");
+  EXPECT_EQ(MetaheuristicParams::genetic().name, "genetic");
+}
+
+TEST_F(MetaheuristicFixture, HistoryIsMonotoneNonDecreasing) {
+  for (const auto& params :
+       {MetaheuristicParams::randomSearch(), MetaheuristicParams::localSearch(),
+        MetaheuristicParams::monteCarlo(), MetaheuristicParams::genetic()}) {
+    const auto result = runPreset(params, 11);
+    ASSERT_FALSE(result.history.empty()) << params.name;
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+      EXPECT_GE(result.history[i], result.history[i - 1]) << params.name << " step " << i;
+    }
+    EXPECT_DOUBLE_EQ(result.history.back(), result.best.score) << params.name;
+  }
+}
+
+TEST_F(MetaheuristicFixture, RespectsEvaluationBudget) {
+  for (const auto& params :
+       {MetaheuristicParams::randomSearch(), MetaheuristicParams::monteCarlo()}) {
+    const auto result = runPreset(params, 13, 800);
+    // The loop checks the budget between iterations, so the overshoot is
+    // bounded by one iteration's worth of evaluations.
+    EXPECT_GE(result.evaluations, 700u);
+    EXPECT_LT(result.evaluations, 2500u);
+  }
+}
+
+TEST_F(MetaheuristicFixture, DeterministicGivenSeed) {
+  const auto a = runPreset(MetaheuristicParams::genetic(), 17);
+  const auto b = runPreset(MetaheuristicParams::genetic(), 17);
+  EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST_F(MetaheuristicFixture, DifferentSeedsExploreDifferently) {
+  const auto a = runPreset(MetaheuristicParams::monteCarlo(), 19);
+  const auto b = runPreset(MetaheuristicParams::monteCarlo(), 20);
+  EXPECT_NE(a.best.score, b.best.score);
+}
+
+TEST_F(MetaheuristicFixture, OptimizersBeatTheInitialPose) {
+  // All schema instantiations must find something better than the far-away
+  // rest pose (score ~0).
+  const double restScore = scoring_.scorePose(ligand_.restPose());
+  for (const auto& params :
+       {MetaheuristicParams::localSearch(), MetaheuristicParams::monteCarlo(),
+        MetaheuristicParams::genetic()}) {
+    MetaheuristicEngine engine(evaluator_, params);
+    Rng rng(23);
+    const auto result = engine.runFrom(ligand_.restPose(), rng);
+    EXPECT_GT(result.best.score, restScore) << params.name;
+  }
+}
+
+TEST_F(MetaheuristicFixture, AnnealingImprovesOverItsInitialSample) {
+  // The Monte Carlo chain must make progress beyond whatever its first
+  // random sample happened to score — across several seeds.
+  int improved = 0;
+  for (int t = 0; t < 3; ++t) {
+    const auto result = runPreset(MetaheuristicParams::monteCarlo(), 100 + t, 2000);
+    EXPECT_GE(result.best.score, result.history.front());
+    if (result.best.score > result.history.front()) ++improved;
+  }
+  EXPECT_GE(improved, 2);
+}
+
+TEST_F(MetaheuristicFixture, RunFromSeedsThePopulation) {
+  // Seeding with the crystal region should immediately yield a good best.
+  Pose nearCrystal(ligand_.torsionCount());
+  nearCrystal.translation = scenario_.pocketCenter;
+  MetaheuristicParams params = MetaheuristicParams::localSearch();
+  params.maxEvaluations = 200;
+  MetaheuristicEngine engine(evaluator_, params);
+  Rng rng(29);
+  const auto result = engine.runFrom(nearCrystal, rng);
+  EXPECT_GE(result.best.score, scoring_.scorePose(nearCrystal));
+}
+
+TEST(CrossoverTest, ChildMixesParents) {
+  Rng rng(31);
+  Pose a(2), b(2);
+  a.translation = {0, 0, 0};
+  b.translation = {10, 10, 10};
+  a.torsions = {0.5, -0.5};
+  b.torsions = {1.5, -1.5};
+  for (int i = 0; i < 20; ++i) {
+    const Pose child = crossoverPoses(a, b, rng);
+    EXPECT_GE(child.translation.x, 0.0);
+    EXPECT_LE(child.translation.x, 10.0);
+    EXPECT_NEAR(child.orientation.norm(), 1.0, 1e-12);
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_TRUE(child.torsions[k] == a.torsions[k] || child.torsions[k] == b.torsions[k]);
+    }
+  }
+}
+
+TEST(CrossoverTest, AntipodalQuaternionsBlendSafely) {
+  Rng rng(37);
+  Pose a, b;
+  a.orientation = Quat{1, 0, 0, 0};
+  b.orientation = Quat{-1, 0, 0, 0};  // same rotation, opposite sign
+  for (int i = 0; i < 10; ++i) {
+    const Pose child = crossoverPoses(a, b, rng);
+    EXPECT_NEAR(child.orientation.norm(), 1.0, 1e-12);
+    // Must represent (nearly) the identity rotation.
+    EXPECT_NEAR(child.orientation.angle(), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

@@ -1,0 +1,116 @@
+// Tests for the Tripos MOL2 reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/chem/mol2_io.hpp"
+#include "src/chem/synthetic.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(Mol2IoTest, ParsesMinimalFile) {
+  const std::string mol2 =
+      "@<TRIPOS>MOLECULE\n"
+      "ethanol\n"
+      " 3 2 0 0 0\n"
+      "SMALL\nUSER_CHARGES\n"
+      "@<TRIPOS>ATOM\n"
+      "  1 C1  0.0 0.0 0.0 C.3 1 LIG -0.05\n"
+      "  2 C2  1.5 0.0 0.0 C.3 1 LIG -0.02\n"
+      "  3 O1  2.2 1.1 0.0 O.3 1 LIG -0.40\n"
+      "@<TRIPOS>BOND\n"
+      " 1 1 2 1\n"
+      " 2 2 3 1\n";
+  std::istringstream in(mol2);
+  const Molecule m = readMol2(in);
+  EXPECT_EQ(m.name(), "ethanol");
+  ASSERT_EQ(m.atomCount(), 3u);
+  EXPECT_EQ(m.bondCount(), 2u);
+  EXPECT_EQ(m.element(0), Element::C);
+  EXPECT_EQ(m.element(2), Element::O);
+  EXPECT_DOUBLE_EQ(m.charge(2), -0.40);
+  EXPECT_DOUBLE_EQ(m.position(1).x, 1.5);
+}
+
+TEST(Mol2IoTest, SybylTypesParsed) {
+  const std::string mol2 =
+      "@<TRIPOS>MOLECULE\nx\n 3 0 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n"
+      "  1 N1 0 0 0 N.ar\n"
+      "  2 X1 1 0 0 O.co2\n"
+      "  3 CL 2 0 0 Cl\n";
+  std::istringstream in(mol2);
+  const Molecule m = readMol2(in);
+  EXPECT_EQ(m.element(0), Element::N);
+  EXPECT_EQ(m.element(1), Element::O);
+  EXPECT_EQ(m.element(2), Element::Cl);
+}
+
+TEST(Mol2IoTest, CommentsAndBlankLinesIgnored) {
+  const std::string mol2 =
+      "# a comment\n\n@<TRIPOS>MOLECULE\nx\n 1 0 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n"
+      "# atom comment\n"
+      "  1 C1 0 0 0 C.3\n";
+  std::istringstream in(mol2);
+  EXPECT_EQ(readMol2(in).atomCount(), 1u);
+}
+
+TEST(Mol2IoTest, MalformedAtomThrows) {
+  const std::string mol2 =
+      "@<TRIPOS>MOLECULE\nx\n 1 0 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n"
+      "  1 C1 zero 0 0 C.3\n";
+  std::istringstream in(mol2);
+  EXPECT_THROW(readMol2(in), std::runtime_error);
+}
+
+TEST(Mol2IoTest, BondIndexOutOfRangeThrows) {
+  const std::string mol2 =
+      "@<TRIPOS>MOLECULE\nx\n 1 1 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n  1 C1 0 0 0 C.3\n"
+      "@<TRIPOS>BOND\n 1 1 5 1\n";
+  std::istringstream in(mol2);
+  EXPECT_THROW(readMol2(in), std::runtime_error);
+}
+
+TEST(Mol2IoTest, OnlyFirstMoleculeRead) {
+  const std::string mol2 =
+      "@<TRIPOS>MOLECULE\nfirst\n 1 0 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n  1 C1 0 0 0 C.3\n"
+      "@<TRIPOS>MOLECULE\nsecond\n 1 0 0 0 0\nSMALL\nNO_CHARGES\n"
+      "@<TRIPOS>ATOM\n  1 O1 9 9 9 O.3\n";
+  std::istringstream in(mol2);
+  const Molecule m = readMol2(in);
+  EXPECT_EQ(m.name(), "first");
+  EXPECT_EQ(m.atomCount(), 1u);
+  EXPECT_EQ(m.element(0), Element::C);
+}
+
+TEST(Mol2IoTest, RoundTripSyntheticLigand) {
+  Rng rng(5);
+  const Molecule original = buildLigand(25, 3, rng);
+  std::stringstream ss;
+  writeMol2(ss, original);
+  const Molecule parsed = readMol2(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  ASSERT_EQ(parsed.bondCount(), original.bondCount());
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    EXPECT_EQ(parsed.element(i), original.element(i));
+    EXPECT_NEAR(distance(parsed.position(i), original.position(i)), 0.0, 1e-5);
+    EXPECT_NEAR(parsed.charge(i), original.charge(i), 1e-5);
+  }
+  for (std::size_t i = 0; i < original.bondCount(); ++i) {
+    EXPECT_EQ(parsed.bonds()[i].a, original.bonds()[i].a);
+    EXPECT_EQ(parsed.bonds()[i].b, original.bonds()[i].b);
+  }
+}
+
+TEST(Mol2IoTest, MissingFileThrows) {
+  EXPECT_THROW(readMol2File("/nonexistent/file.mol2"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

@@ -1,0 +1,128 @@
+// Tests for the SoA molecule container.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+Molecule water() {
+  Molecule m("water");
+  m.addAtom(Element::O, Vec3{0, 0, 0}, -0.8, HBondRole::kAcceptor);
+  m.addAtom(Element::H, Vec3{0.96, 0, 0}, 0.4, HBondRole::kDonorHydrogen);
+  m.addAtom(Element::H, Vec3{-0.24, 0.93, 0}, 0.4, HBondRole::kDonorHydrogen);
+  m.addBond(0, 1);
+  m.addBond(0, 2);
+  return m;
+}
+
+TEST(MoleculeTest, AddAtomsAndBonds) {
+  const Molecule m = water();
+  EXPECT_EQ(m.atomCount(), 3u);
+  EXPECT_EQ(m.bondCount(), 2u);
+  EXPECT_EQ(m.element(0), Element::O);
+  EXPECT_DOUBLE_EQ(m.charge(1), 0.4);
+  EXPECT_EQ(m.hbondRole(0), HBondRole::kAcceptor);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(MoleculeTest, DefaultChargeFromForceField) {
+  Molecule m;
+  m.addAtom(Element::O, Vec3{});
+  EXPECT_DOUBLE_EQ(m.charge(0), ForceField::standard().defaultCharge(Element::O));
+}
+
+TEST(MoleculeTest, BondIndexValidation) {
+  Molecule m = water();
+  EXPECT_THROW(m.addBond(0, 3), std::invalid_argument);
+  EXPECT_THROW(m.addBond(-1, 0), std::invalid_argument);
+  EXPECT_THROW(m.addBond(1, 1), std::invalid_argument);
+}
+
+TEST(MoleculeTest, TotalCharge) {
+  EXPECT_NEAR(water().totalCharge(), 0.0, 1e-12);
+}
+
+TEST(MoleculeTest, CentroidAndCom) {
+  Molecule m;
+  m.addAtom(Element::H, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::H, Vec3{2, 0, 0}, 0);
+  EXPECT_EQ(m.centroid(), (Vec3{1, 0, 0}));
+  EXPECT_NEAR(distance(m.centerOfMass(), Vec3{1, 0, 0}), 0.0, 1e-12);
+  // Unequal masses pull the COM toward the heavy atom.
+  Molecule m2;
+  m2.addAtom(Element::H, Vec3{0, 0, 0}, 0);
+  m2.addAtom(Element::C, Vec3{2, 0, 0}, 0);
+  EXPECT_GT(m2.centerOfMass().x, 1.0);
+}
+
+TEST(MoleculeTest, BoundingBox) {
+  const auto [lo, hi] = water().boundingBox();
+  EXPECT_DOUBLE_EQ(lo.x, -0.24);
+  EXPECT_DOUBLE_EQ(hi.x, 0.96);
+  EXPECT_DOUBLE_EQ(lo.y, 0.0);
+  EXPECT_DOUBLE_EQ(hi.y, 0.93);
+}
+
+TEST(MoleculeTest, EmptyMoleculeEdgeCases) {
+  Molecule m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.centroid(), Vec3{});
+  EXPECT_EQ(m.centerOfMass(), Vec3{});
+  const auto [lo, hi] = m.boundingBox();
+  EXPECT_EQ(lo, Vec3{});
+  EXPECT_EQ(hi, Vec3{});
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(MoleculeTest, TranslatePreservesShape) {
+  Molecule m = water();
+  const double d01 = distance(m.position(0), m.position(1));
+  m.translate(Vec3{5, -3, 2});
+  EXPECT_NEAR(distance(m.position(0), m.position(1)), d01, 1e-12);
+  EXPECT_NEAR(m.position(0).x, 5.0, 1e-12);
+}
+
+TEST(MoleculeTest, RotatePreservesInternalDistances) {
+  Molecule m = water();
+  const double d12 = distance(m.position(1), m.position(2));
+  m.rotateAbout(m.centroid(), Mat3::rotationAboutAxis(Vec3{1, 1, 0}, 1.1));
+  EXPECT_NEAR(distance(m.position(1), m.position(2)), d12, 1e-12);
+}
+
+TEST(MoleculeTest, ValidateDetectsNonFinitePositions) {
+  Molecule m = water();
+  m.setPosition(1, Vec3{std::nan(""), 0, 0});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MoleculeTest, ValidateDetectsNonFiniteCharge) {
+  Molecule m = water();
+  m.setCharge(0, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MoleculeTest, RmsdBetweenConformations) {
+  const Molecule a = water();
+  Molecule b = water();
+  EXPECT_DOUBLE_EQ(rmsd(a, b), 0.0);
+  b.translate(Vec3{1, 0, 0});
+  EXPECT_NEAR(rmsd(a, b), 1.0, 1e-12);
+}
+
+TEST(MoleculeTest, RmsdSizeMismatchThrows) {
+  Molecule a = water();
+  Molecule b;
+  b.addAtom(Element::C, Vec3{});
+  EXPECT_THROW(rmsd(a, b), std::invalid_argument);
+}
+
+TEST(MoleculeTest, RmsdEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(rmsd(Molecule{}, Molecule{}), 0.0);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

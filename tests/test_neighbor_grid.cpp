@@ -1,0 +1,111 @@
+// Tests for the uniform spatial hash: the 27-cell neighbourhood must be a
+// superset of all points within cellSize of the query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.hpp"
+#include "src/metadock/neighbor_grid.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+TEST(NeighborGridTest, InvalidCellSizeThrows) {
+  std::vector<Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(NeighborGrid(pts, 0.0), std::invalid_argument);
+  EXPECT_THROW(NeighborGrid(pts, -1.0), std::invalid_argument);
+}
+
+TEST(NeighborGridTest, EmptyPointSet) {
+  std::vector<Vec3> pts;
+  NeighborGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.pointCount(), 0u);
+  EXPECT_TRUE(grid.near(Vec3{0, 0, 0}).empty());
+}
+
+TEST(NeighborGridTest, SinglePointFound) {
+  std::vector<Vec3> pts{{1, 2, 3}};
+  NeighborGrid grid(pts, 2.0);
+  const auto near = grid.near(Vec3{1.5, 2.5, 3.5});
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], 0u);
+}
+
+TEST(NeighborGridTest, FarPointNotReturned) {
+  std::vector<Vec3> pts{{0, 0, 0}, {100, 100, 100}};
+  NeighborGrid grid(pts, 2.0);
+  const auto near = grid.near(Vec3{0.5, 0.5, 0.5});
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], 0u);
+}
+
+TEST(NeighborGridTest, EachPointAppearsExactlyOnceInItsOwnNeighbourhood) {
+  Rng rng(5);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  }
+  NeighborGrid grid(pts, 3.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto near = grid.near(pts[i]);
+    EXPECT_EQ(std::count(near.begin(), near.end(), i), 1);
+  }
+}
+
+class GridCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridCoverageTest, NeighbourhoodCoversCutoffSphere) {
+  const double cell = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cell * 100));
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)});
+  }
+  NeighborGrid grid(pts, cell);
+  for (int q = 0; q < 50; ++q) {
+    const Vec3 query{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    const auto near = grid.near(query);
+    const std::set<std::size_t> nearSet(near.begin(), near.end());
+    // Every point within `cell` of the query must be in the result.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i], query) <= cell) {
+        EXPECT_TRUE(nearSet.count(i)) << "missed point " << i << " at cell=" << cell;
+      }
+    }
+    // And every returned point is within the 3x3x3 cell block (loose bound
+    // of 2 * cell * sqrt(3)).
+    for (std::size_t i : near) {
+      EXPECT_LE(distance(pts[i], query), 2.0 * cell * 1.7320508 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridCoverageTest, ::testing::Values(1.0, 2.5, 6.0, 12.0));
+
+TEST(NeighborGridTest, NegativeCoordinatesHandled) {
+  std::vector<Vec3> pts{{-5.1, -5.1, -5.1}, {-4.9, -4.9, -4.9}};
+  NeighborGrid grid(pts, 1.0);
+  const auto near = grid.near(Vec3{-5.0, -5.0, -5.0});
+  EXPECT_EQ(near.size(), 2u);
+}
+
+TEST(NeighborGridTest, ForEachNearMatchesNear) {
+  Rng rng(11);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  NeighborGrid grid(pts, 2.0);
+  const Vec3 q{5, 5, 5};
+  std::vector<std::size_t> collected;
+  grid.forEachNear(q, [&collected](std::size_t i) { collected.push_back(i); });
+  auto near = grid.near(q);
+  std::sort(collected.begin(), collected.end());
+  std::sort(near.begin(), near.end());
+  EXPECT_EQ(collected, near);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

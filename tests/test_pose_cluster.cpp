@@ -1,0 +1,113 @@
+// Tests for RMSD-based pose clustering.
+
+#include <gtest/gtest.h>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/pose_cluster.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class PoseClusterFixture : public ::testing::Test {
+ protected:
+  PoseClusterFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())), ligand_(scenario_.ligand) {}
+
+  Candidate candidateAt(const Vec3& translation, double score) const {
+    Candidate c;
+    c.pose = Pose(ligand_.torsionCount());
+    c.pose.translation = translation;
+    c.score = score;
+    return c;
+  }
+
+  chem::Scenario scenario_;
+  LigandModel ligand_;
+};
+
+TEST_F(PoseClusterFixture, EmptyInputGivesNoClusters) {
+  EXPECT_TRUE(clusterPoses(ligand_, {}).empty());
+}
+
+TEST_F(PoseClusterFixture, NearbyPosesMerge) {
+  std::vector<Candidate> cands{
+      candidateAt({0, 0, 0}, 10.0),
+      candidateAt({0.5, 0, 0}, 8.0),     // within 2 A of the first
+      candidateAt({20, 0, 0}, 5.0),      // far away
+  };
+  const auto clusters = clusterPoses(ligand_, cands);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_DOUBLE_EQ(clusters[0].representative.score, 10.0);
+  EXPECT_EQ(clusters[0].members.size(), 2u);
+  EXPECT_DOUBLE_EQ(clusters[1].representative.score, 5.0);
+}
+
+TEST_F(PoseClusterFixture, RepresentativeIsBestScoring) {
+  std::vector<Candidate> cands{
+      candidateAt({0.4, 0, 0}, 3.0),
+      candidateAt({0, 0, 0}, 99.0),  // best must lead its cluster
+  };
+  const auto clusters = clusterPoses(ligand_, cands);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].representative.score, 99.0);
+}
+
+TEST_F(PoseClusterFixture, ClustersOrderedByRepresentativeScore) {
+  std::vector<Candidate> cands{
+      candidateAt({0, 0, 0}, 1.0),
+      candidateAt({50, 0, 0}, 7.0),
+      candidateAt({0, 50, 0}, 4.0),
+  };
+  const auto clusters = clusterPoses(ligand_, cands);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_GE(clusters[0].representative.score, clusters[1].representative.score);
+  EXPECT_GE(clusters[1].representative.score, clusters[2].representative.score);
+}
+
+TEST_F(PoseClusterFixture, ThresholdControlsGranularity) {
+  std::vector<Candidate> cands{
+      candidateAt({0, 0, 0}, 3.0),
+      candidateAt({3, 0, 0}, 2.0),
+      candidateAt({6, 0, 0}, 1.0),
+  };
+  ClusterOptions tight;
+  tight.rmsdThreshold = 1.0;
+  EXPECT_EQ(clusterPoses(ligand_, cands, tight).size(), 3u);
+  ClusterOptions loose;
+  loose.rmsdThreshold = 10.0;
+  // Greedy leader: the middle pose joins the first cluster (RMSD 3 < 10),
+  // and the third joins it too (RMSD 6 < 10).
+  EXPECT_EQ(clusterPoses(ligand_, cands, loose).size(), 1u);
+}
+
+TEST_F(PoseClusterFixture, AlignedModeMergesRotatedCopies) {
+  // Same placement but ligand spun 180 degrees about its centroid: direct
+  // RMSD is large, aligned RMSD ~ 0 (same binding mode).
+  Candidate a = candidateAt({0, 0, 0}, 5.0);
+  Candidate b = candidateAt({0, 0, 0}, 4.0);
+  b.pose.orientation = Quat::fromAxisAngle(Vec3{0, 0, 1}, M_PI);
+
+  ClusterOptions direct;
+  direct.rmsdThreshold = 1.0;
+  direct.aligned = false;
+  ClusterOptions aligned = direct;
+  aligned.aligned = true;
+
+  std::vector<Candidate> cands{a, b};
+  EXPECT_EQ(clusterPoses(ligand_, cands, direct).size(), 2u);
+  EXPECT_EQ(clusterPoses(ligand_, cands, aligned).size(), 1u);
+}
+
+TEST_F(PoseClusterFixture, PoseRmsdHelpers) {
+  const Pose p0(ligand_.torsionCount());
+  Pose shifted = p0;
+  shifted.translation = {1, 0, 0};
+  EXPECT_NEAR(poseRmsd(ligand_, p0, shifted), 1.0, 1e-9);
+  Pose rotated = p0;
+  rotated.orientation = Quat::fromAxisAngle(Vec3{0, 0, 1}, 1.0);
+  EXPECT_GT(poseRmsd(ligand_, p0, rotated), 0.1);
+  EXPECT_NEAR(poseRmsd(ligand_, p0, rotated, /*aligned=*/true), 0.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

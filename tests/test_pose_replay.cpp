@@ -1,0 +1,97 @@
+// Tests for the compact pose-based replay buffer: sampled minibatches
+// must decode to exactly the states the raw buffer would have stored.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pose_replay.hpp"
+
+namespace dqndock::core {
+namespace {
+
+class PoseReplayFixture : public ::testing::Test {
+ protected:
+  PoseReplayFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())),
+        env_(scenario_, {}),
+        encoder_(scenario_, StateMode::kLigandPositions),
+        task_(env_, encoder_) {}
+
+  chem::Scenario scenario_;
+  metadock::DockingEnv env_;
+  StateEncoder encoder_;
+  DockingTask task_;
+};
+
+TEST_F(PoseReplayFixture, ZeroCapacityThrows) {
+  EXPECT_THROW(PoseReplayBuffer(0, task_), std::invalid_argument);
+}
+
+TEST_F(PoseReplayFixture, SampleEmptyThrows) {
+  PoseReplayBuffer rb(8, task_);
+  Rng rng(1);
+  EXPECT_THROW(rb.sample(2, rng), std::logic_error);
+}
+
+TEST_F(PoseReplayFixture, PushViaTaskAndDecodeMatchesRawStates) {
+  PoseReplayBuffer poseRb(64, task_);
+  rl::ReplayBuffer rawRb(64, encoder_.dim());
+
+  std::vector<double> state, next;
+  task_.reset(state);
+  Rng actRng(2);
+  for (int i = 0; i < 30; ++i) {
+    const int action = static_cast<int>(actRng.uniformInt(12));
+    const rl::EnvStep r = task_.step(action, next);
+    poseRb.push(state, action, r.reward, next, r.terminal);
+    rawRb.push(state, action, r.reward, next, r.terminal);
+    state = next;
+    if (r.terminal) task_.reset(state);
+  }
+  ASSERT_EQ(poseRb.size(), rawRb.size());
+
+  // Identical RNG -> identical indices -> decoded states must match the
+  // raw float32 stores within float precision.
+  Rng rngA(77), rngB(77);
+  const rl::Minibatch a = poseRb.sample(16, rngA);
+  const rl::Minibatch b = rawRb.sample(16, rngB);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    EXPECT_EQ(a.actions[row], b.actions[row]);
+    EXPECT_FLOAT_EQ(static_cast<float>(a.rewards[row]), static_cast<float>(b.rewards[row]));
+    EXPECT_EQ(a.terminals[row], b.terminals[row]);
+    for (std::size_t c = 0; c < encoder_.dim(); ++c) {
+      EXPECT_NEAR(a.states(row, c), b.states(row, c), 1e-5);
+      EXPECT_NEAR(a.nextStates(row, c), b.nextStates(row, c), 1e-5);
+    }
+  }
+}
+
+TEST_F(PoseReplayFixture, RingOverwrites) {
+  PoseReplayBuffer rb(4, task_);
+  metadock::Pose p(env_.ligand().torsionCount());
+  for (int i = 0; i < 10; ++i) {
+    rb.pushPose(p, i, 0.0, p, false);
+    EXPECT_LE(rb.size(), 4u);
+  }
+  EXPECT_EQ(rb.size(), 4u);
+  Rng rng(3);
+  const rl::Minibatch mb = rb.sample(32, rng);
+  for (int a : mb.actions) EXPECT_GE(a, 6);  // only the last 4 pushes survive
+}
+
+TEST_F(PoseReplayFixture, CompactBufferIsMuchSmallerThanRaw) {
+  const std::size_t capacity = 1000;
+  PoseReplayBuffer poseRb(capacity, task_);
+  rl::ReplayBuffer rawRb(capacity, encoder_.dim());
+  metadock::Pose p(env_.ligand().torsionCount());
+  std::vector<double> s(encoder_.dim(), 0.0);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    poseRb.pushPose(p, 0, 0.0, p, false);
+    rawRb.push(s, 0, 0.0, s, false);
+  }
+  // Ligand-positions mode: 12 atoms -> 36 doubles raw vs ~9-double poses.
+  EXPECT_LT(poseRb.memoryBytes(), rawRb.memoryBytes());
+}
+
+}  // namespace
+}  // namespace dqndock::core

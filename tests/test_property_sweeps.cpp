@@ -1,0 +1,143 @@
+// Cross-module property sweeps: randomized invariants spanning the I/O,
+// geometry and scoring layers, parameterized over seeds (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/chem/kabsch.hpp"
+#include "src/chem/mol2_io.hpp"
+#include "src/chem/pdb_io.hpp"
+#include "src/chem/smiles.hpp"
+#include "src/chem/synthetic.hpp"
+#include "src/chem/xyz_io.hpp"
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, XyzRoundTripsRandomLigandExactly) {
+  Rng rng(GetParam());
+  const chem::Molecule original = chem::buildLigand(10 + rng.uniformInt(30), 3, rng);
+  std::stringstream ss;
+  chem::writeXyz(ss, original, "sweep");
+  const chem::Molecule parsed = chem::readXyz(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    EXPECT_EQ(parsed.element(i), original.element(i));
+    EXPECT_NEAR(distance(parsed.position(i), original.position(i)), 0.0, 1e-8);
+    EXPECT_NEAR(parsed.charge(i), original.charge(i), 1e-8);
+  }
+}
+
+TEST_P(SeedSweep, Mol2RoundTripsRandomLigandTopology) {
+  Rng rng(GetParam() + 100);
+  const chem::Molecule original = chem::buildLigand(10 + rng.uniformInt(25), 2, rng);
+  std::stringstream ss;
+  chem::writeMol2(ss, original);
+  const chem::Molecule parsed = chem::readMol2(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  ASSERT_EQ(parsed.bondCount(), original.bondCount());
+  for (std::size_t b = 0; b < original.bondCount(); ++b) {
+    EXPECT_EQ(parsed.bonds()[b].a, original.bonds()[b].a);
+    EXPECT_EQ(parsed.bonds()[b].b, original.bonds()[b].b);
+  }
+}
+
+TEST_P(SeedSweep, PdbRoundTripsRandomLigandToCoordinatePrecision) {
+  Rng rng(GetParam() + 200);
+  const chem::Molecule original = chem::buildLigand(8 + rng.uniformInt(20), 2, rng);
+  std::stringstream ss;
+  chem::writePdb(ss, original);
+  const chem::Molecule parsed = chem::readPdb(ss);
+  ASSERT_EQ(parsed.atomCount(), original.atomCount());
+  ASSERT_EQ(parsed.bondCount(), original.bondCount());
+  for (std::size_t i = 0; i < original.atomCount(); ++i) {
+    // PDB writes %8.3f coordinates.
+    EXPECT_NEAR(distance(parsed.position(i), original.position(i)), 0.0, 2e-3);
+  }
+}
+
+TEST_P(SeedSweep, KabschRealignsRandomLigandConformations) {
+  Rng rng(GetParam() + 300);
+  const chem::Molecule lig = chem::buildLigand(15, 2, rng);
+  std::vector<Vec3> mobile(lig.positions().begin(), lig.positions().end());
+  const Mat3 rot = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-3, 3)).toMatrix();
+  const Vec3 shift{rng.gaussian(0, 20), rng.gaussian(0, 20), rng.gaussian(0, 20)};
+  std::vector<Vec3> target;
+  for (const auto& p : mobile) target.push_back(rot * p + shift);
+  EXPECT_NEAR(chem::alignedRmsd(mobile, target), 0.0, 1e-7);
+}
+
+TEST_P(SeedSweep, ScoringInvariantUnderRigidMotionOfComplex) {
+  Rng rng(GetParam() + 400);
+  chem::ScenarioSpec spec = chem::ScenarioSpec::tiny();
+  spec.seed = GetParam() + 1;
+  const chem::Scenario base = chem::buildScenario(spec);
+
+  const Mat3 rot = Quat::fromAxisAngle(rng.unitVector<Vec3>(), rng.uniform(-2, 2)).toMatrix();
+  const Vec3 shift{rng.gaussian(0, 8), rng.gaussian(0, 8), rng.gaussian(0, 8)};
+
+  chem::Molecule movedReceptor = base.receptor;
+  movedReceptor.rotateAbout(Vec3{}, rot);
+  movedReceptor.translate(shift);
+  chem::Molecule movedLigand = base.ligand;
+  movedLigand.rotateAbout(Vec3{}, rot);
+  movedLigand.translate(shift);
+
+  metadock::ScoringOptions opts;
+  opts.cutoff = 0.0;
+  opts.useGrid = false;
+
+  metadock::ReceptorModel r1(base.receptor, 0.0);
+  metadock::LigandModel l1(base.ligand);
+  metadock::ScoringFunction s1(r1, l1, opts);
+  metadock::ReceptorModel r2(movedReceptor, 0.0);
+  metadock::LigandModel l2(movedLigand);
+  metadock::ScoringFunction s2(r2, l2, opts);
+
+  const double a = s1.scorePose(l1.restPose());
+  const double b = s2.scorePose(l2.restPose());
+  EXPECT_NEAR(a, b, std::max(1e-7, std::fabs(a) * 1e-9));
+}
+
+TEST_P(SeedSweep, SmilesEmbeddingAlwaysValidates) {
+  // Random tree-shaped SMILES built from a tiny grammar.
+  Rng rng(GetParam() + 500);
+  std::string smiles = "C";
+  const char* atoms[] = {"C", "N", "O", "C", "C"};
+  int open = 0;
+  for (int i = 0; i < 12; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.2 && open < 3) {
+      smiles += "(";
+      ++open;
+    } else if (u < 0.3 && open > 0) {
+      smiles += ")";
+      --open;
+    }
+    if (smiles.back() == ')') continue;  // next must be an atom or branch
+    smiles += atoms[rng.uniformInt(5)];
+  }
+  while (open-- > 0) smiles += ")";
+  // Closing parens may leave a trailing "()"; sanitize.
+  std::string clean;
+  for (std::size_t i = 0; i < smiles.size(); ++i) {
+    if (smiles[i] == '(' && i + 1 < smiles.size() && smiles[i + 1] == ')') {
+      ++i;
+      continue;
+    }
+    clean += smiles[i];
+  }
+  const chem::Molecule mol = chem::moleculeFromSmiles(clean, GetParam());
+  EXPECT_NO_THROW(mol.validate());
+  EXPECT_GE(mol.atomCount(), 1u);
+  EXPECT_EQ(mol.bondCount(), mol.atomCount() - 1);  // tree
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dqndock

@@ -1,0 +1,124 @@
+// Tests for the residue-level synthetic protein builder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/chem/protein.hpp"
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(AminoAcidTest, CodeRoundTrip) {
+  for (int i = 0; i < kAminoAcidCount; ++i) {
+    const auto aa = static_cast<AminoAcid>(i);
+    EXPECT_EQ(aminoAcidFromCode(aminoAcidCode(aa)), aa);
+  }
+}
+
+TEST(AminoAcidTest, CaseInsensitiveParsing) {
+  EXPECT_EQ(aminoAcidFromCode("ala"), AminoAcid::Ala);
+  EXPECT_EQ(aminoAcidFromCode(" Trp "), AminoAcid::Trp);
+  EXPECT_THROW(aminoAcidFromCode("XYZ"), std::invalid_argument);
+}
+
+TEST(AminoAcidTest, ChargesAndSizes) {
+  EXPECT_EQ(residueCharge(AminoAcid::Asp), -1);
+  EXPECT_EQ(residueCharge(AminoAcid::Glu), -1);
+  EXPECT_EQ(residueCharge(AminoAcid::Lys), +1);
+  EXPECT_EQ(residueCharge(AminoAcid::Arg), +1);
+  EXPECT_EQ(residueCharge(AminoAcid::Ala), 0);
+  EXPECT_EQ(sideChainSize(AminoAcid::Gly), 0u);
+  EXPECT_GT(sideChainSize(AminoAcid::Trp), sideChainSize(AminoAcid::Ala));
+}
+
+TEST(ProteinBuilderTest, ValidationAndDeterminism) {
+  ProteinSpec spec;
+  spec.residues = 30;
+  const ProteinChain a = buildProtein(spec);
+  const ProteinChain b = buildProtein(spec);
+  EXPECT_NO_THROW(a.molecule.validate());
+  ASSERT_EQ(a.molecule.atomCount(), b.molecule.atomCount());
+  for (std::size_t i = 0; i < a.molecule.atomCount(); ++i) {
+    EXPECT_EQ(a.molecule.position(i), b.molecule.position(i));
+  }
+  EXPECT_THROW(buildProtein(ProteinSpec{.residues = 0}), std::invalid_argument);
+}
+
+TEST(ProteinBuilderTest, BackboneStructure) {
+  ProteinSpec spec;
+  spec.residues = 25;
+  const ProteinChain chain = buildProtein(spec);
+  ASSERT_EQ(chain.sequence.size(), 25u);
+  ASSERT_EQ(chain.caIndex.size(), 25u);
+  // Every residue contributes at least the 4 backbone atoms.
+  EXPECT_GE(chain.molecule.atomCount(), 4 * 25u);
+  EXPECT_EQ(chain.residueOfAtom.size(), chain.molecule.atomCount());
+  // C-alpha spacing close to the spec.
+  for (std::size_t r = 1; r < 25; ++r) {
+    const double d = distance(chain.molecule.position(chain.caIndex[r]),
+                              chain.molecule.position(chain.caIndex[r - 1]));
+    EXPECT_NEAR(d, spec.caSpacing, 1.0) << "residue " << r;
+  }
+}
+
+TEST(ProteinBuilderTest, SingleConnectedComponent) {
+  ProteinSpec spec;
+  spec.residues = 20;
+  const ProteinChain chain = buildProtein(spec);
+  Topology topo(chain.molecule);
+  int count = 0;
+  topo.connectedComponents(&count);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ProteinBuilderTest, CompactnessControlsRadius) {
+  ProteinSpec loose;
+  loose.residues = 60;
+  loose.compactness = 0.0;
+  loose.seed = 3;
+  ProteinSpec tight = loose;
+  tight.compactness = 0.6;
+
+  auto radius = [](const Molecule& m) {
+    const Vec3 c = m.centroid();
+    double acc = 0.0;
+    for (const auto& p : m.positions()) acc += distance2(p, c);
+    return std::sqrt(acc / static_cast<double>(m.atomCount()));
+  };
+  EXPECT_LT(radius(buildProtein(tight).molecule), radius(buildProtein(loose).molecule));
+}
+
+TEST(ProteinBuilderTest, ChargedResiduesCarryFormalCharge) {
+  // Build until the sequence contains a charged residue, then check the
+  // terminal side-chain atom's charge magnitude.
+  ProteinSpec spec;
+  spec.residues = 60;
+  spec.seed = 11;
+  const ProteinChain chain = buildProtein(spec);
+  bool sawCharged = false;
+  for (std::size_t r = 0; r < chain.sequence.size(); ++r) {
+    if (residueCharge(chain.sequence[r]) == 0) continue;
+    sawCharged = true;
+    // Find the residue's atoms and check one carries ~ +/-0.8.
+    double maxAbsCharge = 0.0;
+    for (std::size_t i = 0; i < chain.molecule.atomCount(); ++i) {
+      if (chain.residueOfAtom[i] == static_cast<int>(r)) {
+        maxAbsCharge = std::max(maxAbsCharge, std::fabs(chain.molecule.charge(i)));
+      }
+    }
+    EXPECT_NEAR(maxAbsCharge, 0.8, 1e-9) << "residue " << r;
+  }
+  EXPECT_TRUE(sawCharged) << "60-residue random sequence had no charged residue";
+}
+
+TEST(ProteinBuilderTest, RandomSequenceCoversAlphabet) {
+  Rng rng(13);
+  const auto seq = randomSequence(2000, rng);
+  std::set<AminoAcid> seen(seq.begin(), seq.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kAminoAcidCount));
+}
+
+}  // namespace
+}  // namespace dqndock::chem

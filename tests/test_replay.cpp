@@ -1,0 +1,106 @@
+// Tests for the raw experience replay buffer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/rl/replay_buffer.hpp"
+
+namespace dqndock::rl {
+namespace {
+
+std::vector<double> stateOf(double v, std::size_t dim = 4) {
+  return std::vector<double>(dim, v);
+}
+
+TEST(ReplayBufferTest, ConstructionValidation) {
+  EXPECT_THROW(ReplayBuffer(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReplayBuffer(4, 0), std::invalid_argument);
+  ReplayBuffer rb(10, 4);
+  EXPECT_EQ(rb.capacity(), 10u);
+  EXPECT_EQ(rb.stateDim(), 4u);
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(ReplayBufferTest, PushGrowsUntilCapacity) {
+  ReplayBuffer rb(3, 4);
+  for (int i = 0; i < 5; ++i) {
+    rb.push(stateOf(i), i, 0.5, stateOf(i + 1), false);
+    EXPECT_EQ(rb.size(), std::min<std::size_t>(i + 1, 3));
+  }
+}
+
+TEST(ReplayBufferTest, RingOverwritesOldest) {
+  ReplayBuffer rb(2, 1);
+  rb.push(stateOf(1.0, 1), 1, 0, stateOf(1.5, 1), false);
+  rb.push(stateOf(2.0, 1), 2, 0, stateOf(2.5, 1), false);
+  rb.push(stateOf(3.0, 1), 3, 0, stateOf(3.5, 1), false);  // overwrites the "1.0" slot
+  Rng rng(1);
+  bool sawOld = false;
+  for (int i = 0; i < 200; ++i) {
+    const Minibatch mb = rb.sample(1, rng);
+    if (mb.actions[0] == 1) sawOld = true;
+  }
+  EXPECT_FALSE(sawOld);
+}
+
+TEST(ReplayBufferTest, DimMismatchThrows) {
+  ReplayBuffer rb(4, 4);
+  EXPECT_THROW(rb.push(stateOf(0, 3), 0, 0, stateOf(0, 4), false), std::invalid_argument);
+  EXPECT_THROW(rb.push(stateOf(0, 4), 0, 0, stateOf(0, 5), false), std::invalid_argument);
+}
+
+TEST(ReplayBufferTest, SampleFromEmptyThrows) {
+  ReplayBuffer rb(4, 4);
+  Rng rng(2);
+  EXPECT_THROW(rb.sample(2, rng), std::logic_error);
+}
+
+TEST(ReplayBufferTest, SampledContentsMatchPushed) {
+  ReplayBuffer rb(8, 2);
+  const std::vector<double> s1{1.0, 2.0}, s2{4.0, 5.0};
+  rb.push(s1, 3, -1.0, s2, true);
+  Rng rng(3);
+  const Minibatch mb = rb.sample(4, rng);
+  ASSERT_EQ(mb.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(mb.states(b, 0), 1.0);
+    EXPECT_DOUBLE_EQ(mb.states(b, 1), 2.0);
+    EXPECT_DOUBLE_EQ(mb.nextStates(b, 0), 4.0);
+    EXPECT_EQ(mb.actions[b], 3);
+    EXPECT_DOUBLE_EQ(mb.rewards[b], -1.0);
+    EXPECT_EQ(mb.terminals[b], 1);
+  }
+}
+
+TEST(ReplayBufferTest, SamplingIsApproximatelyUniform) {
+  const std::size_t n = 10;
+  ReplayBuffer rb(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    rb.push(stateOf(static_cast<double>(i), 1), static_cast<int>(i), 0, stateOf(0.0, 1), false);
+  }
+  Rng rng(4);
+  std::vector<int> hits(n, 0);
+  const int draws = 20000;
+  for (int d = 0; d < draws / 4; ++d) {
+    const Minibatch mb = rb.sample(4, rng);
+    for (int a : mb.actions) ++hits[static_cast<std::size_t>(a)];
+  }
+  const double expected = static_cast<double>(draws) / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i], expected, expected * 0.15) << "slot " << i;
+  }
+}
+
+TEST(ReplayBufferTest, MemoryFootprintScalesWithCapacityAndDim) {
+  ReplayBuffer small(100, 10);
+  ReplayBuffer large(1000, 10);
+  ReplayBuffer wide(100, 100);
+  EXPECT_GT(large.memoryBytes(), small.memoryBytes());
+  EXPECT_GT(wide.memoryBytes(), small.memoryBytes());
+  // Two float arrays dominate: capacity * dim * 4 bytes each.
+  EXPECT_GE(small.memoryBytes(), 100u * 10 * 4 * 2);
+}
+
+}  // namespace
+}  // namespace dqndock::rl

@@ -1,0 +1,142 @@
+// Tests for the deterministic splittable RNG.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/vec3.hpp"
+
+namespace dqndock {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumSq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child continues differently from parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UnitVectorIsUnit) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(rng.unitVector<Vec3>().norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(RngTest, UnitVectorCoversBothHemispheres) {
+  Rng rng(31);
+  int positiveZ = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.unitVector<Vec3>().z > 0) ++positiveZ;
+  }
+  EXPECT_NEAR(static_cast<double>(positiveZ) / n, 0.5, 0.03);
+}
+
+class UniformIntBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIntBoundsTest, StaysInRange) {
+  Rng rng(GetParam() + 100);
+  const std::uint64_t n = GetParam();
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.uniformInt(n), n);
+  }
+}
+
+TEST_P(UniformIntBoundsTest, CoversAllValuesForSmallN) {
+  const std::uint64_t n = GetParam();
+  if (n > 16) GTEST_SKIP() << "coverage check only for small ranges";
+  Rng rng(GetParam());
+  std::vector<int> seen(n, 0);
+  for (std::uint64_t i = 0; i < 200 * n; ++i) ++seen[rng.uniformInt(n)];
+  for (std::uint64_t v = 0; v < n; ++v) EXPECT_GT(seen[v], 0) << "value " << v << " never drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformIntBoundsTest,
+                         ::testing::Values(1, 2, 3, 7, 12, 16, 1000, 1u << 20));
+
+TEST(RngTest, SignedUniformIntInclusiveBounds) {
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace dqndock

@@ -1,0 +1,233 @@
+// Tests for Equation 1's scoring function: pairwise terms, execution-path
+// equivalence (brute / grid / parallel), and physical invariances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+using chem::Element;
+using chem::ForceField;
+
+TEST(PairTermsTest, ElectrostaticSignsAndDecay) {
+  // Like charges repel (positive energy), opposite attract (negative).
+  EXPECT_GT(electrostaticEnergy(0.5, 0.5, 3.0), 0.0);
+  EXPECT_LT(electrostaticEnergy(0.5, -0.5, 3.0), 0.0);
+  // 1/r decay.
+  EXPECT_NEAR(electrostaticEnergy(1, 1, 2.0), electrostaticEnergy(1, 1, 4.0) * 2.0, 1e-9);
+  // Coulomb constant at r = 1.
+  EXPECT_NEAR(electrostaticEnergy(1, 1, 1.0), chem::kCoulomb, 1e-9);
+}
+
+TEST(PairTermsTest, ElectrostaticClampedAtContact) {
+  // Distances below the floor clamp rather than diverge to infinity.
+  const double atFloor = electrostaticEnergy(1, 1, kMinPairDistance);
+  EXPECT_DOUBLE_EQ(electrostaticEnergy(1, 1, 0.0), atFloor);
+  EXPECT_TRUE(std::isfinite(atFloor));
+}
+
+TEST(PairTermsTest, LennardJonesWellShape) {
+  const double sigma = 3.4, eps = 0.1;
+  // Zero crossing at r = sigma.
+  EXPECT_NEAR(lennardJonesEnergy(eps, sigma, sigma), 0.0, 1e-12);
+  // Minimum at r = 2^(1/6) sigma with depth -eps.
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  EXPECT_NEAR(lennardJonesEnergy(eps, sigma, rmin), -eps, 1e-12);
+  EXPECT_GT(lennardJonesEnergy(eps, sigma, rmin * 0.99), -eps);
+  EXPECT_GT(lennardJonesEnergy(eps, sigma, rmin * 1.01), -eps);
+  // Strong repulsion at overlap, vanishing tail.
+  EXPECT_GT(lennardJonesEnergy(eps, sigma, 1.0), 1e3);
+  EXPECT_NEAR(lennardJonesEnergy(eps, sigma, 30.0), 0.0, 1e-6);
+}
+
+TEST(PairTermsTest, LennardJonesAstronomicalAtContact) {
+  // The paper quotes scores like -4.5e+21 on steric collision; the energy
+  // at the clamp floor must be of that magnitude.
+  EXPECT_GT(lennardJonesEnergy(0.1, 3.4, 0.0), 1e18);
+}
+
+TEST(PairTermsTest, HBondAngularGating) {
+  const auto hb = ForceField::standard().hbond();
+  const double eps = 0.1, sigma = 3.0, r = 1.9;
+  // Perfect alignment: the full 12-10 well (-0.5 kcal/mol).
+  EXPECT_NEAR(hbondEnergy(hb, eps, sigma, r, 1.0), -0.5, 1e-9);
+  // Orthogonal geometry: falls back to plain LJ.
+  EXPECT_NEAR(hbondEnergy(hb, eps, sigma, r, 0.0), lennardJonesEnergy(eps, sigma, r), 1e-12);
+  // Anti-aligned clamps to the orthogonal case (no negative-cos wells).
+  EXPECT_NEAR(hbondEnergy(hb, eps, sigma, r, -0.7), hbondEnergy(hb, eps, sigma, r, 0.0), 1e-12);
+  // Intermediate angles interpolate monotonically at the well distance.
+  EXPECT_LT(hbondEnergy(hb, eps, sigma, r, 1.0), hbondEnergy(hb, eps, sigma, r, 0.5));
+}
+
+class ScoringFixture : public ::testing::Test {
+ protected:
+  ScoringFixture() : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())) {}
+
+  chem::Scenario scenario_;
+};
+
+TEST_F(ScoringFixture, GridPrunedMatchesBruteForceWithCutoff) {
+  const double cutoff = 8.0;
+  ReceptorModel receptor(scenario_.receptor, cutoff);
+  LigandModel ligand(scenario_.ligand);
+
+  ScoringOptions brute;
+  brute.cutoff = cutoff;
+  brute.useGrid = false;
+  ScoringOptions grid;
+  grid.cutoff = cutoff;
+  grid.useGrid = true;
+
+  ScoringFunction sfBrute(receptor, ligand, brute);
+  ScoringFunction sfGrid(receptor, ligand, grid);
+
+  // Compare on several poses, including ones inside the receptor.
+  Rng rng(3);
+  std::vector<Vec3> scratch;
+  for (int i = 0; i < 20; ++i) {
+    const Pose pose = randomPose(receptor.centerOfMass(), 15.0, ligand.torsionCount(), rng);
+    const double a = sfBrute.scorePose(pose, scratch);
+    const double b = sfGrid.scorePose(pose, scratch);
+    EXPECT_NEAR(a, b, std::max(1e-9, std::fabs(a) * 1e-12)) << "pose " << i;
+  }
+}
+
+TEST_F(ScoringFixture, ParallelMatchesSerial) {
+  ThreadPool pool(4);
+  ReceptorModel receptor(scenario_.receptor, 0.0);
+  LigandModel ligand(scenario_.ligand);
+
+  ScoringOptions serial;
+  serial.cutoff = 0.0;
+  serial.useGrid = false;
+  ScoringOptions parallel = serial;
+  parallel.pool = &pool;
+
+  ScoringFunction sfSerial(receptor, ligand, serial);
+  ScoringFunction sfParallel(receptor, ligand, parallel);
+
+  Rng rng(4);
+  std::vector<Vec3> scratch;
+  for (int i = 0; i < 10; ++i) {
+    const Pose pose = randomPose(receptor.centerOfMass(), 20.0, ligand.torsionCount(), rng);
+    const double a = sfSerial.scorePose(pose, scratch);
+    const double b = sfParallel.scorePose(pose, scratch);
+    EXPECT_NEAR(a, b, std::max(1e-9, std::fabs(a) * 1e-9));
+  }
+}
+
+TEST_F(ScoringFixture, TranslationOfWholeComplexIsInvariant) {
+  // Scoring must depend only on relative geometry: shift receptor and
+  // ligand together and the energy stays identical (no cutoff, so the
+  // comparison is exact).
+  const Vec3 shift{13.7, -8.1, 4.4};
+  chem::Molecule shiftedReceptor = scenario_.receptor;
+  shiftedReceptor.translate(shift);
+  chem::Molecule shiftedLigand = scenario_.ligand;
+  shiftedLigand.translate(shift);
+
+  ScoringOptions opts;
+  opts.cutoff = 0.0;
+  opts.useGrid = false;
+
+  ReceptorModel r1(scenario_.receptor, 0.0);
+  LigandModel l1(scenario_.ligand);
+  ScoringFunction s1(r1, l1, opts);
+
+  ReceptorModel r2(shiftedReceptor, 0.0);
+  LigandModel l2(shiftedLigand);
+  ScoringFunction s2(r2, l2, opts);
+
+  const double a = s1.scorePose(l1.restPose());
+  const double b = s2.scorePose(l2.restPose());
+  EXPECT_NEAR(a, b, std::max(1e-9, std::fabs(a) * 1e-10));
+}
+
+TEST_F(ScoringFixture, EnergyDecompositionSumsToTotal) {
+  ReceptorModel receptor(scenario_.receptor, 0.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringOptions opts;
+  opts.cutoff = 0.0;
+  opts.useGrid = false;
+  ScoringFunction sf(receptor, ligand, opts);
+
+  std::vector<Vec3> pos;
+  ligand.applyPose(ligand.restPose(), pos);
+  const ScoreTerms terms = sf.energy(pos);
+  EXPECT_DOUBLE_EQ(terms.total(), terms.electrostatic + terms.vdw + terms.hbond);
+  EXPECT_DOUBLE_EQ(sf.score(pos), -terms.total());
+}
+
+TEST_F(ScoringFixture, ClashProducesHugeNegativeScore) {
+  ReceptorModel receptor(scenario_.receptor, 12.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringFunction sf(receptor, ligand, {});
+  // Park the ligand on top of a receptor atom.
+  Pose clash(ligand.torsionCount());
+  clash.translation = receptor.positions()[0];
+  EXPECT_LT(sf.scorePose(clash), -1e5);
+}
+
+TEST_F(ScoringFixture, CrystalBeatsInitialAndRandomFarPose) {
+  ReceptorModel receptor(scenario_.receptor, 12.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringFunction sf(receptor, ligand, {});
+  const double crystal = sf.score(scenario_.crystalPositions);
+  const double initial = sf.scorePose(ligand.restPose());
+  EXPECT_GT(crystal, initial);
+  EXPECT_GT(crystal, 0.0);
+}
+
+TEST_F(ScoringFixture, MismatchedPositionCountThrows) {
+  ReceptorModel receptor(scenario_.receptor, 12.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringFunction sf(receptor, ligand, {});
+  std::vector<Vec3> wrong(3);
+  EXPECT_THROW(sf.energy(wrong), std::invalid_argument);
+}
+
+TEST_F(ScoringFixture, GridRequestWithoutGridThrows) {
+  ReceptorModel receptor(scenario_.receptor, 0.0);  // no grid built
+  LigandModel ligand(scenario_.ligand);
+  ScoringOptions opts;
+  opts.useGrid = true;
+  opts.cutoff = 8.0;
+  EXPECT_THROW(ScoringFunction(receptor, ligand, opts), std::invalid_argument);
+}
+
+TEST_F(ScoringFixture, GridCellSmallerThanCutoffThrows) {
+  ReceptorModel receptor(scenario_.receptor, 4.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringOptions opts;
+  opts.useGrid = true;
+  opts.cutoff = 8.0;  // cell (4.0) < cutoff: 27-cell coverage would break
+  EXPECT_THROW(ScoringFunction(receptor, ligand, opts), std::invalid_argument);
+}
+
+TEST_F(ScoringFixture, LargerCutoffCapturesMoreEnergyMagnitude) {
+  ReceptorModel receptor(scenario_.receptor, 0.0);
+  LigandModel ligand(scenario_.ligand);
+  ScoringOptions small;
+  small.cutoff = 4.0;
+  small.useGrid = false;
+  ScoringOptions none;
+  none.cutoff = 0.0;
+  none.useGrid = false;
+  ScoringFunction sfSmall(receptor, ligand, small);
+  ScoringFunction sfAll(receptor, ligand, none);
+  // With no cutoff every pair contributes; a tiny cutoff sees only a
+  // subset, so the two must differ at a pose near the surface.
+  Pose pose(ligand.torsionCount());
+  pose.translation = scenario_.pocketCenter;
+  const double sSmall = sfSmall.scorePose(pose);
+  const double sAll = sfAll.scorePose(pose);
+  EXPECT_NE(sSmall, sAll);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

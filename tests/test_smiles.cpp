@@ -1,0 +1,163 @@
+// Tests for the SMILES parser / writer and its 3-D embedding.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/chem/smiles.hpp"
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(SmilesTest, LinearChain) {
+  const Molecule m = moleculeFromSmiles("CCO");
+  ASSERT_EQ(m.atomCount(), 3u);
+  EXPECT_EQ(m.element(0), Element::C);
+  EXPECT_EQ(m.element(1), Element::C);
+  EXPECT_EQ(m.element(2), Element::O);
+  ASSERT_EQ(m.bondCount(), 2u);
+  EXPECT_EQ(m.bonds()[0].a, 0);
+  EXPECT_EQ(m.bonds()[0].b, 1);
+}
+
+TEST(SmilesTest, TwoLetterElements) {
+  const Molecule m = moleculeFromSmiles("CClBrI");
+  ASSERT_EQ(m.atomCount(), 4u);
+  EXPECT_EQ(m.element(1), Element::Cl);
+  EXPECT_EQ(m.element(2), Element::Br);
+  EXPECT_EQ(m.element(3), Element::I);
+}
+
+TEST(SmilesTest, AromaticLowercaseMapped) {
+  const Molecule m = moleculeFromSmiles("cnos");
+  ASSERT_EQ(m.atomCount(), 4u);
+  EXPECT_EQ(m.element(0), Element::C);
+  EXPECT_EQ(m.element(1), Element::N);
+  EXPECT_EQ(m.element(2), Element::O);
+  EXPECT_EQ(m.element(3), Element::S);
+}
+
+TEST(SmilesTest, BranchesAttachCorrectly) {
+  // Isobutane-like: central carbon with three substituents.
+  const Molecule m = moleculeFromSmiles("CC(C)(C)O");
+  ASSERT_EQ(m.atomCount(), 5u);
+  Topology topo(m);
+  EXPECT_EQ(topo.degree(1), 4);  // the branching carbon
+  EXPECT_EQ(topo.degree(0), 1);
+  EXPECT_EQ(topo.degree(4), 1);
+}
+
+TEST(SmilesTest, RingClosure) {
+  const Molecule m = moleculeFromSmiles("C1CCCCC1");  // cyclohexane
+  ASSERT_EQ(m.atomCount(), 6u);
+  EXPECT_EQ(m.bondCount(), 6u);  // chain of 5 + 1 closure
+  Topology topo(m);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(topo.degree(i), 2);
+  EXPECT_TRUE(topo.bondInRing(m, 0));
+}
+
+TEST(SmilesTest, PercentRingClosure) {
+  const Molecule m = moleculeFromSmiles("C%12CCC%12");
+  EXPECT_EQ(m.atomCount(), 4u);
+  EXPECT_EQ(m.bondCount(), 4u);
+}
+
+TEST(SmilesTest, BondSymbolsCollapse) {
+  const Molecule m = moleculeFromSmiles("C=C#N");
+  EXPECT_EQ(m.atomCount(), 3u);
+  EXPECT_EQ(m.bondCount(), 2u);
+}
+
+TEST(SmilesTest, BracketAtomsWithChargeAndHydrogens) {
+  const Molecule m = moleculeFromSmiles("C[NH3+]");
+  // C, N, + 3 explicit hydrogens.
+  ASSERT_EQ(m.atomCount(), 5u);
+  EXPECT_EQ(m.element(1), Element::N);
+  EXPECT_NEAR(m.charge(1), 0.8, 1e-9);  // +1 formal -> 0.8 partial
+  int hydrogens = 0, donors = 0;
+  for (std::size_t i = 0; i < m.atomCount(); ++i) {
+    if (m.element(i) == Element::H) {
+      ++hydrogens;
+      if (m.hbondRole(i) == HBondRole::kDonorHydrogen) ++donors;
+    }
+  }
+  EXPECT_EQ(hydrogens, 3);
+  EXPECT_EQ(donors, 3);
+}
+
+TEST(SmilesTest, NegativeCharge) {
+  const Molecule m = moleculeFromSmiles("CC(=O)[O-]");
+  EXPECT_NEAR(m.charge(3), -0.8, 1e-9);
+  EXPECT_EQ(m.hbondRole(3), HBondRole::kAcceptor);
+}
+
+TEST(SmilesTest, GeometryIsSelfAvoiding) {
+  const Molecule m = moleculeFromSmiles("CCCCCCCCCC");  // decane
+  for (std::size_t i = 0; i < m.atomCount(); ++i) {
+    for (std::size_t j = i + 1; j < m.atomCount(); ++j) {
+      EXPECT_GT(distance(m.position(i), m.position(j)), 1.0);
+    }
+  }
+  // Bonded neighbours at covalent distance.
+  for (const auto& b : m.bonds()) {
+    EXPECT_NEAR(distance(m.position(static_cast<std::size_t>(b.a)),
+                         m.position(static_cast<std::size_t>(b.b))),
+                1.5, 1e-9);
+  }
+}
+
+TEST(SmilesTest, DeterministicInSeed) {
+  const Molecule a = moleculeFromSmiles("CC(C)CO", 7);
+  const Molecule b = moleculeFromSmiles("CC(C)CO", 7);
+  for (std::size_t i = 0; i < a.atomCount(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+  }
+}
+
+TEST(SmilesTest, MalformedInputsRejectedWithPosition) {
+  EXPECT_THROW(moleculeFromSmiles(""), std::runtime_error);
+  EXPECT_THROW(moleculeFromSmiles("C(C"), std::runtime_error);     // open branch
+  EXPECT_THROW(moleculeFromSmiles("CC)"), std::runtime_error);     // stray ')'
+  EXPECT_THROW(moleculeFromSmiles("C1CC"), std::runtime_error);    // unclosed ring
+  EXPECT_THROW(moleculeFromSmiles("C[Zz]"), std::runtime_error);   // unknown element
+  EXPECT_THROW(moleculeFromSmiles("C[N"), std::runtime_error);     // unterminated bracket
+  EXPECT_THROW(moleculeFromSmiles("C@C"), std::runtime_error);     // unsupported char
+  EXPECT_THROW(moleculeFromSmiles("(C)"), std::runtime_error);     // branch before atom
+  try {
+    moleculeFromSmiles("CC@");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("position 2"), std::string::npos);
+  }
+}
+
+TEST(SmilesTest, WriterRoundTripsTopology) {
+  for (const char* smiles : {"CCO", "CC(C)(C)O", "C1CCCCC1", "CC(=O)[O-]", "CCN(CC)CC"}) {
+    const Molecule original = moleculeFromSmiles(smiles);
+    const std::string emitted = smilesFromMolecule(original);
+    const Molecule reparsed = moleculeFromSmiles(emitted);
+    EXPECT_EQ(reparsed.atomCount(), original.atomCount()) << smiles << " -> " << emitted;
+    EXPECT_EQ(reparsed.bondCount(), original.bondCount()) << smiles << " -> " << emitted;
+    // Element multiset must match.
+    std::array<int, kElementCount> histA{}, histB{};
+    for (std::size_t i = 0; i < original.atomCount(); ++i) {
+      ++histA[static_cast<std::size_t>(original.element(i))];
+      ++histB[static_cast<std::size_t>(reparsed.element(i))];
+    }
+    EXPECT_EQ(histA, histB) << smiles;
+  }
+}
+
+TEST(SmilesTest, ParsedLigandIsDockable) {
+  // A drug-like SMILES must flow straight into the docking machinery.
+  Molecule lig = moleculeFromSmiles("CC(C)CC(N)C(=O)O");  // leucine-like
+  detectRotatableBonds(lig);
+  std::size_t rotatable = 0;
+  for (const auto& b : lig.bonds()) rotatable += b.rotatable;
+  EXPECT_GT(rotatable, 0u);
+  EXPECT_NO_THROW(lig.validate());
+}
+
+}  // namespace
+}  // namespace dqndock::chem

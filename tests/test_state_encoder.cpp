@@ -1,0 +1,126 @@
+// Tests for the three state encodings, including the paper's
+// 16,599-dimensional full-with-bonds mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/state_encoder.hpp"
+
+namespace dqndock::core {
+namespace {
+
+class StateEncoderFixture : public ::testing::Test {
+ protected:
+  StateEncoderFixture() : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())) {}
+
+  chem::Scenario scenario_;
+};
+
+TEST_F(StateEncoderFixture, ModeNamesRoundTrip) {
+  for (auto mode : {StateMode::kLigandPositions, StateMode::kFullPositions,
+                    StateMode::kFullWithBonds}) {
+    EXPECT_EQ(stateModeFromName(stateModeName(mode)), mode);
+  }
+  EXPECT_THROW(stateModeFromName("bogus"), std::invalid_argument);
+}
+
+TEST_F(StateEncoderFixture, DimensionsPerMode) {
+  const auto& sc = scenario_;
+  StateEncoder lig(sc, StateMode::kLigandPositions);
+  StateEncoder full(sc, StateMode::kFullPositions);
+  StateEncoder bonds(sc, StateMode::kFullWithBonds);
+  EXPECT_EQ(lig.dim(), 3 * sc.ligand.atomCount());
+  EXPECT_EQ(full.dim(), 3 * (sc.ligand.atomCount() + sc.receptor.atomCount()));
+  EXPECT_EQ(bonds.dim(), 3 * (sc.ligand.atomCount() + sc.receptor.atomCount() +
+                              sc.ligand.bondCount() + sc.receptor.bondCount()));
+}
+
+TEST(StateEncoderPaperTest, Paper2bsmStateIs16599) {
+  const auto sc = chem::buildScenario(chem::ScenarioSpec::paper2bsm());
+  StateEncoder enc(sc, StateMode::kFullWithBonds);
+  EXPECT_EQ(enc.dim(), 16599u);  // paper Table 1: state space
+}
+
+TEST_F(StateEncoderFixture, EncodeMatchesEnvironmentPositions) {
+  metadock::DockingEnv env(scenario_, {});
+  StateEncoder enc(scenario_, StateMode::kLigandPositions, /*normalize=*/false);
+  std::vector<double> state;
+  enc.encode(env, state);
+  ASSERT_EQ(state.size(), enc.dim());
+  const auto positions = env.ligandPositions();
+  const Vec3 origin = scenario_.receptor.centerOfMass();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(state[3 * i + 0], positions[i].x - origin.x);
+    EXPECT_DOUBLE_EQ(state[3 * i + 1], positions[i].y - origin.y);
+    EXPECT_DOUBLE_EQ(state[3 * i + 2], positions[i].z - origin.z);
+  }
+}
+
+TEST_F(StateEncoderFixture, NormalizedStatesAreOrderOne)  {
+  metadock::DockingEnv env(scenario_, {});
+  StateEncoder enc(scenario_, StateMode::kFullWithBonds, /*normalize=*/true);
+  std::vector<double> state;
+  enc.encode(env, state);
+  for (double v : state) {
+    EXPECT_LT(std::fabs(v), 10.0);
+  }
+}
+
+TEST_F(StateEncoderFixture, OnlyLigandBlockChangesAcrossSteps) {
+  metadock::DockingEnv env(scenario_, {});
+  StateEncoder enc(scenario_, StateMode::kFullWithBonds);
+  std::vector<double> before, after;
+  enc.encode(env, before);
+  env.step(1);
+  enc.encode(env, after);
+  // Receptor prefix (positions + bond dirs precomputed) must be bit-equal.
+  const std::size_t receptorBlock =
+      3 * (scenario_.receptor.atomCount() + scenario_.receptor.bondCount());
+  for (std::size_t i = 0; i < receptorBlock; ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]) << "receptor feature " << i << " changed";
+  }
+  // Something in the ligand block must have changed.
+  bool changed = false;
+  for (std::size_t i = receptorBlock; i < before.size() && !changed; ++i) {
+    changed = before[i] != after[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST_F(StateEncoderFixture, PureTranslationKeepsBondDirections) {
+  metadock::DockingEnv env(scenario_, {});
+  StateEncoder enc(scenario_, StateMode::kFullWithBonds);
+  std::vector<double> before, after;
+  enc.encode(env, before);
+  env.step(1);  // +x translation: bond directions are translation-invariant
+  enc.encode(env, after);
+  const std::size_t receptorBlock =
+      3 * (scenario_.receptor.atomCount() + scenario_.receptor.bondCount());
+  const std::size_t ligandPosBlock = 3 * scenario_.ligand.atomCount();
+  for (std::size_t i = receptorBlock + ligandPosBlock; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-12) << "ligand bond dir " << i;
+  }
+}
+
+TEST_F(StateEncoderFixture, EncodeFromPositionsAgreesWithEncode) {
+  metadock::DockingEnv env(scenario_, {});
+  env.step(4);
+  env.step(7);
+  StateEncoder enc(scenario_, StateMode::kFullWithBonds);
+  std::vector<double> a, b;
+  enc.encode(env, a);
+  enc.encodeFromPositions(env.ligandPositions(), b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_F(StateEncoderFixture, WrongPositionCountThrows) {
+  StateEncoder enc(scenario_, StateMode::kLigandPositions);
+  std::vector<Vec3> wrong(3);
+  std::vector<double> out;
+  EXPECT_THROW(enc.encodeFromPositions(wrong, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dqndock::core

@@ -1,0 +1,98 @@
+// Tests for the sum tree backing prioritized replay.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/rl/sum_tree.hpp"
+
+namespace dqndock::rl {
+namespace {
+
+TEST(SumTreeTest, ConstructionValidation) {
+  EXPECT_THROW(SumTree(0), std::invalid_argument);
+  SumTree t(5);
+  EXPECT_EQ(t.capacity(), 5u);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(SumTreeTest, UpdateMaintainsTotal) {
+  SumTree t(4);
+  t.update(0, 1.0);
+  t.update(1, 2.0);
+  t.update(2, 3.0);
+  EXPECT_DOUBLE_EQ(t.total(), 6.0);
+  t.update(1, 5.0);  // replace, not add
+  EXPECT_DOUBLE_EQ(t.total(), 9.0);
+  EXPECT_DOUBLE_EQ(t.priority(1), 5.0);
+}
+
+TEST(SumTreeTest, NegativePriorityRejected) {
+  SumTree t(4);
+  EXPECT_THROW(t.update(0, -1.0), std::invalid_argument);
+}
+
+TEST(SumTreeTest, IndexOutOfRangeRejected) {
+  SumTree t(4);
+  EXPECT_THROW(t.update(4, 1.0), std::out_of_range);
+  EXPECT_THROW(t.priority(7), std::out_of_range);
+}
+
+TEST(SumTreeTest, FindOnEmptyThrows) {
+  SumTree t(4);
+  EXPECT_THROW(t.find(0.0), std::logic_error);
+}
+
+TEST(SumTreeTest, FindLocatesCorrectIntervals) {
+  SumTree t(4);
+  t.update(0, 1.0);  // [0, 1)
+  t.update(1, 2.0);  // [1, 3)
+  t.update(2, 3.0);  // [3, 6)
+  t.update(3, 4.0);  // [6, 10)
+  EXPECT_EQ(t.find(0.5), 0u);
+  EXPECT_EQ(t.find(1.0), 1u);
+  EXPECT_EQ(t.find(2.9), 1u);
+  EXPECT_EQ(t.find(3.0), 2u);
+  EXPECT_EQ(t.find(5.999), 2u);
+  EXPECT_EQ(t.find(6.0), 3u);
+  EXPECT_EQ(t.find(9.999), 3u);
+  // Out-of-range masses clamp.
+  EXPECT_EQ(t.find(-5.0), 0u);
+  EXPECT_EQ(t.find(1e9), 3u);
+}
+
+TEST(SumTreeTest, NonPowerOfTwoCapacity) {
+  SumTree t(5);
+  for (std::size_t i = 0; i < 5; ++i) t.update(i, 1.0);
+  EXPECT_DOUBLE_EQ(t.total(), 5.0);
+  EXPECT_EQ(t.find(4.5), 4u);
+}
+
+TEST(SumTreeTest, SamplingFrequencyProportionalToPriority) {
+  SumTree t(3);
+  t.update(0, 1.0);
+  t.update(1, 2.0);
+  t.update(2, 7.0);
+  Rng rng(9);
+  std::vector<int> hits(3, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++hits[t.find(rng.uniform() * t.total())];
+  EXPECT_NEAR(hits[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(draws), 0.2, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(draws), 0.7, 0.01);
+}
+
+TEST(SumTreeTest, ZeroPrioritySlotNeverSampled) {
+  SumTree t(3);
+  t.update(0, 1.0);
+  t.update(1, 0.0);
+  t.update(2, 1.0);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(t.find(rng.uniform() * t.total()), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dqndock::rl

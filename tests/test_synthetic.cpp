@@ -1,0 +1,169 @@
+// Tests for the synthetic 2BSM-surrogate scenario builder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/chem/synthetic.hpp"
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+TEST(SyntheticLigandTest, ExactAtomAndBondCounts) {
+  Rng rng(1);
+  const Molecule lig = buildLigand(45, 6, rng);
+  EXPECT_EQ(lig.atomCount(), 45u);
+  EXPECT_EQ(lig.bondCount(), 44u);  // tree topology
+}
+
+TEST(SyntheticLigandTest, RequestedRotatableBonds) {
+  Rng rng(2);
+  Molecule lig = buildLigand(45, 6, rng);
+  int rotatable = 0;
+  for (const auto& b : lig.bonds()) rotatable += b.rotatable;
+  EXPECT_EQ(rotatable, 6);
+}
+
+TEST(SyntheticLigandTest, CenteredOnCentroid) {
+  Rng rng(3);
+  const Molecule lig = buildLigand(30, 3, rng);
+  EXPECT_NEAR(lig.centroid().norm(), 0.0, 1e-9);
+}
+
+TEST(SyntheticLigandTest, TreeIsConnected) {
+  Rng rng(4);
+  const Molecule lig = buildLigand(45, 6, rng);
+  Topology topo(lig);
+  int count = 0;
+  topo.connectedComponents(&count);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SyntheticLigandTest, NoAtomOverlap) {
+  Rng rng(5);
+  const Molecule lig = buildLigand(45, 6, rng);
+  for (std::size_t i = 0; i < lig.atomCount(); ++i) {
+    for (std::size_t j = i + 1; j < lig.atomCount(); ++j) {
+      EXPECT_GT(distance(lig.position(i), lig.position(j)), 0.9);
+    }
+  }
+}
+
+TEST(SyntheticLigandTest, ZeroAtomsThrows) {
+  Rng rng(6);
+  EXPECT_THROW(buildLigand(0, 0, rng), std::invalid_argument);
+}
+
+TEST(SyntheticLigandTest, RotatableCappedByEligibility) {
+  Rng rng(7);
+  // 2 atoms -> a single terminal bond -> 0 rotatable, request 5.
+  Molecule lig = buildLigand(2, 5, rng);
+  int rotatable = 0;
+  for (const auto& b : lig.bonds()) rotatable += b.rotatable;
+  EXPECT_EQ(rotatable, 0);
+}
+
+TEST(LigandLibraryTest, CountAndSizeRange) {
+  Rng rng(8);
+  const auto lib = buildLigandLibrary(10, 10, 20, rng);
+  ASSERT_EQ(lib.size(), 10u);
+  for (const auto& l : lib) {
+    EXPECT_GE(l.atomCount(), 10u);
+    EXPECT_LE(l.atomCount(), 20u);
+  }
+}
+
+TEST(LigandLibraryTest, BadRangeThrows) {
+  Rng rng(9);
+  EXPECT_THROW(buildLigandLibrary(2, 10, 5, rng), std::invalid_argument);
+  EXPECT_THROW(buildLigandLibrary(2, 0, 5, rng), std::invalid_argument);
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static const Scenario& paper() {
+    static const Scenario sc = buildScenario(ScenarioSpec::paper2bsm());
+    return sc;
+  }
+};
+
+TEST_F(ScenarioTest, PaperDimensionsExact) {
+  const Scenario& sc = paper();
+  EXPECT_EQ(sc.receptor.atomCount(), 3264u);   // paper: 2BSM receptor
+  EXPECT_EQ(sc.ligand.atomCount(), 45u);       // paper: hidden size 45x3
+  EXPECT_EQ(sc.receptor.bondCount(), 2180u);   // -> state 16,599 reals
+  EXPECT_EQ(sc.ligand.bondCount(), 44u);
+  int rotatable = 0;
+  for (const auto& b : sc.ligand.bonds()) rotatable += b.rotatable;
+  EXPECT_EQ(rotatable, 6);  // paper Section 5: ligand folds in 6 bonds
+  const std::size_t stateDim =
+      3 * (sc.receptor.atomCount() + sc.ligand.atomCount() + sc.receptor.bondCount() +
+           sc.ligand.bondCount());
+  EXPECT_EQ(stateDim, 16599u);
+}
+
+TEST_F(ScenarioTest, DeterministicInSeed) {
+  const Scenario a = buildScenario(ScenarioSpec::tiny());
+  const Scenario b = buildScenario(ScenarioSpec::tiny());
+  ASSERT_EQ(a.receptor.atomCount(), b.receptor.atomCount());
+  for (std::size_t i = 0; i < a.receptor.atomCount(); ++i) {
+    EXPECT_EQ(a.receptor.position(i), b.receptor.position(i));
+  }
+  for (std::size_t i = 0; i < a.ligand.atomCount(); ++i) {
+    EXPECT_EQ(a.ligand.position(i), b.ligand.position(i));
+  }
+}
+
+TEST_F(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioSpec s1 = ScenarioSpec::tiny();
+  ScenarioSpec s2 = ScenarioSpec::tiny();
+  s2.seed = s1.seed + 1;
+  const Scenario a = buildScenario(s1);
+  const Scenario b = buildScenario(s2);
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.receptor.atomCount() && !anyDiff; ++i) {
+    anyDiff = !(a.receptor.position(i) == b.receptor.position(i));
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST_F(ScenarioTest, PocketIsCarvedOut) {
+  const Scenario& sc = paper();
+  // No receptor atom should sit right at the pocket center.
+  double minDist = 1e9;
+  for (const auto& p : sc.receptor.positions()) {
+    minDist = std::min(minDist, distance(p, sc.pocketCenter));
+  }
+  EXPECT_GT(minDist, 2.0);
+}
+
+TEST_F(ScenarioTest, InitialPoseOutsideReceptor) {
+  const Scenario& sc = paper();
+  const auto [lo, hi] = sc.receptor.boundingBox();
+  const double receptorRadius = 0.5 * (hi - lo).norm();
+  EXPECT_GT(sc.initialComDistance, receptorRadius);
+}
+
+TEST_F(ScenarioTest, CrystalPoseInsidePocketRegion) {
+  const Scenario& sc = paper();
+  Vec3 centroid;
+  for (const auto& p : sc.crystalPositions) centroid += p;
+  centroid /= static_cast<double>(sc.crystalPositions.size());
+  EXPECT_NEAR(distance(centroid, sc.pocketCenter), 0.0, 1e-9);
+}
+
+TEST_F(ScenarioTest, MoleculesValidate) {
+  EXPECT_NO_THROW(paper().receptor.validate());
+  EXPECT_NO_THROW(paper().ligand.validate());
+}
+
+TEST_F(ScenarioTest, TinyPresetSmall) {
+  const Scenario sc = buildScenario(ScenarioSpec::tiny());
+  EXPECT_EQ(sc.receptor.atomCount(), 300u);
+  EXPECT_EQ(sc.ligand.atomCount(), 12u);
+  EXPECT_EQ(sc.receptor.bondCount(), 150u);
+}
+
+}  // namespace
+}  // namespace dqndock::chem

@@ -1,0 +1,101 @@
+// Tests for parallel tempering (replica exchange) docking.
+
+#include <gtest/gtest.h>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/tempering.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class TemperingFixture : public ::testing::Test {
+ protected:
+  TemperingFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())),
+        receptor_(scenario_.receptor, 12.0),
+        ligand_(scenario_.ligand),
+        scoring_(receptor_, ligand_, {}),
+        evaluator_(scoring_, nullptr) {}
+
+  chem::Scenario scenario_;
+  ReceptorModel receptor_;
+  LigandModel ligand_;
+  ScoringFunction scoring_;
+  PoseEvaluator evaluator_;
+};
+
+TEST_F(TemperingFixture, ConstructionValidation) {
+  TemperingParams bad;
+  bad.replicas = 1;
+  EXPECT_THROW(ParallelTempering(evaluator_, bad), std::invalid_argument);
+  TemperingParams badT;
+  badT.temperatureMax = badT.temperatureMin;
+  EXPECT_THROW(ParallelTempering(evaluator_, badT), std::invalid_argument);
+}
+
+TEST_F(TemperingFixture, LadderIsGeometricAndOrdered) {
+  TemperingParams params;
+  params.replicas = 5;
+  params.temperatureMin = 2.0;
+  params.temperatureMax = 32.0;
+  ParallelTempering pt(evaluator_, params);
+  const auto& ladder = pt.ladder();
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.front(), 2.0);
+  EXPECT_NEAR(ladder.back(), 32.0, 1e-9);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_NEAR(ladder[i] / ladder[i - 1], 2.0, 1e-9);  // geometric ratio
+  }
+}
+
+TEST_F(TemperingFixture, HistoryMonotoneAndBudgetRespected) {
+  TemperingParams params;
+  params.maxEvaluations = 1500;
+  ParallelTempering pt(evaluator_, params);
+  Rng rng(3);
+  const TemperingResult result = pt.run(rng);
+  ASSERT_FALSE(result.history.empty());
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i], result.history[i - 1]);
+  }
+  EXPECT_GE(result.evaluations, 1500u);
+  EXPECT_LT(result.evaluations, 3000u);  // bounded overshoot (one round)
+  EXPECT_EQ(result.history.back(), result.best.score);
+}
+
+TEST_F(TemperingFixture, SwapsHappen) {
+  TemperingParams params;
+  params.maxEvaluations = 2000;
+  ParallelTempering pt(evaluator_, params);
+  Rng rng(5);
+  const TemperingResult result = pt.run(rng);
+  EXPECT_GT(result.swapsProposed, 0u);
+  EXPECT_GT(result.swapsAccepted, 0u);
+  EXPECT_LE(result.swapsAccepted, result.swapsProposed);
+}
+
+TEST_F(TemperingFixture, DeterministicInSeed) {
+  TemperingParams params;
+  params.maxEvaluations = 1000;
+  ParallelTempering a(evaluator_, params);
+  Rng rngA(7);
+  const auto ra = a.run(rngA);
+  ParallelTempering b(evaluator_, params);
+  Rng rngB(7);
+  const auto rb = b.run(rngB);
+  EXPECT_DOUBLE_EQ(ra.best.score, rb.best.score);
+  EXPECT_EQ(ra.swapsAccepted, rb.swapsAccepted);
+}
+
+TEST_F(TemperingFixture, ImprovesOverTheRestPose) {
+  TemperingParams params;
+  params.maxEvaluations = 3000;
+  ParallelTempering pt(evaluator_, params);
+  Rng rng(9);
+  const double restScore = scoring_.scorePose(ligand_.restPose());
+  const TemperingResult result = pt.runFrom(ligand_.restPose(), rng);
+  EXPECT_GT(result.best.score, restScore);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

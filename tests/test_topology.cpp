@@ -1,0 +1,160 @@
+// Tests for connectivity analysis: components, rings, rotatable bonds,
+// torsion partitioning and geometric bond perception.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+namespace {
+
+/// Butane-like chain: C0-C1-C2-C3 (the C1-C2 bond is the only rotatable
+/// one once hydrogens are ignored... here all terminal bonds excluded).
+Molecule chain4() {
+  Molecule m;
+  for (int i = 0; i < 4; ++i) m.addAtom(Element::C, Vec3{1.5 * i, 0, 0}, 0);
+  m.addBond(0, 1);
+  m.addBond(1, 2);
+  m.addBond(2, 3);
+  return m;
+}
+
+/// Cyclobutane-like ring of 4 atoms plus one tail atom.
+Molecule ringWithTail() {
+  Molecule m;
+  m.addAtom(Element::C, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{1.5, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{1.5, 1.5, 0}, 0);
+  m.addAtom(Element::C, Vec3{0, 1.5, 0}, 0);
+  m.addAtom(Element::C, Vec3{-1.5, 0, 0}, 0);  // tail
+  m.addAtom(Element::C, Vec3{-3.0, 0, 0}, 0);  // tail end
+  m.addBond(0, 1);
+  m.addBond(1, 2);
+  m.addBond(2, 3);
+  m.addBond(3, 0);
+  m.addBond(0, 4);
+  m.addBond(4, 5);
+  return m;
+}
+
+TEST(TopologyTest, DegreesAndNeighbors) {
+  const Molecule m = chain4();
+  Topology t(m);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(1), 2);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.degree(3), 1);
+  EXPECT_EQ(t.neighbors(1).size(), 2u);
+}
+
+TEST(TopologyTest, SingleConnectedComponent) {
+  Topology t(chain4());
+  int count = 0;
+  const auto comp = t.connectedComponents(&count);
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(std::all_of(comp.begin(), comp.end(), [](int c) { return c == 0; }));
+}
+
+TEST(TopologyTest, DisconnectedComponents) {
+  Molecule m;
+  m.addAtom(Element::C, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{1.5, 0, 0}, 0);
+  m.addAtom(Element::O, Vec3{10, 0, 0}, 0);
+  m.addBond(0, 1);
+  Topology t(m);
+  int count = 0;
+  const auto comp = t.connectedComponents(&count);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(TopologyTest, RingDetection) {
+  const Molecule m = ringWithTail();
+  Topology t(m);
+  // Bonds 0..3 form the ring; bonds 4, 5 are the tail.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(t.bondInRing(m, i)) << "bond " << i;
+  EXPECT_FALSE(t.bondInRing(m, 4));
+  EXPECT_FALSE(t.bondInRing(m, 5));
+}
+
+TEST(TopologyTest, ChainHasNoRings) {
+  const Molecule m = chain4();
+  Topology t(m);
+  for (std::size_t i = 0; i < m.bondCount(); ++i) EXPECT_FALSE(t.bondInRing(m, i));
+}
+
+TEST(TopologyTest, RotatableBondsInChain) {
+  Molecule m = chain4();
+  const auto rot = detectRotatableBonds(m);
+  // Only the middle bond (1-2): bonds touching degree-1 atoms are terminal.
+  ASSERT_EQ(rot.size(), 1u);
+  EXPECT_EQ(rot[0], 1u);
+  EXPECT_TRUE(m.bonds()[1].rotatable);
+  EXPECT_FALSE(m.bonds()[0].rotatable);
+}
+
+TEST(TopologyTest, RingBondsNeverRotatable) {
+  Molecule m = ringWithTail();
+  const auto rot = detectRotatableBonds(m);
+  for (auto idx : rot) {
+    Topology t(m);
+    EXPECT_FALSE(t.bondInRing(m, idx));
+  }
+  // The 0-4 bond is rotatable (degree(0)=3, degree(4)=2, not in ring).
+  EXPECT_TRUE(m.bonds()[4].rotatable);
+  // The 4-5 bond is terminal.
+  EXPECT_FALSE(m.bonds()[5].rotatable);
+}
+
+TEST(TopologyTest, TorsionSidePartition) {
+  const Molecule m = chain4();
+  const auto moved = atomsMovedByTorsion(m, m.bonds()[1]);  // bond 1-2
+  // Rotating about 1-2 moves atoms {2, 3}.
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_TRUE(std::find(moved.begin(), moved.end(), 2) != moved.end());
+  EXPECT_TRUE(std::find(moved.begin(), moved.end(), 3) != moved.end());
+}
+
+TEST(TopologyTest, TorsionOnRingBondThrows) {
+  const Molecule m = ringWithTail();
+  EXPECT_THROW(atomsMovedByTorsion(m, m.bonds()[0]), std::invalid_argument);
+}
+
+TEST(TopologyTest, PerceiveBondsFromGeometry) {
+  Molecule m;
+  m.addAtom(Element::C, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{1.5, 0, 0}, 0);   // bonded (C-C ~1.54)
+  m.addAtom(Element::C, Vec3{5.0, 0, 0}, 0);   // too far
+  const std::size_t n = perceiveBonds(m);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(m.bonds()[0].a, 0);
+  EXPECT_EQ(m.bonds()[0].b, 1);
+}
+
+TEST(TopologyTest, PerceiveBondsReplacesExisting) {
+  Molecule m;
+  m.addAtom(Element::C, Vec3{0, 0, 0}, 0);
+  m.addAtom(Element::C, Vec3{10, 0, 0}, 0);
+  m.addBond(0, 1);
+  EXPECT_EQ(perceiveBonds(m), 0u);
+  EXPECT_EQ(m.bondCount(), 0u);
+}
+
+TEST(TopologyTest, HydrogenAnchors) {
+  Molecule m;
+  m.addAtom(Element::O, Vec3{0, 0, 0}, -0.8);
+  m.addAtom(Element::H, Vec3{0.96, 0, 0}, 0.4);
+  m.addAtom(Element::H, Vec3{50, 0, 0}, 0.4);  // unbonded hydrogen
+  m.addBond(0, 1);
+  Topology t(m);
+  const auto anchors = t.hydrogenAnchors(m);
+  EXPECT_EQ(anchors[0], -1);  // not a hydrogen
+  EXPECT_EQ(anchors[1], 0);
+  EXPECT_EQ(anchors[2], -1);  // no bond
+}
+
+}  // namespace
+}  // namespace dqndock::chem

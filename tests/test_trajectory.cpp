@@ -1,0 +1,100 @@
+// Tests for episode trajectory recording and multi-frame XYZ export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/trajectory.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class TrajectoryFixture : public ::testing::Test {
+ protected:
+  TrajectoryFixture()
+      : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())), env_(scenario_, {}) {}
+
+  chem::Scenario scenario_;
+  DockingEnv env_;
+};
+
+TEST_F(TrajectoryFixture, RecordsFrames) {
+  Trajectory traj(env_.ligand());
+  env_.reset();
+  traj.recordFrom(env_);
+  env_.step(4);
+  traj.recordFrom(env_, 4, 1.0);
+  EXPECT_EQ(traj.frameCount(), 2u);
+  EXPECT_EQ(traj.frames()[0].action, -1);
+  EXPECT_EQ(traj.frames()[1].action, 4);
+  EXPECT_DOUBLE_EQ(traj.frames()[1].score, env_.score());
+}
+
+TEST_F(TrajectoryFixture, BestFrameFindsMaxScore) {
+  Trajectory traj(env_.ligand());
+  Pose p(env_.ligand().torsionCount());
+  traj.record(p, 1.0);
+  traj.record(p, 9.0);
+  traj.record(p, 3.0);
+  EXPECT_EQ(traj.bestFrame(), 1u);
+}
+
+TEST_F(TrajectoryFixture, BestFrameOnEmptyThrows) {
+  Trajectory traj(env_.ligand());
+  EXPECT_THROW(traj.bestFrame(), std::logic_error);
+}
+
+TEST_F(TrajectoryFixture, XyzExportHasOneBlockPerFrame) {
+  Trajectory traj(env_.ligand());
+  env_.reset();
+  traj.recordFrom(env_);
+  env_.step(4);
+  traj.recordFrom(env_, 4, 1.0);
+
+  std::stringstream ss;
+  traj.writeXyz(ss);
+  // Each block: natoms line + comment + natoms coordinate rows.
+  const std::size_t atoms = env_.ligand().atomCount();
+  std::size_t lines = 0;
+  std::string line;
+  std::size_t headerLines = 0;
+  while (std::getline(ss, line)) {
+    ++lines;
+    if (line == std::to_string(atoms)) ++headerLines;
+  }
+  EXPECT_EQ(headerLines, 2u);
+  EXPECT_EQ(lines, 2 * (atoms + 2));
+}
+
+TEST_F(TrajectoryFixture, ScoresSeriesMatchesFrames) {
+  Trajectory traj(env_.ligand());
+  Pose p(env_.ligand().torsionCount());
+  traj.record(p, 1.5);
+  traj.record(p, -2.5);
+  const auto s = traj.scores();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[1], -2.5);
+}
+
+TEST_F(TrajectoryFixture, RecordEpisodeRollsOutPolicy) {
+  // Constant policy: always move -z (toward the receptor).
+  auto traj = recordEpisode(env_, [](const DockingEnv&) { return 4; }, 25);
+  EXPECT_GT(traj.frameCount(), 1u);
+  EXPECT_LE(traj.frameCount(), 26u);
+  // First frame is the reset frame.
+  EXPECT_EQ(traj.frames()[0].action, -1);
+  // Approaching the pocket improves the best score beyond the start.
+  EXPECT_GE(traj.frames()[traj.bestFrame()].score, traj.frames()[0].score);
+}
+
+TEST_F(TrajectoryFixture, ClearResets) {
+  Trajectory traj(env_.ligand());
+  traj.record(Pose(env_.ligand().torsionCount()), 1.0);
+  traj.clear();
+  EXPECT_EQ(traj.frameCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock

@@ -1,0 +1,120 @@
+// Tests for the virtual-screening pipeline.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/chem/synthetic.hpp"
+#include "src/metadock/vs_pipeline.hpp"
+
+namespace dqndock::metadock {
+namespace {
+
+class VsPipelineFixture : public ::testing::Test {
+ protected:
+  VsPipelineFixture() : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())) {
+    Rng rng(77);
+    library_ = chem::buildLigandLibrary(4, 8, 14, rng);
+  }
+
+  ScreeningOptions fastOptions() const {
+    ScreeningOptions opts;
+    opts.evaluationsPerLigand = 400;
+    opts.refineWithGradient = false;
+    opts.clusterModes = false;
+    return opts;
+  }
+
+  chem::Scenario scenario_;
+  std::vector<chem::Molecule> library_;
+};
+
+TEST_F(VsPipelineFixture, EmptyLibraryGivesEmptyReport) {
+  const ScreeningReport report = screenLibrary(scenario_.receptor, {}, fastOptions());
+  EXPECT_TRUE(report.ranked.empty());
+  EXPECT_EQ(report.hitCount, 0u);
+}
+
+TEST_F(VsPipelineFixture, RanksAllLigandsDescending) {
+  const ScreeningReport report = screenLibrary(scenario_.receptor, library_, fastOptions());
+  ASSERT_EQ(report.ranked.size(), library_.size());
+  for (std::size_t i = 1; i < report.ranked.size(); ++i) {
+    EXPECT_GE(report.ranked[i - 1].refinedScore, report.ranked[i].refinedScore);
+  }
+  // Every library member appears exactly once.
+  std::vector<char> seen(library_.size(), 0);
+  for (const auto& hit : report.ranked) {
+    EXPECT_LT(hit.ligandIndex, library_.size());
+    EXPECT_FALSE(seen[hit.ligandIndex]);
+    seen[hit.ligandIndex] = 1;
+    EXPECT_EQ(hit.atoms, library_[hit.ligandIndex].atomCount());
+  }
+}
+
+TEST_F(VsPipelineFixture, HitAccountingConsistent) {
+  ScreeningOptions opts = fastOptions();
+  opts.hitThreshold = -1e18;  // everything is a hit
+  const ScreeningReport all = screenLibrary(scenario_.receptor, library_, opts);
+  EXPECT_EQ(all.hitCount, library_.size());
+  EXPECT_DOUBLE_EQ(all.hitRate, 1.0);
+  opts.hitThreshold = 1e18;  // nothing is a hit
+  const ScreeningReport none = screenLibrary(scenario_.receptor, library_, opts);
+  EXPECT_EQ(none.hitCount, 0u);
+}
+
+TEST_F(VsPipelineFixture, DeterministicAcrossThreadCounts) {
+  ThreadPool pool(4);
+  const ScreeningReport serial = screenLibrary(scenario_.receptor, library_, fastOptions(), nullptr);
+  const ScreeningReport pooled = screenLibrary(scenario_.receptor, library_, fastOptions(), &pool);
+  ASSERT_EQ(serial.ranked.size(), pooled.ranked.size());
+  for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+    EXPECT_EQ(serial.ranked[i].ligandIndex, pooled.ranked[i].ligandIndex);
+    EXPECT_DOUBLE_EQ(serial.ranked[i].bestScore, pooled.ranked[i].bestScore);
+  }
+}
+
+TEST_F(VsPipelineFixture, GradientRefinementNeverHurts) {
+  ScreeningOptions off = fastOptions();
+  ScreeningOptions on = fastOptions();
+  on.refineWithGradient = true;
+  const ScreeningReport base = screenLibrary(scenario_.receptor, library_, off);
+  const ScreeningReport refined = screenLibrary(scenario_.receptor, library_, on);
+  // Per-ligand comparison (reports are ranked; match by index).
+  auto scoreOf = [](const ScreeningReport& r, std::size_t ligand) {
+    for (const auto& hit : r.ranked) {
+      if (hit.ligandIndex == ligand) return hit.refinedScore;
+    }
+    return -1e300;
+  };
+  for (std::size_t i = 0; i < library_.size(); ++i) {
+    EXPECT_GE(scoreOf(refined, i), scoreOf(base, i) - 1e-9) << "ligand " << i;
+  }
+}
+
+TEST_F(VsPipelineFixture, ClusteringReportsModes) {
+  ScreeningOptions opts = fastOptions();
+  opts.clusterModes = true;
+  const ScreeningReport report = screenLibrary(scenario_.receptor, library_, opts);
+  for (const auto& hit : report.ranked) {
+    EXPECT_GE(hit.bindingModes, 1u);
+  }
+}
+
+TEST_F(VsPipelineFixture, CsvExport) {
+  const ScreeningReport report = screenLibrary(scenario_.receptor, library_, fastOptions());
+  const auto path = std::filesystem::temp_directory_path() / "dqndock_screen.csv";
+  writeScreeningCsv(path.string(), report);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "rank,ligand,atoms,best_score,refined_score,binding_modes,evaluations");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, library_.size());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dqndock::metadock
