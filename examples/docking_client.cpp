@@ -1,0 +1,87 @@
+// Command-line client for ./docking_server: speaks the length-prefixed
+// wire protocol over localhost TCP. One flag per request type; without a
+// request flag it sends PING + STATUS.
+//
+//   ./docking_client --port=PORT [--host=127.0.0.1]
+//       --dock   [--max-steps=200] [--epsilon=0] [--seed=1]
+//                [--priority=normal] [--timeout-s=0]
+//       --screen [--library=4] [--min-atoms=8] [--max-atoms=14] [--evals=400]
+//       --publish=path/to/weights.bin
+//       --shutdown
+//
+// Responses print as the raw key=value fields, so the output doubles as
+// protocol documentation.
+
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/serve/tcp.hpp"
+
+using namespace dqndock;
+
+namespace {
+
+void printReply(const char* what, const serve::Message& reply) {
+  std::printf("%s -> %s\n", what, reply.type.c_str());
+  for (const auto& [key, value] : reply.fields) {
+    std::printf("  %s=%s\n", key.c_str(), value.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const long port = args.getInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "usage: %s --port=PORT [--dock|--screen|--publish=FILE|--shutdown]\n",
+                 args.program().c_str());
+    return 1;
+  }
+
+  try {
+    serve::TcpClient client(static_cast<std::uint16_t>(port),
+                            args.getString("host", "127.0.0.1"));
+
+    bool sentSomething = false;
+    if (args.has("dock")) {
+      serve::Message dock{"DOCK", {}};
+      dock.set("max_steps", args.getInt("max-steps", 200))
+          .set("epsilon", args.getDouble("epsilon", 0.0))
+          .set("seed", args.getInt("seed", 1))
+          .set("priority", args.getString("priority", "normal"))
+          .set("timeout_s", args.getDouble("timeout-s", 0.0));
+      printReply("DOCK", client.request(dock));
+      sentSomething = true;
+    }
+    if (args.has("screen")) {
+      serve::Message screen{"SCREEN", {}};
+      screen.set("library_size", args.getInt("library", 4))
+          .set("min_atoms", args.getInt("min-atoms", 8))
+          .set("max_atoms", args.getInt("max-atoms", 14))
+          .set("evals", args.getInt("evals", 400))
+          .set("seed", args.getInt("seed", 2020));
+      printReply("SCREEN", client.request(screen));
+      sentSomething = true;
+    }
+    const std::string publishPath = args.getString("publish", "");
+    if (!publishPath.empty()) {
+      serve::Message publish{"PUBLISH", {}};
+      publish.set("path", publishPath);
+      printReply("PUBLISH", client.request(publish));
+      sentSomething = true;
+    }
+    if (args.has("shutdown")) {
+      printReply("SHUTDOWN", client.request(serve::Message{"SHUTDOWN", {}}));
+      sentSomething = true;
+    }
+    if (!sentSomething) {
+      printReply("PING", client.request(serve::Message{"PING", {}}));
+      printReply("STATUS", client.request(serve::Message{"STATUS", {}}));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Docking-as-a-service: stand up the serving stack — model registry,
+// micro-batched inference, job queue + worker pool, TCP front-end — and
+// serve dock/screen requests on localhost until a client sends SHUTDOWN
+// (or the process receives SIGINT). Pair with ./docking_client.
+//
+//   ./docking_server [--port=0] [--workers=2] [--queue=64]
+//                    [--batch=32] [--flush-us=200] [--hidden=64,64]
+//                    [--weights=policy.bin] [--scenario=tiny|paper]
+//
+// With --weights the server seeds the registry from a checkpoint trained
+// by ./train_dqn_docking or ./evaluate_policy; otherwise it serves a
+// randomly-initialized policy (useful for exercising the protocol).
+
+#include <csignal>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "src/chem/synthetic.hpp"
+#include "src/common/cli.hpp"
+#include "src/rl/checkpoint.hpp"
+#include "src/serve/tcp.hpp"
+
+using namespace dqndock;
+
+namespace {
+
+std::vector<std::size_t> parseHidden(const std::string& spec) {
+  std::vector<std::size_t> layers;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) layers.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  return layers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  const std::string scenarioName = args.getString("scenario", "tiny");
+  const chem::ScenarioSpec spec =
+      scenarioName == "paper" ? chem::ScenarioSpec::paper2bsm() : chem::ScenarioSpec::tiny();
+  const chem::Scenario scenario = chem::buildScenario(spec);
+
+  serve::ServiceOptions opts;
+  opts.workers = static_cast<std::size_t>(args.getInt("workers", 2));
+  opts.queueCapacity = static_cast<std::size_t>(args.getInt("queue", 64));
+  opts.batcher.maxBatch = static_cast<std::size_t>(args.getInt("batch", 32));
+  opts.batcher.flushDeadline = std::chrono::microseconds(args.getInt("flush-us", 200));
+
+  // The network must match the encoder dim and action count the service
+  // derives from the scenario.
+  const core::StateEncoder probe(scenario, opts.stateMode, opts.normalizeStates);
+  metadock::DockingEnv probeEnv(scenario, opts.env);
+  Rng rng(2018);
+  auto net = std::make_unique<rl::MlpQNetwork>(
+      probe.dim(), parseHidden(args.getString("hidden", "64,64")), probeEnv.actionCount(), rng);
+
+  const std::string weights = args.getString("weights", "");
+  std::string tag = "random-init";
+  if (!weights.empty()) {
+    rl::loadWeightsFile(weights, *net);
+    tag = weights;
+  }
+  serve::ModelRegistry registry(std::move(net), tag);
+
+  // Route SIGINT/SIGTERM through a sigwait() thread instead of a signal
+  // handler: requestStop() takes locks, which a handler must not.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::DockingService service(scenario, registry, opts, &ThreadPool::global());
+  serve::TcpServer server(service, registry,
+                          static_cast<std::uint16_t>(args.getInt("port", 0)));
+  std::thread signalThread([&] {
+    int sig = 0;
+    sigwait(&signals, &sig);
+    server.requestStop();
+  });
+
+  std::printf("docking server on 127.0.0.1:%u — scenario=%s state_dim=%zu actions=%d\n",
+              server.port(), scenarioName.c_str(), probe.dim(), probeEnv.actionCount());
+  std::printf("  %zu workers, queue capacity %zu, batch<=%zu (flush %lld us), model %s\n",
+              opts.workers, opts.queueCapacity, opts.batcher.maxBatch,
+              static_cast<long long>(opts.batcher.flushDeadline.count()), tag.c_str());
+  std::printf("try: ./docking_client --port=%u --dock --max-steps=50\n", server.port());
+
+  server.waitUntilStopped();
+  std::printf("stop requested, draining...\n");
+  // Unblock the sigwait thread when SHUTDOWN came over TCP instead of a
+  // signal (process-directed so any sigwait-er consumes it).
+  ::kill(::getpid(), SIGTERM);
+  signalThread.join();
+  server.stop();
+  service.shutdown();
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf("served %llu jobs (%llu failed, %llu cancelled, %llu timed out), "
+              "%llu batches of mean %.2f rows\n",
+              static_cast<unsigned long long>(stats.done),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.timedOut),
+              static_cast<unsigned long long>(stats.batcher.batches),
+              stats.batcher.meanBatchRows());
+  return 0;
+}

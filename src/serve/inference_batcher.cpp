@@ -1,0 +1,115 @@
+#include "src/serve/inference_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dqndock::serve {
+
+InferenceBatcher::InferenceBatcher(ForwardFn forward, std::size_t inputDim, int actionCount,
+                                   BatcherOptions options)
+    : forward_(std::move(forward)),
+      inputDim_(inputDim),
+      actionCount_(actionCount),
+      options_(options) {
+  if (!forward_) throw std::invalid_argument("InferenceBatcher: null forward fn");
+  if (inputDim_ == 0 || actionCount_ <= 0) {
+    throw std::invalid_argument("InferenceBatcher: bad dimensions");
+  }
+  if (options_.maxBatch == 0) options_.maxBatch = 1;
+  dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+InferenceBatcher::~InferenceBatcher() { shutdown(); }
+
+std::vector<double> InferenceBatcher::infer(std::span<const double> state) {
+  if (state.size() != inputDim_) {
+    throw std::invalid_argument("InferenceBatcher::infer: state dim mismatch");
+  }
+  Request req;
+  req.state.assign(state.begin(), state.end());
+  {
+    std::unique_lock lock(mu_);
+    if (stop_) throw std::runtime_error("InferenceBatcher::infer: batcher is shut down");
+    pending_.push_back(&req);
+    pendingCv_.notify_one();
+    req.cv.wait(lock, [&] { return req.done; });
+  }
+  if (req.error) std::rethrow_exception(req.error);
+  return std::move(req.result);
+}
+
+void InferenceBatcher::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    pendingCv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+BatcherStats InferenceBatcher::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void InferenceBatcher::dispatchLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    pendingCv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;  // drained
+      continue;
+    }
+    // A batch opens with the first waiting request; give stragglers until
+    // the flush deadline to coalesce, unless the batch fills first or we
+    // are draining for shutdown.
+    if (options_.flushDeadline.count() > 0) {
+      const auto deadline = std::chrono::steady_clock::now() + options_.flushDeadline;
+      pendingCv_.wait_until(lock, deadline,
+                            [&] { return stop_ || pending_.size() >= options_.maxBatch; });
+    }
+    const std::size_t take = std::min(pending_.size(), options_.maxBatch);
+    std::vector<Request*> batch(pending_.begin(), pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+
+    stats_.batches += 1;
+    stats_.requests += take;
+    stats_.maxBatchRows = std::max(stats_.maxBatchRows, take);
+    if (take == options_.maxBatch) {
+      stats_.fullBatches += 1;
+    } else {
+      stats_.deadlineFlushes += 1;
+    }
+
+    lock.unlock();
+    runBatch(batch);
+    lock.lock();
+    for (Request* req : batch) {
+      req->done = true;
+      req->cv.notify_one();
+    }
+  }
+}
+
+void InferenceBatcher::runBatch(std::vector<Request*>& batch) {
+  nn::Tensor states(batch.size(), inputDim_);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    std::copy(batch[r]->state.begin(), batch[r]->state.end(), states.row(r).begin());
+  }
+  nn::Tensor q;
+  try {
+    forward_(states, q);
+    if (q.rows() != batch.size() || q.cols() != static_cast<std::size_t>(actionCount_)) {
+      throw std::runtime_error("InferenceBatcher: forward fn returned wrong shape");
+    }
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      const auto row = q.row(r);
+      batch[r]->result.assign(row.begin(), row.end());
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request* req : batch) req->error = err;
+  }
+}
+
+}  // namespace dqndock::serve

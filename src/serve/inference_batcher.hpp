@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file inference_batcher.hpp
+/// Micro-batching scheduler for Q-network inference — the serving hot
+/// path. Concurrent callers each need Q-values for one encoded state;
+/// issuing a 1-row GEMM per caller re-reads the full weight matrices per
+/// request. The batcher coalesces waiting requests into one
+/// (batch x dim) forward pass: a dispatcher thread collects up to
+/// `maxBatch` rows, waiting at most `flushDeadline` after the first
+/// request arrives, then runs one batched predict() and distributes the
+/// rows. Row results are bit-for-bit identical to per-row calls because
+/// the GEMM kernels accumulate each output element in a fixed k-order
+/// regardless of batch height.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace dqndock::serve {
+
+struct BatcherOptions {
+  /// Rows per dispatched forward pass (paper minibatch: 32).
+  std::size_t maxBatch = 32;
+  /// How long the dispatcher waits for the batch to fill after the first
+  /// request arrives. 0 dispatches whatever is queued immediately.
+  std::chrono::microseconds flushDeadline{200};
+};
+
+struct BatcherStats {
+  std::uint64_t requests = 0;        ///< rows served
+  std::uint64_t batches = 0;         ///< forward passes dispatched
+  std::uint64_t fullBatches = 0;     ///< dispatched because maxBatch filled
+  std::uint64_t deadlineFlushes = 0; ///< dispatched by deadline/drain
+  std::size_t maxBatchRows = 0;      ///< largest batch observed
+  double meanBatchRows() const {
+    return batches == 0 ? 0.0 : static_cast<double>(requests) / static_cast<double>(batches);
+  }
+};
+
+class InferenceBatcher {
+ public:
+  /// Batched forward: fills `q` (rows x actions) from `states`
+  /// (rows x inputDim). Must be reentrant-safe w.r.t. the dispatcher
+  /// thread only (the batcher serialises calls itself).
+  using ForwardFn = std::function<void(const nn::Tensor& states, nn::Tensor& q)>;
+
+  InferenceBatcher(ForwardFn forward, std::size_t inputDim, int actionCount,
+                   BatcherOptions options = {});
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  /// Blocking: enqueue one state row, wait for the batch it lands in, and
+  /// return that row's Q-values. Thread-safe. Throws std::runtime_error
+  /// after shutdown() and rethrows any exception the forward fn raised
+  /// for the batch.
+  std::vector<double> infer(std::span<const double> state);
+
+  /// Drain pending requests (they complete) and stop the dispatcher.
+  /// Subsequent infer() calls throw. Idempotent; also run by the dtor.
+  void shutdown();
+
+  std::size_t inputDim() const { return inputDim_; }
+  int actionCount() const { return actionCount_; }
+  const BatcherOptions& options() const { return options_; }
+  BatcherStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<double> state;
+    std::vector<double> result;
+    std::exception_ptr error;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  void dispatchLoop();
+  void runBatch(std::vector<Request*>& batch);
+
+  ForwardFn forward_;
+  std::size_t inputDim_;
+  int actionCount_;
+  BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable pendingCv_;  ///< wakes the dispatcher
+  std::vector<Request*> pending_;
+  bool stop_ = false;
+  BatcherStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dqndock::serve

@@ -1,0 +1,194 @@
+#include "src/serve/job_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dqndock::serve {
+
+const char* jobPriorityName(JobPriority p) {
+  switch (p) {
+    case JobPriority::kHigh: return "high";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* jobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+const char* submitStatusName(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue_full";
+    case SubmitStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string SubmitResult::reason() const {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "";
+    case SubmitStatus::kQueueFull: return "queue full: server is at capacity, retry later";
+    case SubmitStatus::kShutdown: return "server is shutting down";
+  }
+  return "";
+}
+
+Job::Job(std::uint64_t id, JobPriority priority, std::function<void(Job&)> work,
+         double timeoutSeconds)
+    : id_(id), priority_(priority), timeoutSeconds_(timeoutSeconds), work_(std::move(work)) {
+  if (!work_) throw std::invalid_argument("Job: null work");
+}
+
+void Job::markRunning() {
+  std::lock_guard lock(mu_);
+  if (status_ == JobStatus::kQueued) status_ = JobStatus::kRunning;
+}
+
+void Job::finish(JobStatus terminal, std::string error) {
+  std::lock_guard lock(mu_);
+  if (status_ >= JobStatus::kDone) return;  // first terminal status wins
+  status_ = terminal;
+  error_ = std::move(error);
+  cv_.notify_all();
+}
+
+JobStatus Job::wait() const {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return status_ >= JobStatus::kDone; });
+  return status_;
+}
+
+JobStatus Job::status() const {
+  std::lock_guard lock(mu_);
+  return status_;
+}
+
+std::string Job::error() const {
+  std::lock_guard lock(mu_);
+  return error_;
+}
+
+void Job::run() {
+  if (cancelRequested()) {
+    finish(JobStatus::kCancelled, "cancelled before start");
+    return;
+  }
+  markRunning();
+  try {
+    work_(*this);
+    finish(JobStatus::kDone);  // no-op when work already set a status
+  } catch (const std::exception& e) {
+    finish(JobStatus::kFailed, e.what());
+  } catch (...) {
+    finish(JobStatus::kFailed, "unknown error");
+  }
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t JobQueue::totalQueuedLocked() const {
+  return lanes_[0].size() + lanes_[1].size() + lanes_[2].size();
+}
+
+SubmitResult JobQueue::push(std::shared_ptr<Job> job) {
+  if (!job) throw std::invalid_argument("JobQueue::push: null job");
+  SubmitResult result;
+  result.jobId = job->id();
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      result.status = SubmitStatus::kShutdown;
+      ++stats_.rejectedShutdown;
+    } else if (totalQueuedLocked() >= capacity_) {
+      result.status = SubmitStatus::kQueueFull;
+      ++stats_.rejectedFull;
+    } else {
+      lanes_[static_cast<std::size_t>(job->priority())].push_back(job);
+      ++stats_.submitted;
+      cv_.notify_one();
+      return result;
+    }
+  }
+  // Rejected: resolve the job so any waiter unblocks with the reason.
+  job->finish(JobStatus::kCancelled, result.reason());
+  return result;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return closed_ || totalQueuedLocked() > 0; });
+    for (auto& lane : lanes_) {
+      while (!lane.empty()) {
+        std::shared_ptr<Job> job = std::move(lane.front());
+        lane.pop_front();
+        if (job->cancelRequested()) {
+          ++stats_.cancelledQueued;
+          lock.unlock();
+          job->finish(JobStatus::kCancelled, "cancelled while queued");
+          lock.lock();
+          continue;
+        }
+        ++stats_.popped;
+        return job;
+      }
+    }
+    if (closed_) return nullptr;
+  }
+}
+
+bool JobQueue::cancelQueued(std::uint64_t id) {
+  std::shared_ptr<Job> found;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& lane : lanes_) {
+      for (auto it = lane.begin(); it != lane.end(); ++it) {
+        if ((*it)->id() == id) {
+          found = std::move(*it);
+          lane.erase(it);
+          ++stats_.cancelledQueued;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  if (!found) return false;
+  found->requestCancel();
+  found->finish(JobStatus::kCancelled, "cancelled while queued");
+  return true;
+}
+
+void JobQueue::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard lock(mu_);
+  return totalQueuedLocked();
+}
+
+JobQueueStats JobQueue::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace dqndock::serve

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file job_queue.hpp
+/// Bounded multi-producer/multi-consumer job queue with priorities,
+/// backpressure and cancellation — the admission control in front of the
+/// docking worker pool. A full queue *rejects* new work with a reason
+/// instead of blocking the producer (a serving front-end must shed load,
+/// not stall its accept loop). Jobs are shared handles: the submitter
+/// keeps one to wait/cancel, the worker keeps one while running, so a
+/// cancelled or timed-out job can be reported without lifetime hazards.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dqndock::serve {
+
+enum class JobPriority : unsigned char { kHigh = 0, kNormal = 1, kLow = 2 };
+const char* jobPriorityName(JobPriority p);
+
+enum class JobStatus : unsigned char {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  kFailed,     ///< work threw; error() holds the message
+  kCancelled,  ///< cancel observed before or during execution
+  kTimedOut,   ///< per-job time budget exhausted mid-run
+};
+const char* jobStatusName(JobStatus s);
+
+/// One unit of work plus its completion channel.
+class Job {
+ public:
+  Job(std::uint64_t id, JobPriority priority, std::function<void(Job&)> work,
+      double timeoutSeconds = 0.0);
+
+  std::uint64_t id() const { return id_; }
+  JobPriority priority() const { return priority_; }
+  /// 0 = no limit. Workers check this between rollout steps.
+  double timeoutSeconds() const { return timeoutSeconds_; }
+
+  /// Cooperative cancellation flag; running workers poll it.
+  void requestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const { return cancel_.load(std::memory_order_relaxed); }
+
+  /// Worker-side transitions.
+  void markRunning();
+  void finish(JobStatus terminal, std::string error = "");
+
+  /// Submitter-side: block until the job reaches a terminal status.
+  JobStatus wait() const;
+  JobStatus status() const;
+  bool terminal() const { return status() >= JobStatus::kDone; }
+  std::string error() const;
+
+  /// The queue/worker invokes this; public so tests can drive jobs
+  /// directly.
+  void run();
+
+ private:
+  std::uint64_t id_;
+  JobPriority priority_;
+  double timeoutSeconds_;
+  std::function<void(Job&)> work_;
+  std::atomic<bool> cancel_{false};
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  JobStatus status_ = JobStatus::kQueued;
+  std::string error_;
+};
+
+/// Why a push was refused.
+enum class SubmitStatus : unsigned char { kAccepted = 0, kQueueFull, kShutdown };
+const char* submitStatusName(SubmitStatus s);
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kAccepted;
+  std::uint64_t jobId = 0;
+  bool accepted() const { return status == SubmitStatus::kAccepted; }
+  /// Human-readable rejection reason ("" when accepted) — wire responses
+  /// forward it to the client.
+  std::string reason() const;
+};
+
+struct JobQueueStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejectedFull = 0;
+  std::uint64_t rejectedShutdown = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t cancelledQueued = 0;  ///< cancelled before a worker saw them
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Non-blocking admission: rejects with kQueueFull when `capacity`
+  /// jobs are already queued (running jobs do not count) and with
+  /// kShutdown after close(). Rejected jobs are finished as kCancelled
+  /// with the reason in error() so waiters never hang.
+  SubmitResult push(std::shared_ptr<Job> job);
+
+  /// Highest-priority FIFO pop; blocks until a job arrives or the queue
+  /// is closed and drained (then returns nullptr). Jobs cancelled while
+  /// queued are discarded here (finished as kCancelled, not returned).
+  std::shared_ptr<Job> pop();
+
+  /// Cancel by id. Queued jobs are finished immediately; for running
+  /// jobs this only raises the flag (the worker finishes the status).
+  /// Returns false when the id is unknown to the queue (already popped
+  /// jobs must be cancelled through their Job handle).
+  bool cancelQueued(std::uint64_t id);
+
+  /// Stop admitting; wakes blocked pop() calls once drained.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  JobQueueStats stats() const;
+
+ private:
+  std::size_t totalQueuedLocked() const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> lanes_[3];  ///< indexed by JobPriority
+  bool closed_ = false;
+  JobQueueStats stats_;
+};
+
+}  // namespace dqndock::serve

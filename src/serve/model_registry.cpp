@@ -1,0 +1,60 @@
+#include "src/serve/model_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/rl/checkpoint.hpp"
+
+namespace dqndock::serve {
+
+ModelRegistry::ModelRegistry(std::unique_ptr<rl::QNetwork> initial, std::string tag) {
+  if (!initial) throw std::invalid_argument("ModelRegistry: null initial network");
+  inputDim_ = initial->inputDim();
+  actionCount_ = initial->actionCount();
+  auto entry = std::make_shared<ModelVersion>();
+  entry->version = nextVersion_++;
+  entry->tag = std::move(tag);
+  entry->net = std::move(initial);
+  current_ = std::move(entry);
+  publishes_ = 1;
+}
+
+std::uint64_t ModelRegistry::publish(std::unique_ptr<rl::QNetwork> net, std::string tag) {
+  if (!net) throw std::invalid_argument("ModelRegistry::publish: null network");
+  if (net->inputDim() != inputDim_ || net->actionCount() != actionCount_) {
+    throw std::invalid_argument("ModelRegistry::publish: architecture mismatch");
+  }
+  auto entry = std::make_shared<ModelVersion>();
+  entry->tag = std::move(tag);
+  entry->net = std::move(net);
+  std::lock_guard lock(mu_);
+  entry->version = nextVersion_++;
+  current_ = std::move(entry);
+  ++publishes_;
+  return nextVersion_ - 1;
+}
+
+std::uint64_t ModelRegistry::publishFromFile(const std::string& path) {
+  // Clone outside the lock; loadWeightsFile validates shapes and throws
+  // before anything is published.
+  std::unique_ptr<rl::QNetwork> net = current()->net->clone();
+  rl::loadWeightsFile(path, *net);
+  return publish(std::move(net), path);
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::current() const {
+  std::lock_guard lock(mu_);
+  return current_;
+}
+
+std::uint64_t ModelRegistry::currentVersion() const {
+  std::lock_guard lock(mu_);
+  return current_->version;
+}
+
+std::size_t ModelRegistry::publishCount() const {
+  std::lock_guard lock(mu_);
+  return publishes_;
+}
+
+}  // namespace dqndock::serve

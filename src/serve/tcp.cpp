@@ -1,0 +1,298 @@
+#include "src/serve/tcp.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/logging.hpp"
+
+namespace dqndock::serve {
+
+namespace {
+
+JobPriority priorityFromName(const std::string& name) {
+  if (name == "high") return JobPriority::kHigh;
+  if (name == "low") return JobPriority::kLow;
+  return JobPriority::kNormal;
+}
+
+void fillDockFields(Message& reply, const JobOutcome& outcome) {
+  reply.set("job_id", outcome.jobId)
+      .set("status", std::string(jobStatusName(outcome.status)))
+      .set("initial_score", outcome.dock.initialScore)
+      .set("best_score", outcome.dock.bestScore)
+      .set("final_score", outcome.dock.finalScore)
+      .set("best_rmsd", outcome.dock.bestRmsd)
+      .set("steps", static_cast<std::uint64_t>(outcome.dock.steps))
+      .set("termination", outcome.dock.termination)
+      .set("model_version", outcome.dock.modelVersion)
+      .set("seconds", outcome.dock.seconds);
+  if (!outcome.error.empty()) reply.set("error", outcome.error);
+}
+
+void fillScreenFields(Message& reply, const JobOutcome& outcome) {
+  reply.set("job_id", outcome.jobId)
+      .set("status", std::string(jobStatusName(outcome.status)))
+      .set("ligands", static_cast<std::uint64_t>(outcome.screen.ligands))
+      .set("hit_count", static_cast<std::uint64_t>(outcome.screen.hitCount))
+      .set("best_score", outcome.screen.bestScore)
+      .set("best_ligand", outcome.screen.bestLigand)
+      .set("evaluations", static_cast<std::uint64_t>(outcome.screen.totalEvaluations))
+      .set("seconds", outcome.screen.seconds);
+  if (!outcome.error.empty()) reply.set("error", outcome.error);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(DockingService& service, ModelRegistry& registry, std::uint16_t port)
+    : service_(service), registry_(registry) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+  addr.sin_port = htons(port);
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(listenFd_);
+    throw std::runtime_error(std::string("TcpServer: bind failed: ") + std::strerror(errno));
+  }
+  if (::listen(listenFd_, 16) != 0) {
+    ::close(listenFd_);
+    throw std::runtime_error("TcpServer: listen failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  logInfo() << "TcpServer: listening on 127.0.0.1:" << port_;
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    std::lock_guard lock(mu_);
+    if (stopRequested_) {
+      ::close(fd);
+      continue;  // drain until the listener actually closes
+    }
+    ++stats_.connections;
+    connectionFds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+}
+
+void TcpServer::handleConnection(int fd) {
+  Message request;
+  for (;;) {
+    try {
+      if (!recvMessage(fd, request)) break;  // client hung up
+    } catch (const std::exception&) {
+      std::lock_guard lock(mu_);
+      ++stats_.protocolErrors;
+      break;
+    }
+    Message reply;
+    try {
+      reply = handleRequest(request);
+    } catch (const std::exception& e) {
+      reply = Message::error(e.what());
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.requests;
+    }
+    try {
+      sendMessage(fd, reply);
+    } catch (const std::exception&) {
+      break;  // peer gone mid-response
+    }
+    if (request.type == "SHUTDOWN") break;
+  }
+  // Deregister before close so stop() never touches a recycled fd.
+  {
+    std::lock_guard lock(mu_);
+    std::erase(connectionFds_, fd);
+  }
+  ::close(fd);
+}
+
+Message TcpServer::handleRequest(const Message& request) {
+  if (request.type == "PING") return Message::ok();
+  if (request.type == "STATUS") return handleStatus();
+  if (request.type == "DOCK") return handleDock(request);
+  if (request.type == "SCREEN") return handleScreen(request);
+  if (request.type == "PUBLISH") {
+    const std::string path = request.get("path");
+    if (path.empty()) return Message::error("PUBLISH requires path=");
+    const std::uint64_t version = registry_.publishFromFile(path);
+    Message reply = Message::ok();
+    reply.set("model_version", version);
+    return reply;
+  }
+  if (request.type == "SHUTDOWN") {
+    requestStop();
+    return Message::ok();
+  }
+  return Message::error("unknown request type: " + request.type);
+}
+
+Message TcpServer::handleDock(const Message& request) {
+  DockRequest dock;
+  dock.maxSteps = static_cast<int>(request.getInt("max_steps", dock.maxSteps));
+  dock.epsilon = request.getDouble("epsilon", dock.epsilon);
+  dock.seed = static_cast<std::uint64_t>(request.getInt("seed", 1));
+  dock.priority = priorityFromName(request.get("priority", "normal"));
+  dock.timeoutSeconds = request.getDouble("timeout_s", 0.0);
+
+  const SubmitResult submitted = service_.submitDock(dock);
+  if (!submitted.accepted()) {
+    Message reply = Message::error(submitted.reason());
+    reply.set("code", std::string(submitStatusName(submitted.status)));
+    return reply;
+  }
+  const JobOutcome outcome = service_.wait(submitted.jobId);
+  Message reply = outcome.status == JobStatus::kDone ? Message::ok()
+                                                     : Message{"ERROR", {}};
+  fillDockFields(reply, outcome);
+  return reply;
+}
+
+Message TcpServer::handleScreen(const Message& request) {
+  ScreenRequest screen;
+  screen.librarySize =
+      static_cast<std::size_t>(request.getInt("library_size", static_cast<long>(screen.librarySize)));
+  screen.minAtoms = static_cast<std::size_t>(request.getInt("min_atoms", 8));
+  screen.maxAtoms = static_cast<std::size_t>(request.getInt("max_atoms", 14));
+  screen.evaluationsPerLigand = static_cast<std::size_t>(request.getInt("evals", 400));
+  screen.seed = static_cast<std::uint64_t>(request.getInt("seed", 2020));
+  screen.priority = priorityFromName(request.get("priority", "normal"));
+  screen.timeoutSeconds = request.getDouble("timeout_s", 0.0);
+
+  const SubmitResult submitted = service_.submitScreen(screen);
+  if (!submitted.accepted()) {
+    Message reply = Message::error(submitted.reason());
+    reply.set("code", std::string(submitStatusName(submitted.status)));
+    return reply;
+  }
+  const JobOutcome outcome = service_.wait(submitted.jobId);
+  Message reply = outcome.status == JobStatus::kDone ? Message::ok()
+                                                     : Message{"ERROR", {}};
+  fillScreenFields(reply, outcome);
+  return reply;
+}
+
+Message TcpServer::handleStatus() const {
+  const ServiceStats stats = service_.stats();
+  Message reply = Message::ok();
+  reply.set("workers", static_cast<std::uint64_t>(stats.workers))
+      .set("queue_depth", static_cast<std::uint64_t>(stats.queueDepth))
+      .set("queue_capacity", static_cast<std::uint64_t>(service_.options().queueCapacity))
+      .set("model_version", registry_.currentVersion())
+      .set("jobs_done", stats.done)
+      .set("jobs_failed", stats.failed)
+      .set("jobs_cancelled", stats.cancelled)
+      .set("jobs_timed_out", stats.timedOut)
+      .set("batches", stats.batcher.batches)
+      .set("mean_batch_rows", stats.batcher.meanBatchRows());
+  return reply;
+}
+
+void TcpServer::requestStop() {
+  std::lock_guard lock(mu_);
+  if (stopRequested_) return;
+  stopRequested_ = true;
+  // Break the accept loop; handler threads finish their current
+  // connection naturally (SHUTDOWN handlers break after replying).
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  stopCv_.notify_all();
+}
+
+void TcpServer::waitUntilStopped() {
+  std::unique_lock lock(mu_);
+  stopCv_.wait(lock, [&] { return stopRequested_; });
+}
+
+bool TcpServer::stopRequested() const {
+  std::lock_guard lock(mu_);
+  return stopRequested_;
+}
+
+void TcpServer::stop() {
+  requestStop();
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Unblock reads on still-open connections so handlers exit.
+    for (int fd : connectionFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  logInfo() << "TcpServer: stopped after " << stats_.requests << " requests on "
+            << stats_.connections << " connections";
+}
+
+ServerStats TcpServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+TcpClient::TcpClient(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("TcpClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("TcpClient: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    throw std::runtime_error("TcpClient: connect to " + host + ":" + std::to_string(port) +
+                             " failed: " + err);
+  }
+}
+
+TcpClient::~TcpClient() { close(); }
+
+Message TcpClient::request(const Message& msg) {
+  if (fd_ < 0) throw std::runtime_error("TcpClient::request: closed");
+  sendMessage(fd_, msg);
+  Message reply;
+  if (!recvMessage(fd_, reply)) {
+    throw std::runtime_error("TcpClient::request: server closed the connection");
+  }
+  return reply;
+}
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dqndock::serve

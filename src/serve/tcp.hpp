@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file tcp.hpp
+/// Localhost TCP transport for the docking service: a threaded
+/// accept-loop server that speaks the wire.hpp framed protocol and a
+/// blocking request/response client. POSIX sockets only — no new
+/// dependencies. Request types:
+///
+///   PING                          liveness probe -> OK
+///   STATUS                        queue/worker/model stats -> OK
+///   DOCK     max_steps epsilon seed priority timeout_s -> OK(result)
+///   SCREEN   library_size min_atoms max_atoms evals seed ... -> OK(result)
+///   PUBLISH  path                 hot-swap weights from checkpoint -> OK
+///   SHUTDOWN                      graceful stop -> OK, server drains
+///
+/// Rejections (queue full, shutdown) come back as ERROR with the
+/// backpressure reason — the client is expected to retry later.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/docking_service.hpp"
+#include "src/serve/wire.hpp"
+
+namespace dqndock::serve {
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t protocolErrors = 0;
+};
+
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the chosen one via
+  /// port()) and starts accepting. Throws std::runtime_error on bind
+  /// failure.
+  TcpServer(DockingService& service, ModelRegistry& registry, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a client sent SHUTDOWN or stop() was called.
+  void waitUntilStopped();
+  bool stopRequested() const;
+
+  /// Graceful stop: close the listener, unblock connection reads, join
+  /// every handler thread. Idempotent; also run by the destructor. Must
+  /// not be called from a handler thread (the dtor/owner calls it).
+  void stop();
+
+  /// Non-joining half of stop(): refuse new connections and wake
+  /// waitUntilStopped(). Safe from any thread (SHUTDOWN handlers use it);
+  /// the owner still calls stop() to join.
+  void requestStop();
+
+  ServerStats stats() const;
+
+ private:
+  void acceptLoop();
+  void handleConnection(int fd);
+  Message handleRequest(const Message& request);
+  Message handleDock(const Message& request);
+  Message handleScreen(const Message& request);
+  Message handleStatus() const;
+
+  DockingService& service_;
+  ModelRegistry& registry_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable stopCv_;
+  bool stopRequested_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> handlers_;
+  std::vector<int> connectionFds_;
+  ServerStats stats_;
+
+  std::thread acceptThread_;
+};
+
+/// Blocking request/response client for the framed protocol.
+class TcpClient {
+ public:
+  /// Connects to host:port (host default 127.0.0.1). Throws
+  /// std::runtime_error on connection failure.
+  explicit TcpClient(std::uint16_t port, const std::string& host = "127.0.0.1");
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Send one request, block for the response. Throws on I/O failure or
+  /// server hangup.
+  Message request(const Message& msg);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dqndock::serve

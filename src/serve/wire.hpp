@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file wire.hpp
+/// Minimal wire protocol for remote docking: every frame on the socket
+/// is a 4-byte big-endian payload length followed by the payload. A
+/// payload is a text message — first line the type ("DOCK", "OK", ...),
+/// then one "key=value" line per field. Language-agnostic (a dozen lines
+/// of Python speaks it), debuggable with hexdump, and free of
+/// serialization dependencies.
+///
+///   +--------+--------------------------+
+///   | u32 BE |  TYPE\nkey=value\n...    |
+///   +--------+--------------------------+
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dqndock::serve {
+
+/// Frames larger than this are a protocol violation (protects the server
+/// from hostile or corrupt length prefixes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
+
+struct Message {
+  std::string type;
+  std::map<std::string, std::string> fields;
+
+  bool has(const std::string& key) const { return fields.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+  long getInt(const std::string& key, long fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  Message& set(const std::string& key, const std::string& value);
+  Message& set(const std::string& key, long value);
+  Message& set(const std::string& key, std::uint64_t value);
+  Message& set(const std::string& key, double value);
+
+  static Message ok() { return Message{"OK", {}}; }
+  static Message error(const std::string& reason);
+};
+
+/// Message <-> payload text. encode throws std::invalid_argument when a
+/// type/key/value contains '\n' or a key contains '='; decode throws
+/// std::runtime_error on malformed payloads (empty type, missing '=').
+std::string encodeMessage(const Message& msg);
+Message decodeMessage(std::string_view payload);
+
+// -- Framed socket I/O (POSIX fds) ------------------------------------------
+
+/// Write one length-prefixed frame; loops over partial writes. Throws
+/// std::runtime_error on I/O failure or oversized payloads.
+void writeFrame(int fd, std::string_view payload);
+
+/// Read one frame. Returns false on clean EOF at a frame boundary;
+/// throws std::runtime_error on I/O failure, mid-frame EOF, or an
+/// oversized length prefix.
+bool readFrame(int fd, std::string& payload);
+
+/// Convenience: frame + encode/decode in one call.
+void sendMessage(int fd, const Message& msg);
+bool recvMessage(int fd, Message& msg);
+
+}  // namespace dqndock::serve

@@ -1,4 +1,4 @@
-// Tests for RunningStats, CsvWriter, CliArgs and Stopwatch.
+// Tests for RunningStats, CsvWriter, CliArgs, Stopwatch and logging.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +9,7 @@
 
 #include "src/common/cli.hpp"
 #include "src/common/csv.hpp"
+#include "src/common/logging.hpp"
 #include "src/common/running_stats.hpp"
 #include "src/common/stopwatch.hpp"
 
@@ -115,6 +116,42 @@ TEST(CliArgsTest, FallbacksWhenMissing) {
   EXPECT_EQ(args.getInt("n", 7), 7);
   EXPECT_DOUBLE_EQ(args.getDouble("x", 1.5), 1.5);
   EXPECT_EQ(args.getString("s", "dflt"), "dflt");
+}
+
+// Streaming this type records whether operator<< ever ran.
+struct FormatProbe {
+  bool* formatted;
+};
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  *p.formatted = true;
+  return os << "probe";
+}
+
+TEST(LoggingTest, DisabledLevelSkipsFormatting) {
+  const LogLevel saved = logLevel();
+  setLogLevel(LogLevel::kWarn);
+  bool formatted = false;
+  logDebug() << FormatProbe{&formatted};
+  logInfo() << FormatProbe{&formatted};
+  EXPECT_FALSE(formatted);
+  setLogLevel(saved);
+}
+
+TEST(LoggingTest, EnabledLevelFormats) {
+  const LogLevel saved = logLevel();
+  setLogLevel(LogLevel::kOff);  // destructor still must not print
+  bool formatted = false;
+  {
+    detail::LogLine line(LogLevel::kError);
+    // kError < kOff: gated at construction.
+    line << FormatProbe{&formatted};
+  }
+  EXPECT_FALSE(formatted);
+  setLogLevel(LogLevel::kDebug);
+  bool formattedNow = false;
+  logDebug() << FormatProbe{&formattedNow};
+  EXPECT_TRUE(formattedNow);
+  setLogLevel(saved);
 }
 
 TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {

@@ -1,0 +1,157 @@
+// Tests for the micro-batching inference scheduler: coalesced batches
+// must reproduce per-row predict() results bit-for-bit, deadlines must
+// flush partial batches, and shutdown must be clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/rl/qnetwork.hpp"
+#include "src/serve/inference_batcher.hpp"
+
+namespace dqndock::serve {
+namespace {
+
+constexpr std::size_t kDim = 24;
+constexpr int kActions = 5;
+
+class BatcherFixture : public ::testing::Test {
+ protected:
+  BatcherFixture() : rng_(404), net_(kDim, {18, 18}, kActions, rng_) {}
+
+  InferenceBatcher::ForwardFn forward() {
+    return [this](const nn::Tensor& states, nn::Tensor& q) { net_.predict(states, q); };
+  }
+
+  static std::vector<double> makeState(std::uint64_t seed) {
+    Rng r(seed);
+    std::vector<double> s(kDim);
+    for (double& v : s) v = r.uniform(-2.0, 2.0);
+    return s;
+  }
+
+  std::vector<double> referenceRow(const std::vector<double>& state) const {
+    nn::Tensor in(1, kDim);
+    std::copy(state.begin(), state.end(), in.row(0).begin());
+    nn::Tensor out;
+    net_.predict(in, out);
+    return {out.row(0).begin(), out.row(0).end()};
+  }
+
+  Rng rng_;
+  rl::MlpQNetwork net_;
+};
+
+TEST_F(BatcherFixture, CoalescedResultsMatchPerRowBitForBit) {
+  BatcherOptions opts;
+  opts.maxBatch = 8;
+  opts.flushDeadline = std::chrono::microseconds(500);
+  InferenceBatcher batcher(forward(), kDim, kActions, opts);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 16;
+  std::vector<std::vector<std::vector<double>>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        results[t].push_back(batcher.infer(makeState(t * 1000 + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const std::vector<double> expected = referenceRow(makeState(t * 1000 + i));
+      ASSERT_EQ(results[t][i].size(), expected.size());
+      for (std::size_t k = 0; k < expected.size(); ++k) {
+        // Bit-for-bit: the GEMM accumulates each output element in a
+        // fixed k-order independent of batch height.
+        EXPECT_EQ(results[t][i][k], expected[k]) << "t=" << t << " i=" << i << " k=" << k;
+      }
+    }
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_LE(stats.maxBatchRows, opts.maxBatch);
+  EXPECT_GE(stats.batches, (kThreads * kPerThread) / opts.maxBatch);
+}
+
+TEST_F(BatcherFixture, DeadlineFlushesPartialBatch) {
+  BatcherOptions opts;
+  opts.maxBatch = 32;
+  opts.flushDeadline = std::chrono::microseconds(1000);
+  InferenceBatcher batcher(forward(), kDim, kActions, opts);
+
+  const auto q = batcher.infer(makeState(7));  // alone: can only flush by deadline
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kActions));
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deadlineFlushes, 1u);
+  EXPECT_EQ(stats.fullBatches, 0u);
+}
+
+TEST_F(BatcherFixture, ConcurrentRequestsCoalesce) {
+  BatcherOptions opts;
+  opts.maxBatch = 8;
+  opts.flushDeadline = std::chrono::milliseconds(500);  // generous: let all 8 arrive
+  InferenceBatcher batcher(forward(), kDim, kActions, opts);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] { batcher.infer(makeState(t)); });
+  }
+  for (auto& th : threads) th.join();
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  // With a 500 ms window the 8 requests land in far fewer than 8 batches.
+  EXPECT_LE(stats.batches, 4u);
+  EXPECT_GE(stats.maxBatchRows, 2u);
+}
+
+TEST_F(BatcherFixture, ZeroDeadlineStillServes) {
+  BatcherOptions opts;
+  opts.maxBatch = 4;
+  opts.flushDeadline = std::chrono::microseconds(0);
+  InferenceBatcher batcher(forward(), kDim, kActions, opts);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(batcher.infer(makeState(i)).size(), static_cast<std::size_t>(kActions));
+  }
+  EXPECT_EQ(batcher.stats().requests, 10u);
+}
+
+TEST_F(BatcherFixture, StateDimMismatchThrows) {
+  InferenceBatcher batcher(forward(), kDim, kActions, {});
+  std::vector<double> wrong(kDim + 1, 0.0);
+  EXPECT_THROW(batcher.infer(wrong), std::invalid_argument);
+}
+
+TEST_F(BatcherFixture, InferAfterShutdownThrows) {
+  InferenceBatcher batcher(forward(), kDim, kActions, {});
+  batcher.shutdown();
+  EXPECT_THROW(batcher.infer(makeState(1)), std::runtime_error);
+  batcher.shutdown();  // idempotent
+}
+
+TEST_F(BatcherFixture, ForwardErrorsPropagateToCallers) {
+  InferenceBatcher batcher(
+      [](const nn::Tensor&, nn::Tensor&) { throw std::runtime_error("model exploded"); }, kDim,
+      kActions, {});
+  EXPECT_THROW(batcher.infer(makeState(1)), std::runtime_error);
+  // The batcher survives a failing batch.
+  EXPECT_THROW(batcher.infer(makeState(2)), std::runtime_error);
+}
+
+TEST_F(BatcherFixture, WrongShapeFromForwardIsAnError) {
+  InferenceBatcher batcher(
+      [](const nn::Tensor& in, nn::Tensor& out) { out.resize(in.rows(), 1); }, kDim, kActions,
+      {});
+  EXPECT_THROW(batcher.infer(makeState(1)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dqndock::serve

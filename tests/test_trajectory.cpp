@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/chem/synthetic.hpp"
+#include "src/chem/xyz_io.hpp"
 #include "src/metadock/trajectory.hpp"
 
 namespace dqndock::metadock {
@@ -65,6 +66,43 @@ TEST_F(TrajectoryFixture, XyzExportHasOneBlockPerFrame) {
   }
   EXPECT_EQ(headerLines, 2u);
   EXPECT_EQ(lines, 2 * (atoms + 2));
+}
+
+TEST_F(TrajectoryFixture, XyzExportRoundTripsCoordinates) {
+  // Record a short rollout, keeping the true ligand positions per frame.
+  Trajectory traj(env_.ligand());
+  env_.reset();
+  std::vector<std::vector<Vec3>> expected;
+  traj.recordFrom(env_);
+  const auto snapshot = [&] {
+    const auto pos = env_.ligandPositions();
+    expected.emplace_back(pos.begin(), pos.end());
+  };
+  snapshot();
+  for (int action : {4, 0, 2}) {
+    env_.step(action);
+    traj.recordFrom(env_, action, 0.0);
+    snapshot();
+  }
+
+  std::stringstream ss;
+  traj.writeXyz(ss);
+
+  // Parse every block back and compare coordinates (file stores 6
+  // significant digits, so compare loosely).
+  for (std::size_t f = 0; f < expected.size(); ++f) {
+    const chem::Molecule frame = chem::readXyz(ss);
+    ASSERT_EQ(frame.atomCount(), expected[f].size()) << "frame " << f;
+    for (std::size_t a = 0; a < expected[f].size(); ++a) {
+      EXPECT_NEAR(frame.positions()[a].x, expected[f][a].x, 1e-3);
+      EXPECT_NEAR(frame.positions()[a].y, expected[f][a].y, 1e-3);
+      EXPECT_NEAR(frame.positions()[a].z, expected[f][a].z, 1e-3);
+    }
+  }
+  // Nothing left but whitespace: the export contains exactly the frames.
+  std::string rest;
+  ss >> rest;
+  EXPECT_TRUE(rest.empty());
 }
 
 TEST_F(TrajectoryFixture, ScoresSeriesMatchesFrames) {

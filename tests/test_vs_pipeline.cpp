@@ -101,6 +101,25 @@ TEST_F(VsPipelineFixture, ClusteringReportsModes) {
   }
 }
 
+TEST_F(VsPipelineFixture, KnownBinderRanksFirst) {
+  // The scenario's own ligand was built to complement the pocket; small
+  // random decoys have far fewer favorable contacts to offer. Screening
+  // the mixed library must put the known binder on top.
+  Rng rng(5);
+  std::vector<chem::Molecule> mixed = chem::buildLigandLibrary(3, 4, 6, rng);
+  chem::Molecule binder = scenario_.ligand;
+  binder.setName("known-binder");
+  mixed.push_back(binder);
+
+  ScreeningOptions opts = fastOptions();
+  opts.evaluationsPerLigand = 800;
+  const ScreeningReport report = screenLibrary(scenario_.receptor, mixed, opts);
+  ASSERT_EQ(report.ranked.size(), mixed.size());
+  EXPECT_EQ(report.ranked.front().ligandName, "known-binder");
+  EXPECT_EQ(report.ranked.front().ligandIndex, mixed.size() - 1);
+  EXPECT_GT(report.ranked.front().refinedScore, report.ranked[1].refinedScore);
+}
+
 TEST_F(VsPipelineFixture, CsvExport) {
   const ScreeningReport report = screenLibrary(scenario_.receptor, library_, fastOptions());
   const auto path = std::filesystem::temp_directory_path() / "dqndock_screen.csv";
