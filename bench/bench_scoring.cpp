@@ -4,7 +4,11 @@
 //   * brute force, no cutoff (Algorithm 1 of the paper),
 //   * cutoff without grid,
 //   * cutoff + neighbour-grid pruning,
-//   * each of the above across a thread-count sweep (batch of poses).
+//   * each of the above for the packed SoA kernel (default) and the
+//     scalar AoS fallback (`ScoringOptions::packed = false`, the pre-PR
+//     kernel) — the A/B pair scripts/bench_scoring.py turns into
+//     BENCH_scoring.json,
+//   * a thread-count sweep over a batch of poses.
 //
 // google-benchmark harness; reports pairs/second where meaningful.
 
@@ -48,58 +52,63 @@ Problem& problemNoGrid() {
   return p;
 }
 
+/// Shared body: scores the surface pose repeatedly under `opts`.
+void scoreLoop(benchmark::State& state, Problem& p, const ScoringOptions& opts) {
+  ScoringFunction sf(*p.receptor, *p.ligand, opts);
+  std::vector<Vec3> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sf.scorePose(p.surfacePose, scratch));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  state.SetLabel(opts.packed ? "packed" : "scalar");
+}
+
+ScoringOptions makeOptions(double cutoff, bool useGrid, bool packed) {
+  ScoringOptions opts;
+  opts.cutoff = cutoff;
+  opts.useGrid = useGrid;
+  opts.packed = packed;
+  return opts;
+}
+
 }  // namespace
 
 static void BM_ScoreBruteForceNoCutoff(benchmark::State& state) {
-  Problem& p = problemNoGrid();
-  ScoringOptions opts;
-  opts.cutoff = 0.0;
-  opts.useGrid = false;
-  ScoringFunction sf(*p.receptor, *p.ligand, opts);
-  std::vector<Vec3> scratch;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sf.scorePose(p.surfacePose, scratch));
-  }
-  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
-                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  scoreLoop(state, problemNoGrid(), makeOptions(0.0, false, true));
 }
 BENCHMARK(BM_ScoreBruteForceNoCutoff);
 
+static void BM_ScoreBruteForceNoCutoffScalar(benchmark::State& state) {
+  scoreLoop(state, problemNoGrid(), makeOptions(0.0, false, false));
+}
+BENCHMARK(BM_ScoreBruteForceNoCutoffScalar);
+
 static void BM_ScoreCutoffNoGrid(benchmark::State& state) {
-  Problem& p = problemNoGrid();
-  ScoringOptions opts;
-  opts.cutoff = 12.0;
-  opts.useGrid = false;
-  ScoringFunction sf(*p.receptor, *p.ligand, opts);
-  std::vector<Vec3> scratch;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sf.scorePose(p.surfacePose, scratch));
-  }
-  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
-                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  scoreLoop(state, problemNoGrid(), makeOptions(12.0, false, true));
 }
 BENCHMARK(BM_ScoreCutoffNoGrid);
 
+static void BM_ScoreCutoffNoGridScalar(benchmark::State& state) {
+  scoreLoop(state, problemNoGrid(), makeOptions(12.0, false, false));
+}
+BENCHMARK(BM_ScoreCutoffNoGridScalar);
+
 static void BM_ScoreCutoffWithGrid(benchmark::State& state) {
-  Problem& p = problemWithGrid();
-  ScoringOptions opts;
-  opts.cutoff = 12.0;
-  opts.useGrid = true;
-  ScoringFunction sf(*p.receptor, *p.ligand, opts);
-  std::vector<Vec3> scratch;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sf.scorePose(p.surfacePose, scratch));
-  }
-  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
-                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  scoreLoop(state, problemWithGrid(), makeOptions(12.0, true, true));
 }
 BENCHMARK(BM_ScoreCutoffWithGrid);
+
+static void BM_ScoreCutoffWithGridScalar(benchmark::State& state) {
+  scoreLoop(state, problemWithGrid(), makeOptions(12.0, true, false));
+}
+BENCHMARK(BM_ScoreCutoffWithGridScalar);
 
 /// Batch of poses fanned across the pool: the METADOCK screening shape.
 static void BM_BatchEvaluateThreads(benchmark::State& state) {
   Problem& p = problemWithGrid();
   const auto threads = static_cast<std::size_t>(state.range(0));
-  ScoringOptions opts;  // cutoff 12, grid on
+  ScoringOptions opts;  // cutoff 12, grid on, packed
   ScoringFunction sf(*p.receptor, *p.ligand, opts);
   std::unique_ptr<ThreadPool> pool =
       threads > 0 ? std::make_unique<ThreadPool>(threads) : nullptr;

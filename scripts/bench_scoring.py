@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run the Eq. 1 scoring benchmark A/B (packed SoA kernel vs scalar
+fallback) and emit BENCH_scoring.json with pairs/second per path.
+
+Stdlib only. Usage:
+
+    python3 scripts/bench_scoring.py [--build-dir build] [--out BENCH_scoring.json]
+                                     [--min-time 0.5]
+
+Expects the bench harness at <build-dir>/bench/bench_scoring (built with
+-DDQNDOCK_BUILD_BENCH=ON, the default). The three measured paths map to
+the benchmark pairs:
+
+    brute_force_no_cutoff : BM_ScoreBruteForceNoCutoff[Scalar]
+    cutoff_no_grid        : BM_ScoreCutoffNoGrid[Scalar]
+    cutoff_with_grid      : BM_ScoreCutoffWithGrid[Scalar]
+
+items_per_second is receptor_atoms * ligand_atoms * iterations / time,
+i.e. scored pairs per second on the paper-2BSM surrogate.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+# benchmark name -> (path key, kernel key)
+BENCH_MAP = {
+    "BM_ScoreBruteForceNoCutoff": ("brute_force_no_cutoff", "packed"),
+    "BM_ScoreBruteForceNoCutoffScalar": ("brute_force_no_cutoff", "scalar"),
+    "BM_ScoreCutoffNoGrid": ("cutoff_no_grid", "packed"),
+    "BM_ScoreCutoffNoGridScalar": ("cutoff_no_grid", "scalar"),
+    "BM_ScoreCutoffWithGrid": ("cutoff_with_grid", "packed"),
+    "BM_ScoreCutoffWithGridScalar": ("cutoff_with_grid", "scalar"),
+}
+
+
+def run_bench(binary: Path, min_time: float) -> dict:
+    cmd = [
+        str(binary),
+        "--benchmark_filter=BM_Score",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--out", default="BENCH_scoring.json", type=Path)
+    ap.add_argument("--min-time", default=0.5, type=float,
+                    help="seconds per benchmark (google-benchmark min time)")
+    args = ap.parse_args()
+
+    binary = args.build_dir / "bench" / "bench_scoring"
+    if not binary.exists():
+        raise SystemExit(f"{binary} not found - build with -DDQNDOCK_BUILD_BENCH=ON first")
+
+    raw = run_bench(binary, args.min_time)
+
+    paths: dict = {}
+    for bench in raw.get("benchmarks", []):
+        mapping = BENCH_MAP.get(bench.get("name", "").split("/")[0])
+        if mapping is None:
+            continue
+        path_key, kernel = mapping
+        paths.setdefault(path_key, {})[kernel] = bench["items_per_second"]
+
+    missing = [k for k in {p for p, _ in BENCH_MAP.values()}
+               if len(paths.get(k, {})) != 2]
+    if missing:
+        raise SystemExit(f"incomplete benchmark output for paths: {sorted(missing)}")
+
+    for stats in paths.values():
+        stats["packed_over_scalar"] = stats["packed"] / stats["scalar"]
+
+    ctx = raw.get("context", {})
+    report = {
+        "benchmark": "bench_scoring",
+        "scenario": "paper-2BSM surrogate (3264 receptor atoms x 45-atom ligand)",
+        "metric": "pairs_per_second",
+        "date": ctx.get("date"),
+        "num_cpus": ctx.get("num_cpus"),
+        "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "benchmark_library_build_type": ctx.get("library_build_type"),
+        "paths": paths,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for path_key in sorted(paths):
+        s = paths[path_key]
+        print(f"  {path_key:22s} packed {s['packed'] / 1e6:8.1f} M pairs/s  "
+              f"scalar {s['scalar'] / 1e6:8.1f} M pairs/s  "
+              f"({s['packed_over_scalar']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

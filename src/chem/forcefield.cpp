@@ -48,4 +48,22 @@ LjParams ForceField::ljPair(Element a, Element b) const {
   return {0.5 * (pa.sigma + pb.sigma), std::sqrt(pa.epsilon * pb.epsilon)};
 }
 
+PairRowTable ForceField::pairRows(Element probe, std::span<const Element> atoms) const {
+  // Combine once per element, then gather per atom: kElementCount pair
+  // evaluations instead of one per atom.
+  std::array<LjParams, kElementCount> byElement;
+  for (int e = 0; e < kElementCount; ++e) {
+    byElement[static_cast<std::size_t>(e)] = ljPair(static_cast<Element>(e), probe);
+  }
+  PairRowTable rows;
+  rows.epsilon.resize(atoms.size());
+  rows.sigma2.resize(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const LjParams p = byElement[static_cast<std::size_t>(atoms[i])];
+    rows.epsilon[i] = p.epsilon;
+    rows.sigma2[i] = p.sigma * p.sigma;
+  }
+  return rows;
+}
+
 }  // namespace dqndock::chem

@@ -11,6 +11,8 @@
 /// kcal/mol.
 
 #include <array>
+#include <span>
+#include <vector>
 
 #include "src/chem/element.hpp"
 
@@ -40,6 +42,16 @@ struct HBondParams {
   double d10;
 };
 
+/// Contiguous mixed-pair parameter rows for data-oriented kernels:
+/// epsilon[i] and sigma2[i] hold the Lorentz-Berthelot combined well
+/// depth and *squared* zero-crossing distance of the pair
+/// (probe, atoms[i]). Squaring sigma up front lets the inner loop form
+/// (sigma/r)^2 from one squared distance without a square root.
+struct PairRowTable {
+  std::vector<double> epsilon;
+  std::vector<double> sigma2;
+};
+
 class ForceField {
  public:
   /// The library's built-in parameter set (MMFF94-like).
@@ -50,6 +62,11 @@ class ForceField {
   /// Combined pair parameters: Lorentz (arithmetic sigma) / Berthelot
   /// (geometric epsilon) rules.
   LjParams ljPair(Element a, Element b) const;
+
+  /// Flat pair rows of ljPair(probe, atoms[i]) for every i — the export
+  /// the SoA scoring kernel and affinity-map fill stream per ligand
+  /// element.
+  PairRowTable pairRows(Element probe, std::span<const Element> atoms) const;
 
   HBondParams hbond() const { return hbond_; }
 

@@ -10,6 +10,23 @@ double PoseEvaluator::evaluate(const Pose& pose) {
   return scoring_.scorePose(pose, scratch_);
 }
 
+std::unique_ptr<PoseEvaluator::Scratch> PoseEvaluator::acquireScratch() {
+  {
+    std::lock_guard lock(scratchMu_);
+    if (!freeScratch_.empty()) {
+      auto scratch = std::move(freeScratch_.back());
+      freeScratch_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<Scratch>();
+}
+
+void PoseEvaluator::releaseScratch(std::unique_ptr<Scratch> scratch) {
+  std::lock_guard lock(scratchMu_);
+  freeScratch_.push_back(std::move(scratch));
+}
+
 std::vector<double> PoseEvaluator::evaluateBatch(std::span<const Pose> poses) {
   std::vector<double> scores(poses.size());
   evals_.fetch_add(poses.size(), std::memory_order_relaxed);
@@ -20,10 +37,12 @@ std::vector<double> PoseEvaluator::evaluateBatch(std::span<const Pose> poses) {
     return scores;
   }
   pool_->parallelFor(0, poses.size(), [&](std::size_t lo, std::size_t hi) {
-    std::vector<Vec3> scratch;  // one buffer per chunk/worker
+    // One reused buffer per chunk (one mutex hop per chunk, not per pose).
+    auto scratch = acquireScratch();
     for (std::size_t i = lo; i < hi; ++i) {
-      scores[i] = scoring_.scorePose(poses[i], scratch);
+      scores[i] = scoring_.scorePose(poses[i], *scratch);
     }
+    releaseScratch(std::move(scratch));
   });
   return scores;
 }

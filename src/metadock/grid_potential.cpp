@@ -76,42 +76,80 @@ GridPotential::GridPotential(const ReceptorModel& receptor, GridPotentialOptions
   const double cut2 = options_.cutoff * options_.cutoff;
   const ForceField& ff = ForceField::standard();
   const chem::HBondParams hb = ff.hbond();
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+
+  // Stream the receptor's cell-packed SoA arrays with precomputed
+  // per-probe pair rows (no per-pair Lorentz-Berthelot combining), and
+  // prune through the neighbour grid when its cells cover the cutoff.
+  constexpr std::size_t kNumProbes = sizeof(probeElements) / sizeof(probeElements[0]);
+  chem::PairRowTable probeRows[kNumProbes];
+  for (std::size_t pe = 0; pe < kNumProbes; ++pe) {
+    probeRows[pe] = ff.pairRows(probeElements[pe], receptor.packedElements());
+  }
+  const double* X = receptor.packedX().data();
+  const double* Y = receptor.packedY().data();
+  const double* Z = receptor.packedZ().data();
+  const double* Q = receptor.packedCharges().data();
+  const bool pruned =
+      receptor.hasGrid() && receptor.grid().cellSize() + 1e-12 >= options_.cutoff;
 
   // Fill plane-by-plane; planes are independent, so the pool splits on z.
+  // Per-point sums are independent of the partition, so parallel and
+  // serial fills are bit-identical.
   auto fillPlanes = [&](std::size_t zLo, std::size_t zHi) {
+    NeighborGrid::Range ranges[NeighborGrid::kMaxQueryRanges];
     for (std::size_t z = zLo; z < zHi; ++z) {
       for (int iy = 0; iy < ny; ++iy) {
         for (int ix = 0; ix < nx; ++ix) {
           const Vec3 p = origin + Vec3{ix * options_.spacing, iy * options_.spacing,
                                        static_cast<double>(z) * options_.spacing};
+          int numRanges = 1;
+          if (pruned) {
+            numRanges = receptor.grid().queryRanges(p, ranges);
+          } else {
+            ranges[0] = NeighborGrid::Range{0, static_cast<std::uint32_t>(receptor.atomCount())};
+          }
           double elec = 0.0;
-          double lj[chem::kElementCount] = {};
-          for (std::size_t ra = 0; ra < receptor.atomCount(); ++ra) {
-            const double r2 = distance2(receptor.positions()[ra], p);
-            if (r2 > cut2) continue;
-            const double r = std::sqrt(r2);
-            elec += chem::kCoulomb * receptor.charges()[ra] /
-                    std::max(r, kMinPairDistance);
-            for (Element e : probeElements) {
-              const chem::LjParams pair = ff.ljPair(receptor.elements()[ra], e);
-              double energy = lennardJonesEnergy(pair.epsilon, pair.sigma, r);
-              // Fold the aligned 12-10 H-bond well into the map when the
-              // receptor atom is a donor hydrogen and the probe element
-              // is a typical acceptor (N/O).
-              if (receptor.roles()[ra] == chem::HBondRole::kDonorHydrogen &&
-                  (e == Element::N || e == Element::O)) {
-                energy += hb.c12 / std::pow(std::max(r, kMinPairDistance), 12) -
-                          hb.d10 / std::pow(std::max(r, kMinPairDistance), 10);
+          double lj[kNumProbes] = {};
+          for (int k = 0; k < numRanges; ++k) {
+            const std::size_t end = ranges[k].first + ranges[k].count;
+            for (std::size_t j = ranges[k].first; j < end; ++j) {
+              const double dx = X[j] - p.x;
+              const double dy = Y[j] - p.y;
+              const double dz = Z[j] - p.z;
+              const double r2 = dx * dx + dy * dy + dz * dz;
+              if (r2 > cut2) continue;
+              const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+              const double rinv = 1.0 / std::sqrt(r2c);
+              elec += Q[j] * rinv;
+              const double inv2 = rinv * rinv;
+              for (std::size_t pe = 0; pe < kNumProbes; ++pe) {
+                const double s2 = probeRows[pe].sigma2[j] * inv2;
+                const double s6 = s2 * s2 * s2;
+                lj[pe] += probeRows[pe].epsilon[j] * (s6 * s6 - s6);
               }
-              lj[static_cast<std::size_t>(e)] += energy;
             }
           }
+          // Fold the aligned 12-10 H-bond well into the N/O maps: the
+          // receptor's donor hydrogens are a packed sparse list, so this
+          // second pass costs a handful of sites per point.
+          double hbWell = 0.0;
+          for (const ReceptorModel::HBondSite& d : receptor.donorHydrogenSites()) {
+            const double r2 = distance2(d.pos, p);
+            if (r2 > cut2) continue;
+            const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+            const double r10 = r2c * r2c * r2c * r2c * r2c;
+            const double r12 = r10 * r2c;
+            hbWell += hb.c12 / r12 - hb.d10 / r10;
+          }
           electrostatic_->at(ix, iy, static_cast<int>(z)) =
-              std::clamp(elec, -options_.energyClamp, options_.energyClamp);
-          for (Element e : probeElements) {
+              std::clamp(chem::kCoulomb * elec, -options_.energyClamp, options_.energyClamp);
+          for (std::size_t pe = 0; pe < kNumProbes; ++pe) {
+            const Element e = probeElements[pe];
+            double energy = 4.0 * lj[pe];
+            if (e == Element::N || e == Element::O) energy += hbWell;
             perElement_[static_cast<std::size_t>(e)]->at(ix, iy, static_cast<int>(z)) =
-                std::clamp(lj[static_cast<std::size_t>(e)], -options_.energyClamp,
-                           options_.energyClamp);
+                std::clamp(energy, -options_.energyClamp, options_.energyClamp);
           }
         }
       }

@@ -5,52 +5,119 @@
 
 namespace dqndock::metadock {
 
+namespace {
+
+/// Above this many cells the precomputed neighbour table is skipped and
+/// queries fall back to the on-the-fly window walk (still hash-free);
+/// bounds memory for pathologically sparse point sets.
+constexpr std::size_t kNeighborTableMaxCells = std::size_t{1} << 18;
+
+}  // namespace
+
 NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize) : cell_(cellSize) {
   if (cellSize <= 0.0) throw std::invalid_argument("NeighborGrid: cellSize must be > 0");
-  if (!points.empty()) {
-    origin_ = points.front();
-    for (const auto& p : points) origin_ = origin_.min(p);
+  if (points.empty()) return;
+
+  Vec3 lo = points.front();
+  Vec3 hi = points.front();
+  for (const auto& p : points) {
+    lo = lo.min(p);
+    hi = hi.max(p);
   }
-  pointCell_.resize(points.size());
-  // Count per cell, then bucket (counting sort by cell).
-  std::unordered_map<long, std::size_t> counts;
+  origin_ = lo;
+  nx_ = static_cast<int>(std::floor((hi.x - lo.x) / cell_)) + 1;
+  ny_ = static_cast<int>(std::floor((hi.y - lo.y) / cell_)) + 1;
+  nz_ = static_cast<int>(std::floor((hi.z - lo.z) / cell_)) + 1;
+  const std::size_t numCells = static_cast<std::size_t>(nx_) * ny_ * nz_;
+
+  // Counting sort by dense cell index.
+  std::vector<std::uint32_t> cellOf(points.size());
+  std::vector<std::uint32_t> counts(numCells, 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto [cx, cy, cz] = cellCoords(points[i]);
-    const long key = cellKey(cx, cy, cz);
-    pointCell_[i] = key;
-    ++counts[key];
+    const Vec3& p = points[i];
+    // Points define the box, so coords are in range up to fp rounding;
+    // clamp to be safe at the faces.
+    const int cx = std::min(nx_ - 1, std::max(0, static_cast<int>(std::floor((p.x - lo.x) / cell_))));
+    const int cy = std::min(ny_ - 1, std::max(0, static_cast<int>(std::floor((p.y - lo.y) / cell_))));
+    const int cz = std::min(nz_ - 1, std::max(0, static_cast<int>(std::floor((p.z - lo.z) / cell_))));
+    const std::size_t c = cellIndex(cx, cy, cz);
+    cellOf[i] = static_cast<std::uint32_t>(c);
+    ++counts[c];
   }
-  cellStart_.reserve(counts.size());
-  std::size_t offset = 0;
-  for (const auto& [key, count] : counts) {
-    cellStart_[key] = Range{offset, 0};
-    offset += count;
-  }
-  cellPoints_.resize(points.size());
+  offsets_.assign(numCells + 1, 0);
+  for (std::size_t c = 0; c < numCells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
+  order_.resize(points.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    Range& r = cellStart_[pointCell_[i]];
-    cellPoints_[r.first + r.count] = i;
-    ++r.count;
+    order_[cursor[cellOf[i]]++] = static_cast<std::uint32_t>(i);
   }
+
+  if (numCells > kNeighborTableMaxCells) return;
+
+  // Precompute the merged 27-neighbourhood ranges per cell (CSR).
+  neighborStart_.assign(numCells + 1, 0);
+  neighborRanges_.reserve(numCells * 3);
+  Range scratch[kMaxQueryRanges];
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        const int n = gatherRanges(x, y, z, scratch);
+        for (int k = 0; k < n; ++k) neighborRanges_.push_back(scratch[k]);
+        neighborStart_[cellIndex(x, y, z) + 1] = static_cast<std::uint32_t>(neighborRanges_.size());
+      }
+    }
+  }
+}
+
+int NeighborGrid::gatherRanges(int cx, int cy, int cz, Range* out) const {
+  int n = 0;
+  const int x0 = cx > 1 ? cx - 1 : 0;
+  const int x1 = cx + 1 < nx_ ? cx + 1 : nx_ - 1;
+  if (cx + 1 < 0 || cx - 1 >= nx_) return 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = cz + dz;
+    if (z < 0 || z >= nz_) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = cy + dy;
+      if (y < 0 || y >= ny_) continue;
+      // Cells x0..x1 in one row are contiguous in the packed order.
+      const std::uint32_t first = offsets_[cellIndex(x0, y, z)];
+      const std::uint32_t end = offsets_[cellIndex(x1, y, z) + 1];
+      if (end > first) out[n++] = Range{first, end - first};
+    }
+  }
+  return n;
+}
+
+int NeighborGrid::queryRanges(const Vec3& query, Range* out) const {
+  if (order_.empty()) return 0;
+  // Compute floor coords as doubles first: far-away queries would
+  // overflow int, but they also can't overlap the box.
+  const double fx = std::floor((query.x - origin_.x) / cell_);
+  const double fy = std::floor((query.y - origin_.y) / cell_);
+  const double fz = std::floor((query.z - origin_.z) / cell_);
+  if (fx < -1.0 || fx > static_cast<double>(nx_) || fy < -1.0 || fy > static_cast<double>(ny_) ||
+      fz < -1.0 || fz > static_cast<double>(nz_)) {
+    return 0;
+  }
+  const int cx = static_cast<int>(fx);
+  const int cy = static_cast<int>(fy);
+  const int cz = static_cast<int>(fz);
+  if (!neighborStart_.empty() && cx >= 0 && cx < nx_ && cy >= 0 && cy < ny_ && cz >= 0 &&
+      cz < nz_) {
+    const std::size_t c = cellIndex(cx, cy, cz);
+    const std::uint32_t first = neighborStart_[c];
+    const std::uint32_t end = neighborStart_[c + 1];
+    for (std::uint32_t k = first; k < end; ++k) out[k - first] = neighborRanges_[k];
+    return static_cast<int>(end - first);
+  }
+  return gatherRanges(cx, cy, cz, out);
 }
 
 std::vector<std::size_t> NeighborGrid::near(const Vec3& query) const {
   std::vector<std::size_t> out;
   forEachNear(query, [&out](std::size_t i) { out.push_back(i); });
   return out;
-}
-
-std::tuple<int, int, int> NeighborGrid::cellCoords(const Vec3& p) const {
-  return {static_cast<int>(std::floor((p.x - origin_.x) / cell_)),
-          static_cast<int>(std::floor((p.y - origin_.y) / cell_)),
-          static_cast<int>(std::floor((p.z - origin_.z) / cell_))};
-}
-
-long NeighborGrid::cellKey(int x, int y, int z) {
-  // Pack three 21-bit signed coordinates into one 64-bit key.
-  const long bias = 1 << 20;
-  return ((static_cast<long>(x) + bias) << 42) | ((static_cast<long>(y) + bias) << 21) |
-         (static_cast<long>(z) + bias);
 }
 
 }  // namespace dqndock::metadock

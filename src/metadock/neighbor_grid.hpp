@@ -1,16 +1,24 @@
 #pragma once
 
 /// \file neighbor_grid.hpp
-/// Uniform spatial hash over receptor atoms. With a scoring cutoff of
-/// r_c, each ligand atom only needs the receptor atoms in the 27 cells
-/// around it, turning the O(n*m) pair loop of Algorithm 1 into an output-
-/// sensitive sweep — the same pruning METADOCK's GPU kernels perform by
-/// tiling the receptor surface into independent spots.
+/// Dense uniform grid over the stored points' bounding box. With a
+/// scoring cutoff of r_c, each ligand atom only needs the receptor atoms
+/// in the 27 cells around it, turning the O(n*m) pair loop of Algorithm 1
+/// into an output-sensitive sweep — the same pruning METADOCK's GPU
+/// kernels perform by tiling the receptor surface into independent spots.
+///
+/// Data-oriented layout: cells live in a dense 3-D array indexed by
+/// integer coordinates (no hashing), points are stored as one permutation
+/// grouped by cell (`cellOrder`), and every in-box cell carries a
+/// precomputed flat list of the contiguous point ranges covering its
+/// 27-neighbourhood. Because cells adjacent in x are adjacent in the
+/// packed order, the 27 cells merge into at most 9 ranges (one per
+/// (y, z) row), so a query is integer math plus up to 9 contiguous range
+/// walks — the shape the SoA scoring kernel streams.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
-#include <tuple>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/vec3.hpp"
@@ -19,28 +27,50 @@ namespace dqndock::metadock {
 
 class NeighborGrid {
  public:
+  /// Contiguous slice [first, first + count) of the cell-sorted order.
+  struct Range {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  /// A 27-cell neighbourhood merges into at most 9 x-rows.
+  static constexpr int kMaxQueryRanges = 9;
+
   /// Builds a grid with cell edge `cellSize` (usually the scoring cutoff)
   /// over `points`. cellSize must be > 0.
   NeighborGrid(std::span<const Vec3> points, double cellSize);
 
   double cellSize() const { return cell_; }
-  std::size_t pointCount() const { return pointCell_.size(); }
+  std::size_t pointCount() const { return order_.size(); }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  const Vec3& origin() const { return origin_; }
+
+  /// Point indices (into the constructor's array) grouped by cell in
+  /// dense linear-cell order; stable by original index within a cell.
+  /// This is the packed order SoA consumers sort their arrays by.
+  const std::vector<std::uint32_t>& cellOrder() const { return order_; }
+
+  /// Fills `out` (capacity >= kMaxQueryRanges) with the contiguous
+  /// cell-sorted ranges covering the 27-cell neighbourhood of `query`;
+  /// returns the number of ranges written. Ranges index the *packed*
+  /// order, i.e. points are order_[first..first+count). Queries anywhere
+  /// in space are valid; far-outside queries yield 0 ranges.
+  int queryRanges(const Vec3& query, Range* out) const;
 
   /// Invoke fn(pointIndex) for every stored point within the 27-cell
   /// neighbourhood of `query` (superset of all points within cellSize of
   /// the query; callers still apply the exact distance test).
   template <typename Fn>
   void forEachNear(const Vec3& query, Fn&& fn) const {
-    const auto [cx, cy, cz] = cellCoords(query);
-    for (int dx = -1; dx <= 1; ++dx) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dz = -1; dz <= 1; ++dz) {
-          const long key = cellKey(cx + dx, cy + dy, cz + dz);
-          const auto it = cellStart_.find(key);
-          if (it == cellStart_.end()) continue;
-          const auto [start, count] = it->second;
-          for (std::size_t i = 0; i < count; ++i) fn(cellPoints_[start + i]);
-        }
+    Range ranges[kMaxQueryRanges];
+    const int n = queryRanges(query, ranges);
+    for (int k = 0; k < n; ++k) {
+      const std::uint32_t end = ranges[k].first + ranges[k].count;
+      for (std::uint32_t i = ranges[k].first; i < end; ++i) {
+        fn(static_cast<std::size_t>(order_[i]));
       }
     }
   }
@@ -50,19 +80,28 @@ class NeighborGrid {
   std::vector<std::size_t> near(const Vec3& query) const;
 
  private:
-  struct Range {
-    std::size_t first;
-    std::size_t count;
-  };
+  std::size_t cellIndex(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(x);
+  }
 
-  std::tuple<int, int, int> cellCoords(const Vec3& p) const;
-  static long cellKey(int x, int y, int z);
+  /// Walks the clamped 3x3x3 window around cell (cx, cy, cz) and writes
+  /// the non-empty merged x-row ranges; shared by the build-time
+  /// precompute and the out-of-box query fallback.
+  int gatherRanges(int cx, int cy, int cz, Range* out) const;
 
   double cell_ = 1.0;
   Vec3 origin_;
-  std::vector<long> pointCell_;                 ///< cell key per point
-  std::vector<std::size_t> cellPoints_;         ///< point indices grouped by cell
-  std::unordered_map<long, Range> cellStart_;   ///< key -> range in cellPoints_
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<std::uint32_t> order_;    ///< point indices grouped by cell
+  std::vector<std::uint32_t> offsets_;  ///< numCells+1 prefix sums into order_
+  /// CSR neighbour table: for in-box cell c, the precomputed ranges are
+  /// neighborRanges_[neighborStart_[c] .. neighborStart_[c + 1]).
+  /// Empty when the cell count exceeds kNeighborTableMaxCells.
+  std::vector<std::uint32_t> neighborStart_;
+  std::vector<Range> neighborRanges_;
 };
 
 }  // namespace dqndock::metadock

@@ -1,5 +1,7 @@
 #include "src/metadock/receptor_model.hpp"
 
+#include <numeric>
+
 #include "src/chem/topology.hpp"
 
 namespace dqndock::metadock {
@@ -25,6 +27,43 @@ ReceptorModel::ReceptorModel(const chem::Molecule& receptor, double gridCellSize
 
   if (gridCellSize > 0.0) {
     grid_ = std::make_unique<NeighborGrid>(positions_, gridCellSize);
+    packedOrder_ = grid_->cellOrder();
+  } else {
+    packedOrder_.resize(atomCount());
+    std::iota(packedOrder_.begin(), packedOrder_.end(), 0u);
+  }
+
+  // Cell-packed SoA copies: the scoring kernel walks grid ranges as
+  // contiguous slices of these arrays.
+  const std::size_t n = atomCount();
+  packedX_.resize(n);
+  packedY_.resize(n);
+  packedZ_.resize(n);
+  packedCharges_.resize(n);
+  packedElements_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = packedOrder_[i];
+    packedX_[i] = positions_[src].x;
+    packedY_[i] = positions_[src].y;
+    packedZ_[i] = positions_[src].z;
+    packedCharges_[i] = charges_[src];
+    packedElements_[i] = elements_[src];
+  }
+
+  // Sparse H-bond site lists (packed order, so the second scoring pass
+  // visits them in a deterministic order independent of thread count).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = packedOrder_[i];
+    switch (roles_[src]) {
+      case chem::HBondRole::kDonorHydrogen:
+        donorSites_.push_back({positions_[src], donorDirs_[src], elements_[src]});
+        break;
+      case chem::HBondRole::kAcceptor:
+        acceptorSites_.push_back({positions_[src], Vec3{}, elements_[src]});
+        break;
+      case chem::HBondRole::kNone:
+        break;
+    }
   }
 }
 

@@ -5,7 +5,16 @@
 /// stream, donor-hydrogen anchor directions for the H-bond angular term,
 /// and an optional neighbour grid for cutoff pruning. Built once per
 /// docking problem and shared read-only across threads.
+///
+/// Besides the original-order arrays, the model keeps a *cell-packed*
+/// SoA copy: atoms permuted into the neighbour grid's cell-sorted order
+/// (identity when no grid is built) with separate contiguous
+/// x/y/z/charge/element arrays, so grid query ranges map to straight-line
+/// walks over flat doubles. Hydrogen-bond-capable atoms (donor hydrogens,
+/// acceptors) are additionally extracted into small packed site lists so
+/// the sparse H-bond term can run as its own pass outside the hot loop.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -16,6 +25,13 @@ namespace dqndock::metadock {
 
 class ReceptorModel {
  public:
+  /// One hydrogen-bond-capable receptor atom in the packed site lists.
+  struct HBondSite {
+    Vec3 pos;
+    Vec3 donorDir;  ///< anchor->hydrogen unit vector; zero for acceptors
+    chem::Element element = chem::Element::Unknown;
+  };
+
   /// Compiles `receptor`. When gridCellSize > 0 a NeighborGrid is built
   /// with that cell edge (callers normally pass the scoring cutoff).
   explicit ReceptorModel(const chem::Molecule& receptor, double gridCellSize = 0.0);
@@ -30,6 +46,19 @@ class ReceptorModel {
   /// Unit vector from the anchor heavy atom to donor hydrogen i, or the
   /// zero vector when atom i is not a bonded donor hydrogen.
   const std::vector<Vec3>& donorDirections() const { return donorDirs_; }
+
+  /// Cell-packed SoA views (atom `i` here is packedOrder()[i] in the
+  /// original order; identity permutation when no grid is built).
+  const std::vector<std::uint32_t>& packedOrder() const { return packedOrder_; }
+  const std::vector<double>& packedX() const { return packedX_; }
+  const std::vector<double>& packedY() const { return packedY_; }
+  const std::vector<double>& packedZ() const { return packedZ_; }
+  const std::vector<double>& packedCharges() const { return packedCharges_; }
+  const std::vector<chem::Element>& packedElements() const { return packedElements_; }
+
+  /// Packed H-bond site lists (sparse subsets, packed order).
+  const std::vector<HBondSite>& donorHydrogenSites() const { return donorSites_; }
+  const std::vector<HBondSite>& acceptorSites() const { return acceptorSites_; }
 
   const chem::Molecule& molecule() const { return molecule_; }
   Vec3 centerOfMass() const { return centerOfMass_; }
@@ -46,6 +75,11 @@ class ReceptorModel {
   std::vector<Vec3> donorDirs_;
   Vec3 centerOfMass_;
   std::unique_ptr<NeighborGrid> grid_;
+
+  std::vector<std::uint32_t> packedOrder_;
+  std::vector<double> packedX_, packedY_, packedZ_, packedCharges_;
+  std::vector<chem::Element> packedElements_;
+  std::vector<HBondSite> donorSites_, acceptorSites_;
 };
 
 }  // namespace dqndock::metadock

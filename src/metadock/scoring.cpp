@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include <limits>
 #include <stdexcept>
 
 namespace dqndock::metadock {
@@ -55,6 +55,29 @@ ScoringFunction::ScoringFunction(const ReceptorModel& receptor, const LigandMode
     }
   }
   hbond_ = ff.hbond();
+
+  // Packed-kernel tables: one pair-parameter row over the cell-sorted
+  // receptor per ligand element actually present, plus hoisted per-atom
+  // ligand data so the hot loop never touches the Molecule.
+  const std::size_t ln = ligand_.atomCount();
+  atomRow_.resize(ln);
+  ligCharges_.resize(ln);
+  ligRoles_.resize(ln);
+  ligElems_.resize(ln);
+  std::array<int, chem::kElementCount> rowOf;
+  rowOf.fill(-1);
+  for (std::size_t la = 0; la < ln; ++la) {
+    const Element e = ligand_.molecule().element(la);
+    int& row = rowOf[static_cast<std::size_t>(e)];
+    if (row < 0) {
+      row = static_cast<int>(pairRows_.size());
+      pairRows_.push_back(ff.pairRows(e, receptor_.packedElements()));
+    }
+    atomRow_[la] = row;
+    ligCharges_[la] = ligand_.molecule().charge(la);
+    ligRoles_[la] = ligand_.molecule().hbondRole(la);
+    ligElems_[la] = e;
+  }
 }
 
 ScoreTerms ScoringFunction::pairEnergy(std::size_t ra, std::size_t la, const Vec3& ligandPos,
@@ -93,24 +116,138 @@ ScoreTerms ScoringFunction::pairEnergy(std::size_t ra, std::size_t la, const Vec
   return terms;
 }
 
-ScoreTerms ScoringFunction::energyForLigandRange(std::span<const Vec3> ligandPositions,
-                                                 std::size_t begin, std::size_t end) const {
+ScoreTerms ScoringFunction::scalarAtomEnergy(std::size_t la, const Vec3& lpos,
+                                             std::span<const Vec3> all) const {
   ScoreTerms acc;
   const bool pruned = options_.useGrid && options_.cutoff > 0.0;
-  for (std::size_t la = begin; la < end; ++la) {
-    const Vec3& lpos = ligandPositions[la];
-    if (pruned) {
-      receptor_.grid().forEachNear(lpos, [&](std::size_t ra) {
-        acc += pairEnergy(ra, la, lpos, ligandPositions);
-      });
-    } else {
-      const std::size_t n = receptor_.atomCount();
-      for (std::size_t ra = 0; ra < n; ++ra) {
-        acc += pairEnergy(ra, la, lpos, ligandPositions);
-      }
+  if (pruned) {
+    receptor_.grid().forEachNear(lpos,
+                                 [&](std::size_t ra) { acc += pairEnergy(ra, la, lpos, all); });
+  } else {
+    const std::size_t n = receptor_.atomCount();
+    for (std::size_t ra = 0; ra < n; ++ra) {
+      acc += pairEnergy(ra, la, lpos, all);
     }
   }
   return acc;
+}
+
+ScoreTerms ScoringFunction::packedAtomEnergy(std::size_t la, const Vec3& lpos,
+                                             std::span<const Vec3> all) const {
+  ScoreTerms terms;
+  const std::size_t n = receptor_.atomCount();
+  if (n == 0) return terms;
+
+  // Candidate ranges over the cell-sorted order: the 27-neighbourhood
+  // when grid-pruned, the whole receptor otherwise.
+  NeighborGrid::Range ranges[NeighborGrid::kMaxQueryRanges];
+  int numRanges;
+  if (options_.useGrid && options_.cutoff > 0.0) {
+    numRanges = receptor_.grid().queryRanges(lpos, ranges);
+  } else {
+    ranges[0] = NeighborGrid::Range{0, static_cast<std::uint32_t>(n)};
+    numRanges = 1;
+  }
+
+  // Pass 1: fused electrostatics + Lennard-Jones over flat SoA arrays.
+  // Branch-free: out-of-cutoff lanes contribute an exact 0.0. W
+  // independent accumulator lanes keep the reduction vectorisable and
+  // deterministic (fixed lane-sum order, independent of thread count).
+  const double* X = receptor_.packedX().data();
+  const double* Y = receptor_.packedY().data();
+  const double* Z = receptor_.packedZ().data();
+  const double* Q = receptor_.packedCharges().data();
+  const chem::PairRowTable& row = pairRows_[static_cast<std::size_t>(atomRow_[la])];
+  const double* EPS = row.epsilon.data();
+  const double* SG2 = row.sigma2.data();
+  const double lx = lpos.x, ly = lpos.y, lz = lpos.z;
+  const double cut2 = options_.cutoff > 0.0 ? options_.cutoff * options_.cutoff
+                                            : std::numeric_limits<double>::infinity();
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+
+  constexpr int W = 8;
+  double elecAcc[W] = {};
+  double vdwAcc[W] = {};
+  for (int k = 0; k < numRanges; ++k) {
+    std::size_t i = ranges[k].first;
+    const std::size_t end = i + ranges[k].count;
+    for (; i + W <= end; i += W) {
+      for (int l = 0; l < W; ++l) {
+        const std::size_t j = i + static_cast<std::size_t>(l);
+        const double dx = X[j] - lx;
+        const double dy = Y[j] - ly;
+        const double dz = Z[j] - lz;
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double in = r2 <= cut2 ? 1.0 : 0.0;
+        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+        const double rinv = 1.0 / std::sqrt(r2c);
+        const double s2 = SG2[j] * (rinv * rinv);
+        const double s6 = s2 * s2 * s2;
+        elecAcc[l] += in * (Q[j] * rinv);
+        vdwAcc[l] += in * (EPS[j] * (s6 * s6 - s6));
+      }
+    }
+    for (; i < end; ++i) {
+      const double dx = X[i] - lx;
+      const double dy = Y[i] - ly;
+      const double dz = Z[i] - lz;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      const double in = r2 <= cut2 ? 1.0 : 0.0;
+      const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+      const double rinv = 1.0 / std::sqrt(r2c);
+      const double s2 = SG2[i] * (rinv * rinv);
+      const double s6 = s2 * s2 * s2;
+      elecAcc[0] += in * (Q[i] * rinv);
+      vdwAcc[0] += in * (EPS[i] * (s6 * s6 - s6));
+    }
+  }
+  double elec = 0.0, vdw = 0.0;
+  for (int l = 0; l < W; ++l) {
+    elec += elecAcc[l];
+    vdw += vdwAcc[l];
+  }
+  terms.electrostatic = chem::kCoulomb * ligCharges_[la] * elec;
+  terms.vdw = 4.0 * vdw;
+
+  // Pass 2: hydrogen bond over the sparse packed site lists (donor
+  // hydrogen on one side, acceptor on the other), hoisted out of the hot
+  // loop. The cutoff test mirrors the scalar path exactly; with a grid,
+  // every in-cutoff site is inside the 27-neighbourhood by construction
+  // (cell size >= cutoff), so scanning the full list loses nothing.
+  const HBondRole lRole = ligRoles_[la];
+  if (lRole == HBondRole::kAcceptor) {
+    const Element le = ligElems_[la];
+    for (const ReceptorModel::HBondSite& d : receptor_.donorHydrogenSites()) {
+      const double r = distance(d.pos, lpos);
+      if (options_.cutoff > 0.0 && r > options_.cutoff) continue;
+      const chem::LjParams lj =
+          ljTable_[static_cast<std::size_t>(d.element)][static_cast<std::size_t>(le)];
+      const Vec3 toAcceptor = (lpos - d.pos).normalized();
+      const double cosTheta = d.donorDir.norm2() > 0.0 ? d.donorDir.dot(toAcceptor) : 1.0;
+      terms.hbond += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+    }
+  } else if (lRole == HBondRole::kDonorHydrogen) {
+    const Element le = ligElems_[la];
+    const int anchor = ligand_.hydrogenAnchors()[la];
+    for (const ReceptorModel::HBondSite& a : receptor_.acceptorSites()) {
+      const double r = distance(a.pos, lpos);
+      if (options_.cutoff > 0.0 && r > options_.cutoff) continue;
+      const chem::LjParams lj =
+          ljTable_[static_cast<std::size_t>(a.element)][static_cast<std::size_t>(le)];
+      double cosTheta = 1.0;
+      if (anchor >= 0) {
+        const Vec3 dir = (lpos - all[static_cast<std::size_t>(anchor)]).normalized();
+        cosTheta = dir.dot((a.pos - lpos).normalized());
+      }
+      terms.hbond += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+    }
+  }
+  return terms;
+}
+
+ScoreTerms ScoringFunction::atomEnergy(std::size_t la, const Vec3& lpos,
+                                       std::span<const Vec3> all) const {
+  return options_.packed ? packedAtomEnergy(la, lpos, all) : scalarAtomEnergy(la, lpos, all);
 }
 
 ScoreTerms ScoringFunction::energy(std::span<const Vec3> ligandPositions) const {
@@ -119,16 +256,25 @@ ScoreTerms ScoringFunction::energy(std::span<const Vec3> ligandPositions) const 
   }
   const std::size_t n = ligandPositions.size();
   if (options_.pool == nullptr || n < 8) {
-    return energyForLigandRange(ligandPositions, 0, n);
+    ScoreTerms acc;
+    for (std::size_t la = 0; la < n; ++la) {
+      acc += atomEnergy(la, ligandPositions[la], ligandPositions);
+    }
+    return acc;
   }
-  ScoreTerms total;
-  std::mutex mu;
+  // Ordered per-atom partials: each atom's terms are computed exactly as
+  // in the serial path and summed in atom order afterwards, so the result
+  // is bit-identical for any thread count (and to the serial path) —
+  // unlike the old mutex-ordered chunk accumulation.
+  std::vector<ScoreTerms> partials(n);
   options_.pool->parallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
-    const ScoreTerms part = energyForLigandRange(ligandPositions, lo, hi);
-    std::lock_guard lock(mu);
-    total += part;
+    for (std::size_t la = lo; la < hi; ++la) {
+      partials[la] = atomEnergy(la, ligandPositions[la], ligandPositions);
+    }
   });
-  return total;
+  ScoreTerms acc;
+  for (const ScoreTerms& p : partials) acc += p;
+  return acc;
 }
 
 double ScoringFunction::score(std::span<const Vec3> ligandPositions) const {

@@ -107,5 +107,76 @@ TEST(NeighborGridTest, ForEachNearMatchesNear) {
   EXPECT_EQ(collected, near);
 }
 
+TEST(NeighborGridTest, CellOrderIsPermutationGroupedByCell) {
+  Rng rng(21);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(-15, 15), rng.uniform(-15, 15), rng.uniform(-15, 15)});
+  }
+  NeighborGrid grid(pts, 4.0);
+  const auto& order = grid.cellOrder();
+  ASSERT_EQ(order.size(), pts.size());
+
+  // A permutation: every index appears exactly once.
+  std::vector<std::uint32_t> sorted(order.begin(), order.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+
+  // Grouped by cell: the dense cell index is non-decreasing along the
+  // packed order (counting sort is stable by cell).
+  auto denseCell = [&](const Vec3& p) {
+    const auto cx = static_cast<long>(std::floor((p.x - grid.origin().x) / grid.cellSize()));
+    const auto cy = static_cast<long>(std::floor((p.y - grid.origin().y) / grid.cellSize()));
+    const auto cz = static_cast<long>(std::floor((p.z - grid.origin().z) / grid.cellSize()));
+    return (cz * grid.ny() + cy) * grid.nx() + cx;
+  };
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(denseCell(pts[order[i - 1]]), denseCell(pts[order[i]])) << "at " << i;
+  }
+}
+
+TEST(NeighborGridTest, QueryRangesCoverSamePointsAsNear) {
+  Rng rng(31);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 250; ++i) {
+    pts.push_back({rng.uniform(-12, 12), rng.uniform(-12, 12), rng.uniform(-12, 12)});
+  }
+  NeighborGrid grid(pts, 3.0);
+  for (int q = 0; q < 40; ++q) {
+    // Mix of in-box, edge, and out-of-box queries.
+    const double span = q % 3 == 0 ? 30.0 : 12.0;
+    const Vec3 query{rng.uniform(-span, span), rng.uniform(-span, span),
+                     rng.uniform(-span, span)};
+    NeighborGrid::Range ranges[NeighborGrid::kMaxQueryRanges];
+    const int n = grid.queryRanges(query, ranges);
+    ASSERT_LE(n, NeighborGrid::kMaxQueryRanges);
+    std::vector<std::size_t> fromRanges;
+    for (int k = 0; k < n; ++k) {
+      for (std::uint32_t i = ranges[k].first; i < ranges[k].first + ranges[k].count; ++i) {
+        fromRanges.push_back(grid.cellOrder()[i]);
+      }
+    }
+    auto expected = grid.near(query);
+    std::sort(fromRanges.begin(), fromRanges.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(fromRanges, expected) << "query " << q;
+  }
+}
+
+TEST(NeighborGridTest, FarOutsideQueriesYieldNoRanges) {
+  std::vector<Vec3> pts{{0, 0, 0}, {1, 1, 1}, {2, 0, 1}};
+  NeighborGrid grid(pts, 2.0);
+  NeighborGrid::Range ranges[NeighborGrid::kMaxQueryRanges];
+  // More than one cell beyond the box on any axis: nothing can be within
+  // cellSize, so the query returns zero ranges (and must not overflow on
+  // astronomically distant coordinates).
+  EXPECT_EQ(grid.queryRanges(Vec3{100, 0, 0}, ranges), 0);
+  EXPECT_EQ(grid.queryRanges(Vec3{0, -100, 0}, ranges), 0);
+  EXPECT_EQ(grid.queryRanges(Vec3{1e18, -1e18, 1e18}, ranges), 0);
+  EXPECT_TRUE(grid.near(Vec3{1e18, -1e18, 1e18}).empty());
+  // Just outside the box (within one cell) still sees the boundary cells.
+  EXPECT_GT(grid.queryRanges(Vec3{-1.5, 0.5, 0.5}, ranges), 0);
+}
+
 }  // namespace
 }  // namespace dqndock::metadock
