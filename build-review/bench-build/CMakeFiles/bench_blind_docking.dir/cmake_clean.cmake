@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blind_docking"
+  "../bench/bench_blind_docking.pdb"
+  "CMakeFiles/bench_blind_docking.dir/bench_blind_docking.cpp.o"
+  "CMakeFiles/bench_blind_docking.dir/bench_blind_docking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blind_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_blind_docking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dqn_variants"
+  "../bench/bench_dqn_variants.pdb"
+  "CMakeFiles/bench_dqn_variants.dir/bench_dqn_variants.cpp.o"
+  "CMakeFiles/bench_dqn_variants.dir/bench_dqn_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dqn_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

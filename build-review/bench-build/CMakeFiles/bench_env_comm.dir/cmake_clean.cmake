@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_env_comm"
+  "../bench/bench_env_comm.pdb"
+  "CMakeFiles/bench_env_comm.dir/bench_env_comm.cpp.o"
+  "CMakeFiles/bench_env_comm.dir/bench_env_comm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_env_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_training"
+  "../bench/bench_fig4_training.pdb"
+  "CMakeFiles/bench_fig4_training.dir/bench_fig4_training.cpp.o"
+  "CMakeFiles/bench_fig4_training.dir/bench_fig4_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

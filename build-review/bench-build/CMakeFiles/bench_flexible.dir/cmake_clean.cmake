@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flexible"
+  "../bench/bench_flexible.pdb"
+  "CMakeFiles/bench_flexible.dir/bench_flexible.cpp.o"
+  "CMakeFiles/bench_flexible.dir/bench_flexible.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grid_potential"
+  "../bench/bench_grid_potential.pdb"
+  "CMakeFiles/bench_grid_potential.dir/bench_grid_potential.cpp.o"
+  "CMakeFiles/bench_grid_potential.dir/bench_grid_potential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minimizer"
+  "../bench/bench_minimizer.pdb"
+  "CMakeFiles/bench_minimizer.dir/bench_minimizer.cpp.o"
+  "CMakeFiles/bench_minimizer.dir/bench_minimizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

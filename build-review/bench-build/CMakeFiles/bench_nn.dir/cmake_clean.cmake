@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nn"
+  "../bench/bench_nn.pdb"
+  "CMakeFiles/bench_nn.dir/bench_nn.cpp.o"
+  "CMakeFiles/bench_nn.dir/bench_nn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

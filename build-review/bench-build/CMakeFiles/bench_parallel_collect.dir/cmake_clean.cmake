@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parallel_collect"
+  "../bench/bench_parallel_collect.pdb"
+  "CMakeFiles/bench_parallel_collect.dir/bench_parallel_collect.cpp.o"
+  "CMakeFiles/bench_parallel_collect.dir/bench_parallel_collect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

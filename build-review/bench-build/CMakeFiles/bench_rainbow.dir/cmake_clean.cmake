@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rainbow"
+  "../bench/bench_rainbow.pdb"
+  "CMakeFiles/bench_rainbow.dir/bench_rainbow.cpp.o"
+  "CMakeFiles/bench_rainbow.dir/bench_rainbow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rainbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

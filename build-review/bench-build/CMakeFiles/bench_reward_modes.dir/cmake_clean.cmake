@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reward_modes"
+  "../bench/bench_reward_modes.pdb"
+  "CMakeFiles/bench_reward_modes.dir/bench_reward_modes.cpp.o"
+  "CMakeFiles/bench_reward_modes.dir/bench_reward_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reward_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scoring"
+  "../bench/bench_scoring.pdb"
+  "CMakeFiles/bench_scoring.dir/bench_scoring.cpp.o"
+  "CMakeFiles/bench_scoring.dir/bench_scoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serve"
+  "../bench/bench_serve.pdb"
+  "CMakeFiles/bench_serve.dir/bench_serve.cpp.o"
+  "CMakeFiles/bench_serve.dir/bench_serve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/element.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/element.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/element.cpp.o.d"
+  "/root/repo/src/chem/forcefield.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/forcefield.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/forcefield.cpp.o.d"
+  "/root/repo/src/chem/kabsch.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/kabsch.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/kabsch.cpp.o.d"
+  "/root/repo/src/chem/mol2_io.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/mol2_io.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/mol2_io.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/chem/pdb_io.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/pdb_io.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/pdb_io.cpp.o.d"
+  "/root/repo/src/chem/protein.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/protein.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/protein.cpp.o.d"
+  "/root/repo/src/chem/smiles.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/smiles.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/smiles.cpp.o.d"
+  "/root/repo/src/chem/synthetic.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/synthetic.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/synthetic.cpp.o.d"
+  "/root/repo/src/chem/topology.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/topology.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/topology.cpp.o.d"
+  "/root/repo/src/chem/xyz_io.cpp" "src/chem/CMakeFiles/dqndock_chem.dir/xyz_io.cpp.o" "gcc" "src/chem/CMakeFiles/dqndock_chem.dir/xyz_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

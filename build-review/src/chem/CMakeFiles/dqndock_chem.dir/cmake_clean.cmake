@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_chem.dir/element.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/element.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/forcefield.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/forcefield.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/kabsch.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/kabsch.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/mol2_io.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/mol2_io.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/molecule.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/pdb_io.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/pdb_io.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/protein.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/protein.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/smiles.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/smiles.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/synthetic.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/topology.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/topology.cpp.o.d"
+  "CMakeFiles/dqndock_chem.dir/xyz_io.cpp.o"
+  "CMakeFiles/dqndock_chem.dir/xyz_io.cpp.o.d"
+  "libdqndock_chem.a"
+  "libdqndock_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_common.dir/cli.cpp.o"
+  "CMakeFiles/dqndock_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dqndock_common.dir/csv.cpp.o"
+  "CMakeFiles/dqndock_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dqndock_common.dir/logging.cpp.o"
+  "CMakeFiles/dqndock_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dqndock_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dqndock_common.dir/thread_pool.cpp.o.d"
+  "libdqndock_common.a"
+  "libdqndock_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

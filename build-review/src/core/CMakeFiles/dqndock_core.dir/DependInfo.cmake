@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/dqndock_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/dqndock_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/docking_task.cpp" "src/core/CMakeFiles/dqndock_core.dir/docking_task.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/docking_task.cpp.o.d"
+  "/root/repo/src/core/dqn_docking.cpp" "src/core/CMakeFiles/dqndock_core.dir/dqn_docking.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/dqn_docking.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/dqndock_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/pose_replay.cpp" "src/core/CMakeFiles/dqndock_core.dir/pose_replay.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/pose_replay.cpp.o.d"
+  "/root/repo/src/core/state_encoder.cpp" "src/core/CMakeFiles/dqndock_core.dir/state_encoder.cpp.o" "gcc" "src/core/CMakeFiles/dqndock_core.dir/state_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/metadock/CMakeFiles/dqndock_metadock.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rl/CMakeFiles/dqndock_rl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chem/CMakeFiles/dqndock_chem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/dqndock_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

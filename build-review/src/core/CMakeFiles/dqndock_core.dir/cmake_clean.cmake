@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_core.dir/config.cpp.o"
+  "CMakeFiles/dqndock_core.dir/config.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/config_io.cpp.o"
+  "CMakeFiles/dqndock_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/docking_task.cpp.o"
+  "CMakeFiles/dqndock_core.dir/docking_task.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/dqn_docking.cpp.o"
+  "CMakeFiles/dqndock_core.dir/dqn_docking.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/evaluation.cpp.o"
+  "CMakeFiles/dqndock_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/pose_replay.cpp.o"
+  "CMakeFiles/dqndock_core.dir/pose_replay.cpp.o.d"
+  "CMakeFiles/dqndock_core.dir/state_encoder.cpp.o"
+  "CMakeFiles/dqndock_core.dir/state_encoder.cpp.o.d"
+  "libdqndock_core.a"
+  "libdqndock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdqndock_core.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadock/docking_env.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/docking_env.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/docking_env.cpp.o.d"
+  "/root/repo/src/metadock/evaluator.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/evaluator.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/evaluator.cpp.o.d"
+  "/root/repo/src/metadock/file_env.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/file_env.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/file_env.cpp.o.d"
+  "/root/repo/src/metadock/forces.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/forces.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/forces.cpp.o.d"
+  "/root/repo/src/metadock/grid_potential.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/grid_potential.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/grid_potential.cpp.o.d"
+  "/root/repo/src/metadock/landscape.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/landscape.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/landscape.cpp.o.d"
+  "/root/repo/src/metadock/ligand_model.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/ligand_model.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/ligand_model.cpp.o.d"
+  "/root/repo/src/metadock/metaheuristic.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/metaheuristic.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/metaheuristic.cpp.o.d"
+  "/root/repo/src/metadock/neighbor_grid.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/neighbor_grid.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/neighbor_grid.cpp.o.d"
+  "/root/repo/src/metadock/pose.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/pose.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/pose.cpp.o.d"
+  "/root/repo/src/metadock/pose_cluster.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/pose_cluster.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/pose_cluster.cpp.o.d"
+  "/root/repo/src/metadock/receptor_model.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/receptor_model.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/receptor_model.cpp.o.d"
+  "/root/repo/src/metadock/scoring.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/scoring.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/scoring.cpp.o.d"
+  "/root/repo/src/metadock/surface_spots.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/surface_spots.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/surface_spots.cpp.o.d"
+  "/root/repo/src/metadock/tempering.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/tempering.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/tempering.cpp.o.d"
+  "/root/repo/src/metadock/trajectory.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/trajectory.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/trajectory.cpp.o.d"
+  "/root/repo/src/metadock/vs_pipeline.cpp" "src/metadock/CMakeFiles/dqndock_metadock.dir/vs_pipeline.cpp.o" "gcc" "src/metadock/CMakeFiles/dqndock_metadock.dir/vs_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/chem/CMakeFiles/dqndock_chem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

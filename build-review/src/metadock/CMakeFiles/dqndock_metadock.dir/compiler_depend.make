@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dqndock_metadock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dqndock_metadock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/dqndock_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/dqndock_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/dqndock_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/dqndock_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/dqndock_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/dqndock_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dqndock_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dqndock_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/dqndock_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/dqndock_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

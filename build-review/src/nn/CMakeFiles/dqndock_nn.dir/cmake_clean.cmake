@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_nn.dir/gemm.cpp.o"
+  "CMakeFiles/dqndock_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/dqndock_nn.dir/mlp.cpp.o"
+  "CMakeFiles/dqndock_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/dqndock_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dqndock_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dqndock_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dqndock_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/dqndock_nn.dir/tensor.cpp.o"
+  "CMakeFiles/dqndock_nn.dir/tensor.cpp.o.d"
+  "libdqndock_nn.a"
+  "libdqndock_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/c51_agent.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/c51_agent.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/c51_agent.cpp.o.d"
+  "/root/repo/src/rl/checkpoint.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/checkpoint.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/rl/corridor_env.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/corridor_env.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/corridor_env.cpp.o.d"
+  "/root/repo/src/rl/dqn_agent.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/dqn_agent.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/dqn_agent.cpp.o.d"
+  "/root/repo/src/rl/metrics.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/metrics.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/metrics.cpp.o.d"
+  "/root/repo/src/rl/nstep.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/nstep.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/nstep.cpp.o.d"
+  "/root/repo/src/rl/parallel_collector.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/parallel_collector.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/parallel_collector.cpp.o.d"
+  "/root/repo/src/rl/prioritized_replay.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/prioritized_replay.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/prioritized_replay.cpp.o.d"
+  "/root/repo/src/rl/qnetwork.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/qnetwork.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/qnetwork.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/rl/tabular_q.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/tabular_q.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/tabular_q.cpp.o.d"
+  "/root/repo/src/rl/trainer.cpp" "src/rl/CMakeFiles/dqndock_rl.dir/trainer.cpp.o" "gcc" "src/rl/CMakeFiles/dqndock_rl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/dqndock_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_rl.dir/c51_agent.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/c51_agent.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/checkpoint.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/corridor_env.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/corridor_env.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/dqn_agent.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/dqn_agent.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/metrics.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/metrics.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/nstep.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/nstep.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/parallel_collector.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/parallel_collector.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/prioritized_replay.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/prioritized_replay.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/qnetwork.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/qnetwork.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/tabular_q.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/tabular_q.cpp.o.d"
+  "CMakeFiles/dqndock_rl.dir/trainer.cpp.o"
+  "CMakeFiles/dqndock_rl.dir/trainer.cpp.o.d"
+  "libdqndock_rl.a"
+  "libdqndock_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/docking_service.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/docking_service.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/docking_service.cpp.o.d"
+  "/root/repo/src/serve/inference_batcher.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/inference_batcher.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/inference_batcher.cpp.o.d"
+  "/root/repo/src/serve/job_queue.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/job_queue.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/job_queue.cpp.o.d"
+  "/root/repo/src/serve/model_registry.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/model_registry.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/model_registry.cpp.o.d"
+  "/root/repo/src/serve/tcp.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/tcp.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/tcp.cpp.o.d"
+  "/root/repo/src/serve/wire.cpp" "src/serve/CMakeFiles/dqndock_serve.dir/wire.cpp.o" "gcc" "src/serve/CMakeFiles/dqndock_serve.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/dqndock_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metadock/CMakeFiles/dqndock_metadock.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chem/CMakeFiles/dqndock_chem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rl/CMakeFiles/dqndock_rl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/dqndock_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

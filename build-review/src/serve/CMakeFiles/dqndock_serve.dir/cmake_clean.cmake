@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqndock_serve.dir/docking_service.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/docking_service.cpp.o.d"
+  "CMakeFiles/dqndock_serve.dir/inference_batcher.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/inference_batcher.cpp.o.d"
+  "CMakeFiles/dqndock_serve.dir/job_queue.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/job_queue.cpp.o.d"
+  "CMakeFiles/dqndock_serve.dir/model_registry.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/model_registry.cpp.o.d"
+  "CMakeFiles/dqndock_serve.dir/tcp.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/tcp.cpp.o.d"
+  "CMakeFiles/dqndock_serve.dir/wire.cpp.o"
+  "CMakeFiles/dqndock_serve.dir/wire.cpp.o.d"
+  "libdqndock_serve.a"
+  "libdqndock_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqndock_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c51.dir/test_c51.cpp.o"
+  "CMakeFiles/test_c51.dir/test_c51.cpp.o.d"
+  "test_c51"
+  "test_c51.pdb"
+  "test_c51[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_util.dir/test_common_util.cpp.o"
+  "CMakeFiles/test_common_util.dir/test_common_util.cpp.o.d"
+  "test_common_util"
+  "test_common_util.pdb"
+  "test_common_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

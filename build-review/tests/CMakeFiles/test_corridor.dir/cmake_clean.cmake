@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corridor.dir/test_corridor.cpp.o"
+  "CMakeFiles/test_corridor.dir/test_corridor.cpp.o.d"
+  "test_corridor"
+  "test_corridor.pdb"
+  "test_corridor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corridor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docking_env.dir/test_docking_env.cpp.o"
+  "CMakeFiles/test_docking_env.dir/test_docking_env.cpp.o.d"
+  "test_docking_env"
+  "test_docking_env.pdb"
+  "test_docking_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docking_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

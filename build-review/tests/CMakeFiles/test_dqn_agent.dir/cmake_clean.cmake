@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dqn_agent.dir/test_dqn_agent.cpp.o"
+  "CMakeFiles/test_dqn_agent.dir/test_dqn_agent.cpp.o.d"
+  "test_dqn_agent"
+  "test_dqn_agent.pdb"
+  "test_dqn_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dqn_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

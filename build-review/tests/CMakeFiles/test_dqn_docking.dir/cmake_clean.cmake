@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dqn_docking.dir/test_dqn_docking.cpp.o"
+  "CMakeFiles/test_dqn_docking.dir/test_dqn_docking.cpp.o.d"
+  "test_dqn_docking"
+  "test_dqn_docking.pdb"
+  "test_dqn_docking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dqn_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

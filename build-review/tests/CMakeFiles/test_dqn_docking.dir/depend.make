@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dqn_docking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_element.dir/test_element.cpp.o"
+  "CMakeFiles/test_element.dir/test_element.cpp.o.d"
+  "test_element"
+  "test_element.pdb"
+  "test_element[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

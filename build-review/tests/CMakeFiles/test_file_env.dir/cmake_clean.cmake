@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_env.dir/test_file_env.cpp.o"
+  "CMakeFiles/test_file_env.dir/test_file_env.cpp.o.d"
+  "test_file_env"
+  "test_file_env.pdb"
+  "test_file_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

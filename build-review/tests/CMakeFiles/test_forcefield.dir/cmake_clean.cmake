@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forcefield.dir/test_forcefield.cpp.o"
+  "CMakeFiles/test_forcefield.dir/test_forcefield.cpp.o.d"
+  "test_forcefield"
+  "test_forcefield.pdb"
+  "test_forcefield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forcefield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

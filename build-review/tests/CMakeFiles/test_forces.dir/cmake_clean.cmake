@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forces.dir/test_forces.cpp.o"
+  "CMakeFiles/test_forces.dir/test_forces.cpp.o.d"
+  "test_forces"
+  "test_forces.pdb"
+  "test_forces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kabsch.dir/test_kabsch.cpp.o"
+  "CMakeFiles/test_kabsch.dir/test_kabsch.cpp.o.d"
+  "test_kabsch"
+  "test_kabsch.pdb"
+  "test_kabsch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kabsch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

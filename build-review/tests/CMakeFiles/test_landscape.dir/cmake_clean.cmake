@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_landscape.dir/test_landscape.cpp.o"
+  "CMakeFiles/test_landscape.dir/test_landscape.cpp.o.d"
+  "test_landscape"
+  "test_landscape.pdb"
+  "test_landscape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metaheuristic.dir/test_metaheuristic.cpp.o"
+  "CMakeFiles/test_metaheuristic.dir/test_metaheuristic.cpp.o.d"
+  "test_metaheuristic"
+  "test_metaheuristic.pdb"
+  "test_metaheuristic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metaheuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

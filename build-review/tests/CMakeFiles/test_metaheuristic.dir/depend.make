@@ -1,0 +1,2 @@
+# Empty dependencies file for test_metaheuristic.
+# This may be replaced when dependencies are built.

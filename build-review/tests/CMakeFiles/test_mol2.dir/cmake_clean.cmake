@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mol2.dir/test_mol2.cpp.o"
+  "CMakeFiles/test_mol2.dir/test_mol2.cpp.o.d"
+  "test_mol2"
+  "test_mol2.pdb"
+  "test_mol2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mol2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

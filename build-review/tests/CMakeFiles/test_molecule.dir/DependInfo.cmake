@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_molecule.cpp" "tests/CMakeFiles/test_molecule.dir/test_molecule.cpp.o" "gcc" "tests/CMakeFiles/test_molecule.dir/test_molecule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/serve/CMakeFiles/dqndock_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/dqndock_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rl/CMakeFiles/dqndock_rl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/dqndock_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metadock/CMakeFiles/dqndock_metadock.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chem/CMakeFiles/dqndock_chem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dqndock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_grid.dir/test_neighbor_grid.cpp.o"
+  "CMakeFiles/test_neighbor_grid.dir/test_neighbor_grid.cpp.o.d"
+  "test_neighbor_grid"
+  "test_neighbor_grid.pdb"
+  "test_neighbor_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nstep.dir/test_nstep.cpp.o"
+  "CMakeFiles/test_nstep.dir/test_nstep.cpp.o.d"
+  "test_nstep"
+  "test_nstep.pdb"
+  "test_nstep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_collector.dir/test_parallel_collector.cpp.o"
+  "CMakeFiles/test_parallel_collector.dir/test_parallel_collector.cpp.o.d"
+  "test_parallel_collector"
+  "test_parallel_collector.pdb"
+  "test_parallel_collector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

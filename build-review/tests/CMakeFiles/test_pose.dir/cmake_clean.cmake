@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pose.dir/test_pose.cpp.o"
+  "CMakeFiles/test_pose.dir/test_pose.cpp.o.d"
+  "test_pose"
+  "test_pose.pdb"
+  "test_pose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

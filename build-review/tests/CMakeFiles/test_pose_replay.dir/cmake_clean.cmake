@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pose_replay.dir/test_pose_replay.cpp.o"
+  "CMakeFiles/test_pose_replay.dir/test_pose_replay.cpp.o.d"
+  "test_pose_replay"
+  "test_pose_replay.pdb"
+  "test_pose_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pose_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

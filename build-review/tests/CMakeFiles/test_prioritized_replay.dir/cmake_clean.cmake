@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prioritized_replay.dir/test_prioritized_replay.cpp.o"
+  "CMakeFiles/test_prioritized_replay.dir/test_prioritized_replay.cpp.o.d"
+  "test_prioritized_replay"
+  "test_prioritized_replay.pdb"
+  "test_prioritized_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prioritized_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

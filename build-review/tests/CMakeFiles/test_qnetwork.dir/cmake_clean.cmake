@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qnetwork.dir/test_qnetwork.cpp.o"
+  "CMakeFiles/test_qnetwork.dir/test_qnetwork.cpp.o.d"
+  "test_qnetwork"
+  "test_qnetwork.pdb"
+  "test_qnetwork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qnetwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

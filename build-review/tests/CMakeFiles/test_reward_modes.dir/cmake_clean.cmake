@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reward_modes.dir/test_reward_modes.cpp.o"
+  "CMakeFiles/test_reward_modes.dir/test_reward_modes.cpp.o.d"
+  "test_reward_modes"
+  "test_reward_modes.pdb"
+  "test_reward_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reward_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

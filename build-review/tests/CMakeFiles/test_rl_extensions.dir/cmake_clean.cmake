@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_extensions.dir/test_rl_extensions.cpp.o"
+  "CMakeFiles/test_rl_extensions.dir/test_rl_extensions.cpp.o.d"
+  "test_rl_extensions"
+  "test_rl_extensions.pdb"
+  "test_rl_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoring_packed.dir/test_scoring_packed.cpp.o"
+  "CMakeFiles/test_scoring_packed.dir/test_scoring_packed.cpp.o.d"
+  "test_scoring_packed"
+  "test_scoring_packed.pdb"
+  "test_scoring_packed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoring_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

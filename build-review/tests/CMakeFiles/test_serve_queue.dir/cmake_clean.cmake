@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_queue.dir/test_serve_queue.cpp.o"
+  "CMakeFiles/test_serve_queue.dir/test_serve_queue.cpp.o.d"
+  "test_serve_queue"
+  "test_serve_queue.pdb"
+  "test_serve_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_wire.dir/test_serve_wire.cpp.o"
+  "CMakeFiles/test_serve_wire.dir/test_serve_wire.cpp.o.d"
+  "test_serve_wire"
+  "test_serve_wire.pdb"
+  "test_serve_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

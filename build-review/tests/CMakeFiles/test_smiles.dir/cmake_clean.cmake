@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smiles.dir/test_smiles.cpp.o"
+  "CMakeFiles/test_smiles.dir/test_smiles.cpp.o.d"
+  "test_smiles"
+  "test_smiles.pdb"
+  "test_smiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_encoder.dir/test_state_encoder.cpp.o"
+  "CMakeFiles/test_state_encoder.dir/test_state_encoder.cpp.o.d"
+  "test_state_encoder"
+  "test_state_encoder.pdb"
+  "test_state_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

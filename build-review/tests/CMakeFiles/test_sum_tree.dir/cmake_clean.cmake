@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sum_tree.dir/test_sum_tree.cpp.o"
+  "CMakeFiles/test_sum_tree.dir/test_sum_tree.cpp.o.d"
+  "test_sum_tree"
+  "test_sum_tree.pdb"
+  "test_sum_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sum_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

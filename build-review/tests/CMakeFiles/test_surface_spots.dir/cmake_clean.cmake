@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_spots.dir/test_surface_spots.cpp.o"
+  "CMakeFiles/test_surface_spots.dir/test_surface_spots.cpp.o.d"
+  "test_surface_spots"
+  "test_surface_spots.pdb"
+  "test_surface_spots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_spots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

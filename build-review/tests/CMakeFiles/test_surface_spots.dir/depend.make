@@ -1,0 +1,2 @@
+# Empty dependencies file for test_surface_spots.
+# This may be replaced when dependencies are built.

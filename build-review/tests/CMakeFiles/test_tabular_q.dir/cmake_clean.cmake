@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabular_q.dir/test_tabular_q.cpp.o"
+  "CMakeFiles/test_tabular_q.dir/test_tabular_q.cpp.o.d"
+  "test_tabular_q"
+  "test_tabular_q.pdb"
+  "test_tabular_q[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabular_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tabular_q.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tempering.dir/test_tempering.cpp.o"
+  "CMakeFiles/test_tempering.dir/test_tempering.cpp.o.d"
+  "test_tempering"
+  "test_tempering.pdb"
+  "test_tempering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tempering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

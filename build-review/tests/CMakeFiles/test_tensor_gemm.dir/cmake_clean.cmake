@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_gemm.dir/test_tensor_gemm.cpp.o"
+  "CMakeFiles/test_tensor_gemm.dir/test_tensor_gemm.cpp.o.d"
+  "test_tensor_gemm"
+  "test_tensor_gemm.pdb"
+  "test_tensor_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
