@@ -8,6 +8,8 @@
 //     scalar AoS fallback (`ScoringOptions::packed = false`, the pre-PR
 //     kernel) — the A/B pair scripts/bench_scoring.py turns into
 //     BENCH_scoring.json,
+//   * the pose-batched kernel (one receptor sweep scores a whole tile of
+//     poses; subcell cutoff-sphere slicing) over a batch-size sweep,
 //   * a thread-count sweep over a batch of poses.
 //
 // google-benchmark harness; reports pairs/second where meaningful.
@@ -104,6 +106,62 @@ static void BM_ScoreCutoffWithGridScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreCutoffWithGridScalar);
 
+/// Pose-batched kernel at batch size B: the local-search shape, B jitters
+/// of one pocket pose scored in one receptor sweep. Items are normalised
+/// the same way as the per-pose paths (receptor atoms x ligand atoms per
+/// pose), so pairs/s here are directly comparable with
+/// BM_ScoreCutoffWithGrid: both the receptor-load amortisation and the
+/// subcell pruning count toward the ratio.
+static void BM_ScorePoseBatched(benchmark::State& state) {
+  Problem& p = problemWithGrid();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  ScoringFunction sf(*p.receptor, *p.ligand, makeOptions(12.0, true, true));
+
+  Rng rng(11);
+  std::vector<Pose> poses;
+  for (std::size_t i = 0; i < batch; ++i) {
+    // The default Improve-move scale (1 A / 10 deg / 15 deg): the batch a
+    // local-search step actually evaluates around one incumbent.
+    poses.push_back(metadock::perturbPose(p.surfacePose, 1.0, 0.1745, 0.2618, rng));
+  }
+  ScoringFunction::BatchScratch scratch;
+  std::vector<double> scores(batch);
+  for (auto _ : state) {
+    sf.scoreBatch(poses, scratch, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(batch) *
+                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  state.SetLabel("B=" + std::to_string(batch));
+}
+BENCHMARK(BM_ScorePoseBatched)->Arg(1)->Arg(8)->Arg(32);
+
+/// Same measurement for a population spread over the whole receptor
+/// (random poses, 25 A radius): the global-search shape where lanes
+/// diverge and the kernel leans on the fallback heuristic.
+static void BM_ScorePoseBatchedSpread(benchmark::State& state) {
+  Problem& p = problemWithGrid();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  ScoringFunction sf(*p.receptor, *p.ligand, makeOptions(12.0, true, true));
+
+  Rng rng(13);
+  std::vector<Pose> poses;
+  for (std::size_t i = 0; i < batch; ++i) {
+    poses.push_back(metadock::randomPose(p.receptor->centerOfMass(), 25.0,
+                                         p.ligand->torsionCount(), rng));
+  }
+  ScoringFunction::BatchScratch scratch;
+  std::vector<double> scores(batch);
+  for (auto _ : state) {
+    sf.scoreBatch(poses, scratch, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(batch) *
+                          static_cast<long>(p.receptor->atomCount() * p.ligand->atomCount()));
+  state.SetLabel("B=" + std::to_string(batch));
+}
+BENCHMARK(BM_ScorePoseBatchedSpread)->Arg(32);
+
 /// Batch of poses fanned across the pool: the METADOCK screening shape.
 static void BM_BatchEvaluateThreads(benchmark::State& state) {
   Problem& p = problemWithGrid();
@@ -146,4 +204,21 @@ static void BM_ApplyPose(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyPose);
 
-BENCHMARK_MAIN();
+/// Custom main: report the harness build type (and whether asserts were
+/// compiled in) in the benchmark context, so scripts/bench_scoring.py can
+/// refuse to publish numbers measured from a debug build.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifdef DQNDOCK_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("dqndock_bench_build_type", DQNDOCK_BENCH_BUILD_TYPE);
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("dqndock_bench_asserts", "off");
+#else
+  benchmark::AddCustomContext("dqndock_bench_asserts", "on");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Run the Eq. 1 scoring benchmark A/B (packed SoA kernel vs scalar
-fallback) and emit BENCH_scoring.json with pairs/second per path.
+"""Run the Eq. 1 scoring benchmarks and emit BENCH_scoring.json.
+
+Covers the packed-vs-scalar A/B per execution path plus the pose-batched
+kernel (pairs/second at several batch sizes). Refuses to publish numbers
+measured from a debug harness build unless --allow-debug is passed.
 
 Stdlib only. Usage:
 
     python3 scripts/bench_scoring.py [--build-dir build] [--out BENCH_scoring.json]
-                                     [--min-time 0.5]
+                                     [--min-time 0.5] [--allow-debug]
 
 Expects the bench harness at <build-dir>/bench/bench_scoring (built with
--DDQNDOCK_BUILD_BENCH=ON, the default). The three measured paths map to
-the benchmark pairs:
+-DDQNDOCK_BUILD_BENCH=ON, the default; use a Release build dir). The
+measured paths map to the benchmark pairs:
 
     brute_force_no_cutoff : BM_ScoreBruteForceNoCutoff[Scalar]
     cutoff_no_grid        : BM_ScoreCutoffNoGrid[Scalar]
     cutoff_with_grid      : BM_ScoreCutoffWithGrid[Scalar]
+    pose_batched          : BM_ScorePoseBatched/{1,8,32}, BM_ScorePoseBatchedSpread/32
 
-items_per_second is receptor_atoms * ligand_atoms * iterations / time,
-i.e. scored pairs per second on the paper-2BSM surrogate.
+items_per_second is poses * receptor_atoms * ligand_atoms * iterations /
+time, i.e. scored (pose, pair) combinations per second on the paper-2BSM
+surrogate — so pair pruning the batched kernel earns counts toward its
+throughput.
 """
 
 import argparse
@@ -35,6 +41,16 @@ BENCH_MAP = {
     "BM_ScoreCutoffWithGridScalar": ("cutoff_with_grid", "scalar"),
 }
 
+# pose-batched benchmark name (with google-benchmark /Arg suffix) -> key
+BATCHED_MAP = {
+    "BM_ScorePoseBatched/1": "batch_1",
+    "BM_ScorePoseBatched/8": "batch_8",
+    "BM_ScorePoseBatched/32": "batch_32",
+    "BM_ScorePoseBatchedSpread/32": "spread_batch_32",
+}
+
+DEBUG_BUILD_TYPES = {"", "debug"}
+
 
 def run_bench(binary: Path, min_time: float) -> dict:
     cmd = [
@@ -50,12 +66,31 @@ def run_bench(binary: Path, min_time: float) -> dict:
     return json.loads(proc.stdout)
 
 
+def check_build_type(ctx: dict, allow_debug: bool) -> str:
+    """Refuse debug harness builds: their numbers are meaningless."""
+    harness = ctx.get("dqndock_bench_build_type", "")
+    if harness.lower() in DEBUG_BUILD_TYPES or ctx.get("dqndock_bench_asserts") == "on":
+        msg = (f"refusing to publish: bench harness build type is "
+               f"{harness or 'unknown'!r} (asserts "
+               f"{ctx.get('dqndock_bench_asserts', 'unknown')}); "
+               f"rebuild with -DCMAKE_BUILD_TYPE=Release")
+        if not allow_debug:
+            raise SystemExit(msg)
+        sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
+    if ctx.get("library_build_type", "").lower() == "debug":
+        sys.stderr.write("note: system google-benchmark library is a debug build "
+                         "(harness overhead only; timed loops are unaffected)\n")
+    return harness
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build", type=Path)
     ap.add_argument("--out", default="BENCH_scoring.json", type=Path)
     ap.add_argument("--min-time", default=0.5, type=float,
                     help="seconds per benchmark (google-benchmark min time)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="emit JSON even from a debug harness build (flagged, for smoke tests)")
     args = ap.parse_args()
 
     binary = args.build_dir / "bench" / "bench_scoring"
@@ -63,10 +98,17 @@ def main() -> None:
         raise SystemExit(f"{binary} not found - build with -DDQNDOCK_BUILD_BENCH=ON first")
 
     raw = run_bench(binary, args.min_time)
+    ctx = raw.get("context", {})
+    harness_build_type = check_build_type(ctx, args.allow_debug)
 
     paths: dict = {}
+    batched: dict = {}
     for bench in raw.get("benchmarks", []):
-        mapping = BENCH_MAP.get(bench.get("name", "").split("/")[0])
+        name = bench.get("name", "")
+        if name in BATCHED_MAP:
+            batched[BATCHED_MAP[name]] = bench["items_per_second"]
+            continue
+        mapping = BENCH_MAP.get(name.split("/")[0])
         if mapping is None:
             continue
         path_key, kernel = mapping
@@ -74,13 +116,15 @@ def main() -> None:
 
     missing = [k for k in {p for p, _ in BENCH_MAP.values()}
                if len(paths.get(k, {})) != 2]
+    missing += [k for k in BATCHED_MAP.values() if k not in batched]
     if missing:
-        raise SystemExit(f"incomplete benchmark output for paths: {sorted(missing)}")
+        raise SystemExit(f"incomplete benchmark output: {sorted(missing)}")
 
     for stats in paths.values():
         stats["packed_over_scalar"] = stats["packed"] / stats["scalar"]
+    per_pose = paths["cutoff_with_grid"]["packed"]
+    batched["batched_over_per_pose_b32"] = batched["batch_32"] / per_pose
 
-    ctx = raw.get("context", {})
     report = {
         "benchmark": "bench_scoring",
         "scenario": "paper-2BSM surrogate (3264 receptor atoms x 45-atom ligand)",
@@ -88,8 +132,15 @@ def main() -> None:
         "date": ctx.get("date"),
         "num_cpus": ctx.get("num_cpus"),
         "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "harness_build_type": harness_build_type,
         "benchmark_library_build_type": ctx.get("library_build_type"),
         "paths": paths,
+        "pose_batched": batched,
+        "acceptance": {
+            "required_speedup_pose_batched_b32": 2.0,
+            "measured_speedup_pose_batched_b32":
+                round(batched["batched_over_per_pose_b32"], 2),
+        },
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -98,6 +149,8 @@ def main() -> None:
         print(f"  {path_key:22s} packed {s['packed'] / 1e6:8.1f} M pairs/s  "
               f"scalar {s['scalar'] / 1e6:8.1f} M pairs/s  "
               f"({s['packed_over_scalar']:.2f}x)")
+    print(f"  {'pose_batched B=32':22s} batched {batched['batch_32'] / 1e6:7.1f} M pairs/s  "
+          f"({batched['batched_over_per_pose_b32']:.2f}x per-pose grid)")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ PoseEvaluator::PoseEvaluator(const ScoringFunction& scoring, ThreadPool* pool)
 
 double PoseEvaluator::evaluate(const Pose& pose) {
   evals_.fetch_add(1, std::memory_order_relaxed);
-  return scoring_.scorePose(pose, scratch_);
+  return scoring_.scorePose(pose, scratch_.pose);
 }
 
 std::unique_ptr<PoseEvaluator::Scratch> PoseEvaluator::acquireScratch() {
@@ -31,17 +31,16 @@ std::vector<double> PoseEvaluator::evaluateBatch(std::span<const Pose> poses) {
   std::vector<double> scores(poses.size());
   evals_.fetch_add(poses.size(), std::memory_order_relaxed);
   if (pool_ == nullptr || poses.size() < 2) {
-    for (std::size_t i = 0; i < poses.size(); ++i) {
-      scores[i] = scoring_.scorePose(poses[i], scratch_);
-    }
+    scoring_.scoreBatch(poses, scratch_, scores);
     return scores;
   }
   pool_->parallelFor(0, poses.size(), [&](std::size_t lo, std::size_t hi) {
-    // One reused buffer per chunk (one mutex hop per chunk, not per pose).
+    // One reused buffer per chunk (one mutex hop per chunk, not per
+    // pose). scoreBatch tiles internally, and per-pose results don't
+    // depend on the tiling, so chunk boundaries can't change scores.
     auto scratch = acquireScratch();
-    for (std::size_t i = lo; i < hi; ++i) {
-      scores[i] = scoring_.scorePose(poses[i], *scratch);
-    }
+    scoring_.scoreBatch(poses.subspan(lo, hi - lo), *scratch,
+                        std::span<double>(scores).subspan(lo, hi - lo));
     releaseScratch(std::move(scratch));
   });
   return scores;

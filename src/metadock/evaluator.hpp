@@ -4,8 +4,10 @@
 /// Batched pose evaluation: METADOCK scores the ligand "in millions of
 /// positions" per screening run, so the population loop of the
 /// metaheuristic schema fans whole pose batches across the thread pool
-/// (per-worker scratch coordinate buffers reused across batches, zero
-/// allocation per pose).
+/// (per-worker scratch buffers reused across batches, zero allocation
+/// per pose). Each worker chunk runs ScoringFunction::scoreBatch — the
+/// pose-batched SoA kernel that sweeps the receptor once per tile of
+/// poses — so callers get the batched speedup without code changes.
 
 #include <atomic>
 #include <memory>
@@ -37,19 +39,20 @@ class PoseEvaluator {
   const ScoringFunction& scoring() const { return scoring_; }
 
  private:
-  using Scratch = std::vector<Vec3>;
+  using Scratch = ScoringFunction::BatchScratch;
 
   /// Pop a scratch buffer from the free list (or create one). Buffers
   /// persist across evaluateBatch calls, so each worker chunk reuses a
-  /// warm allocation instead of growing a fresh vector. A free list (not
-  /// thread-indexed slots) keeps nested work-helping safe: a worker that
-  /// picks up a second chunk mid-wait simply pops a different buffer.
+  /// warm allocation instead of growing fresh lane vectors. A free list
+  /// (not thread-indexed slots) keeps nested work-helping safe: a worker
+  /// that picks up a second chunk mid-wait simply pops a different
+  /// buffer.
   std::unique_ptr<Scratch> acquireScratch();
   void releaseScratch(std::unique_ptr<Scratch> scratch);
 
   const ScoringFunction& scoring_;
   ThreadPool* pool_;
-  std::vector<Vec3> scratch_;  ///< serial-path scratch buffer
+  Scratch scratch_;  ///< serial-path scratch buffer
   std::atomic<std::size_t> evals_{0};
   std::mutex scratchMu_;
   std::vector<std::unique_ptr<Scratch>> freeScratch_;

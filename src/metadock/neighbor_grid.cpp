@@ -14,8 +14,10 @@ constexpr std::size_t kNeighborTableMaxCells = std::size_t{1} << 18;
 
 }  // namespace
 
-NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize) : cell_(cellSize) {
+NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize, int subdiv)
+    : cell_(cellSize), subdiv_(subdiv) {
   if (cellSize <= 0.0) throw std::invalid_argument("NeighborGrid: cellSize must be > 0");
+  if (subdiv < 1) throw std::invalid_argument("NeighborGrid: subdiv must be >= 1");
   if (points.empty()) return;
 
   Vec3 lo = points.front();
@@ -30,9 +32,16 @@ NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize) : cell
   nz_ = static_cast<int>(std::floor((hi.z - lo.z) / cell_)) + 1;
   const std::size_t numCells = static_cast<std::size_t>(nx_) * ny_ * nz_;
 
-  // Counting sort by dense cell index.
-  std::vector<std::uint32_t> cellOf(points.size());
-  std::vector<std::uint32_t> counts(numCells, 0);
+  // Counting sort by dense cell index — extended to (cell, subcell) when
+  // subdivided, so a cell's points are additionally grouped by subcell.
+  const bool subcells = subdiv_ > 1 && numCells <= kNeighborTableMaxCells;
+  const std::size_t S = subcells ? static_cast<std::size_t>(subdiv_) : 1;
+  const std::size_t S3 = S * S * S;
+  const double subCell = cell_ / static_cast<double>(S);
+  const std::size_t numKeys = numCells * S3;
+
+  std::vector<std::uint32_t> keyOf(points.size());
+  std::vector<std::uint32_t> counts(numKeys, 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Vec3& p = points[i];
     // Points define the box, so coords are in range up to fp rounding;
@@ -40,17 +49,36 @@ NeighborGrid::NeighborGrid(std::span<const Vec3> points, double cellSize) : cell
     const int cx = std::min(nx_ - 1, std::max(0, static_cast<int>(std::floor((p.x - lo.x) / cell_))));
     const int cy = std::min(ny_ - 1, std::max(0, static_cast<int>(std::floor((p.y - lo.y) / cell_))));
     const int cz = std::min(nz_ - 1, std::max(0, static_cast<int>(std::floor((p.z - lo.z) / cell_))));
-    const std::size_t c = cellIndex(cx, cy, cz);
-    cellOf[i] = static_cast<std::uint32_t>(c);
-    ++counts[c];
+    std::size_t key = cellIndex(cx, cy, cz) * S3;
+    if (subcells) {
+      // Subcell from the offset inside the cell; the clamp keeps boundary
+      // rounding (cell-floor vs subcell-floor disagreeing by one ulp)
+      // from escaping the cell. Consumers pruning by subcell geometry
+      // must therefore allow a tiny margin on the subcell box.
+      const int maxS = static_cast<int>(S) - 1;
+      const int sx = std::min(maxS, std::max(0, static_cast<int>(std::floor(
+                                                    (p.x - lo.x - cx * cell_) / subCell))));
+      const int sy = std::min(maxS, std::max(0, static_cast<int>(std::floor(
+                                                    (p.y - lo.y - cy * cell_) / subCell))));
+      const int sz = std::min(maxS, std::max(0, static_cast<int>(std::floor(
+                                                    (p.z - lo.z - cz * cell_) / subCell))));
+      key += (static_cast<std::size_t>(sz) * S + static_cast<std::size_t>(sy)) * S +
+             static_cast<std::size_t>(sx);
+    }
+    keyOf[i] = static_cast<std::uint32_t>(key);
+    ++counts[key];
   }
-  offsets_.assign(numCells + 1, 0);
-  for (std::size_t c = 0; c < numCells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
+  std::vector<std::uint32_t> keyOffsets(numKeys + 1, 0);
+  for (std::size_t k = 0; k < numKeys; ++k) keyOffsets[k + 1] = keyOffsets[k] + counts[k];
   order_.resize(points.size());
-  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<std::uint32_t> cursor(keyOffsets.begin(), keyOffsets.end() - 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    order_[cursor[cellOf[i]]++] = static_cast<std::uint32_t>(i);
+    order_[cursor[keyOf[i]]++] = static_cast<std::uint32_t>(i);
   }
+  // Per-cell prefix sums are the stride-S3 slice of the per-key sums.
+  offsets_.assign(numCells + 1, 0);
+  for (std::size_t c = 0; c <= numCells; ++c) offsets_[c] = keyOffsets[c * S3];
+  if (subcells) subOffsets_ = std::move(keyOffsets);
 
   if (numCells > kNeighborTableMaxCells) return;
 
@@ -89,8 +117,7 @@ int NeighborGrid::gatherRanges(int cx, int cy, int cz, Range* out) const {
   return n;
 }
 
-int NeighborGrid::queryRanges(const Vec3& query, Range* out) const {
-  if (order_.empty()) return 0;
+bool NeighborGrid::cellCoords(const Vec3& query, int& cx, int& cy, int& cz) const {
   // Compute floor coords as doubles first: far-away queries would
   // overflow int, but they also can't overlap the box.
   const double fx = std::floor((query.x - origin_.x) / cell_);
@@ -98,11 +125,18 @@ int NeighborGrid::queryRanges(const Vec3& query, Range* out) const {
   const double fz = std::floor((query.z - origin_.z) / cell_);
   if (fx < -1.0 || fx > static_cast<double>(nx_) || fy < -1.0 || fy > static_cast<double>(ny_) ||
       fz < -1.0 || fz > static_cast<double>(nz_)) {
-    return 0;
+    return false;
   }
-  const int cx = static_cast<int>(fx);
-  const int cy = static_cast<int>(fy);
-  const int cz = static_cast<int>(fz);
+  cx = static_cast<int>(fx);
+  cy = static_cast<int>(fy);
+  cz = static_cast<int>(fz);
+  return true;
+}
+
+int NeighborGrid::queryRanges(const Vec3& query, Range* out) const {
+  if (order_.empty()) return 0;
+  int cx, cy, cz;
+  if (!cellCoords(query, cx, cy, cz)) return 0;
   if (!neighborStart_.empty() && cx >= 0 && cx < nx_ && cy >= 0 && cy < ny_ && cz >= 0 &&
       cz < nz_) {
     const std::size_t c = cellIndex(cx, cy, cz);

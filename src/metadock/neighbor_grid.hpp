@@ -15,6 +15,14 @@
 /// packed order, the 27 cells merge into at most 9 ranges (one per
 /// (y, z) row), so a query is integer math plus up to 9 contiguous range
 /// walks — the shape the SoA scoring kernel streams.
+///
+/// Optionally each cell is further subdivided into subdiv^3 subcells and
+/// points within a cell are grouped by subcell (`subOffsets`). Cell-level
+/// queries are unaffected (the permutation still groups by cell), but
+/// consumers that know a query region tighter than the 27-cell
+/// neighbourhood — the pose-batched scoring kernel slicing the cutoff
+/// sphere around a batch of poses — can skip whole subcells whose minimum
+/// distance to the region exceeds the cutoff.
 
 #include <cstddef>
 #include <cstdint>
@@ -37,8 +45,10 @@ class NeighborGrid {
   static constexpr int kMaxQueryRanges = 9;
 
   /// Builds a grid with cell edge `cellSize` (usually the scoring cutoff)
-  /// over `points`. cellSize must be > 0.
-  NeighborGrid(std::span<const Vec3> points, double cellSize);
+  /// over `points`. cellSize must be > 0. `subdiv` >= 2 additionally
+  /// groups the points of every cell by subdiv^3 subcells (see
+  /// subOffsets); 1 keeps the flat per-cell grouping.
+  NeighborGrid(std::span<const Vec3> points, double cellSize, int subdiv = 1);
 
   double cellSize() const { return cell_; }
   std::size_t pointCount() const { return order_.size(); }
@@ -48,10 +58,35 @@ class NeighborGrid {
   int nz() const { return nz_; }
   const Vec3& origin() const { return origin_; }
 
+  /// Requested per-axis subdivision factor (>= 1).
+  int subdiv() const { return subdiv_; }
+  /// True when the per-subcell CSR was built (subdiv >= 2 and the cell
+  /// count is small enough for the table).
+  bool hasSubcells() const { return !subOffsets_.empty(); }
+  /// CSR over cellOrder(): subcell s of cell c holds the points
+  /// order_[subOffsets()[c * subdiv^3 + s] .. subOffsets()[c * subdiv^3 + s + 1]),
+  /// where s = (sz * subdiv + sy) * subdiv + sx from the point's offset
+  /// inside its cell. Empty unless hasSubcells().
+  const std::vector<std::uint32_t>& subOffsets() const { return subOffsets_; }
+
+  /// Cell coordinates of `query` (same arithmetic as queryRanges, so the
+  /// two never disagree). Returns false when the query is so far outside
+  /// the box that its clamped 27-cell window cannot overlap any cell; the
+  /// coordinates are unclamped and may lie outside [0, n) otherwise.
+  bool cellCoords(const Vec3& query, int& cx, int& cy, int& cz) const;
+
   /// Point indices (into the constructor's array) grouped by cell in
-  /// dense linear-cell order; stable by original index within a cell.
-  /// This is the packed order SoA consumers sort their arrays by.
+  /// dense linear-cell order; stable by original index within a cell
+  /// (within a subcell when subdivided). This is the packed order SoA
+  /// consumers sort their arrays by.
   const std::vector<std::uint32_t>& cellOrder() const { return order_; }
+
+  /// numCells+1 prefix sums into cellOrder() by dense linear cell index.
+  const std::vector<std::uint32_t>& cellOffsets() const { return offsets_; }
+
+  /// Dense linear index of in-box cell (x, y, z); x varies fastest, so
+  /// cells adjacent in x hold adjacent slices of cellOrder().
+  std::size_t cellLinearIndex(int x, int y, int z) const { return cellIndex(x, y, z); }
 
   /// Fills `out` (capacity >= kMaxQueryRanges) with the contiguous
   /// cell-sorted ranges covering the 27-cell neighbourhood of `query`;
@@ -95,8 +130,12 @@ class NeighborGrid {
   double cell_ = 1.0;
   Vec3 origin_;
   int nx_ = 0, ny_ = 0, nz_ = 0;
+  int subdiv_ = 1;
   std::vector<std::uint32_t> order_;    ///< point indices grouped by cell
   std::vector<std::uint32_t> offsets_;  ///< numCells+1 prefix sums into order_
+  /// numCells*subdiv^3+1 prefix sums into order_ (empty when subdiv==1 or
+  /// the cell count exceeds the table bound).
+  std::vector<std::uint32_t> subOffsets_;
   /// CSR neighbour table: for in-box cell c, the precomputed ranges are
   /// neighborRanges_[neighborStart_[c] .. neighborStart_[c + 1]).
   /// Empty when the cell count exceeds kNeighborTableMaxCells.

@@ -26,7 +26,11 @@ ReceptorModel::ReceptorModel(const chem::Molecule& receptor, double gridCellSize
   }
 
   if (gridCellSize > 0.0) {
-    grid_ = std::make_unique<NeighborGrid>(positions_, gridCellSize);
+    // Subdivide cells kGridSubdiv x per axis: the pose-batched kernel
+    // prunes whole subcells against the cutoff sphere around a pose
+    // batch, which the coarse (cell edge >= cutoff) cells are too big
+    // for. Cell-level queries are unaffected.
+    grid_ = std::make_unique<NeighborGrid>(positions_, gridCellSize, kGridSubdiv);
     packedOrder_ = grid_->cellOrder();
   } else {
     packedOrder_.resize(atomCount());

@@ -25,6 +25,13 @@ namespace dqndock::metadock {
 
 class ReceptorModel {
  public:
+  /// Per-axis subcell factor of the receptor's neighbour grid: each
+  /// cutoff-sized cell is split 4x4x4 so the pose-batched scoring kernel
+  /// can slice the cutoff sphere at quarter-cell resolution (the swept
+  /// volume saturates near the bounding-box Minkowski sum beyond this,
+  /// while the per-subrow overhead keeps growing).
+  static constexpr int kGridSubdiv = 4;
+
   /// One hydrogen-bond-capable receptor atom in the packed site lists.
   struct HBondSite {
     Vec3 pos;

@@ -5,6 +5,18 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's _mm512_rsqrt14_pd / _mm512_max_pd headers pass
+// _mm512_undefined_pd() placeholders into the mask builtins, which trips
+// -Wmaybe-uninitialized through the always_inline chain at every call
+// site. Header false positive; nothing in this file reads uninitialized
+// data (the batched kernels' masked tail lanes are explicitly zeroed).
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#endif
+
 namespace dqndock::metadock {
 
 using chem::Element;
@@ -209,11 +221,21 @@ ScoreTerms ScoringFunction::packedAtomEnergy(std::size_t la, const Vec3& lpos,
   terms.electrostatic = chem::kCoulomb * ligCharges_[la] * elec;
   terms.vdw = 4.0 * vdw;
 
-  // Pass 2: hydrogen bond over the sparse packed site lists (donor
-  // hydrogen on one side, acceptor on the other), hoisted out of the hot
-  // loop. The cutoff test mirrors the scalar path exactly; with a grid,
-  // every in-cutoff site is inside the 27-neighbourhood by construction
-  // (cell size >= cutoff), so scanning the full list loses nothing.
+  // Pass 2: hydrogen bond over the sparse packed site lists, hoisted out
+  // of the hot loop and shared with the batched kernel.
+  const int anchor = ligand_.hydrogenAnchors()[la];
+  const Vec3* anchorPos = anchor >= 0 ? &all[static_cast<std::size_t>(anchor)] : nullptr;
+  terms.hbond = packedHBondEnergy(la, lpos, anchorPos);
+  return terms;
+}
+
+double ScoringFunction::packedHBondEnergy(std::size_t la, const Vec3& lpos,
+                                          const Vec3* anchorPos) const {
+  // Donor hydrogen on one side, acceptor on the other. The cutoff test
+  // mirrors the scalar path exactly; with a grid, every in-cutoff site is
+  // inside the 27-neighbourhood by construction (cell size >= cutoff), so
+  // scanning the full list loses nothing.
+  double hb = 0.0;
   const HBondRole lRole = ligRoles_[la];
   if (lRole == HBondRole::kAcceptor) {
     const Element le = ligElems_[la];
@@ -224,30 +246,511 @@ ScoreTerms ScoringFunction::packedAtomEnergy(std::size_t la, const Vec3& lpos,
           ljTable_[static_cast<std::size_t>(d.element)][static_cast<std::size_t>(le)];
       const Vec3 toAcceptor = (lpos - d.pos).normalized();
       const double cosTheta = d.donorDir.norm2() > 0.0 ? d.donorDir.dot(toAcceptor) : 1.0;
-      terms.hbond += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+      hb += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
     }
   } else if (lRole == HBondRole::kDonorHydrogen) {
     const Element le = ligElems_[la];
-    const int anchor = ligand_.hydrogenAnchors()[la];
     for (const ReceptorModel::HBondSite& a : receptor_.acceptorSites()) {
       const double r = distance(a.pos, lpos);
       if (options_.cutoff > 0.0 && r > options_.cutoff) continue;
       const chem::LjParams lj =
           ljTable_[static_cast<std::size_t>(a.element)][static_cast<std::size_t>(le)];
       double cosTheta = 1.0;
-      if (anchor >= 0) {
-        const Vec3 dir = (lpos - all[static_cast<std::size_t>(anchor)]).normalized();
+      if (anchorPos != nullptr) {
+        const Vec3 dir = (lpos - *anchorPos).normalized();
         cosTheta = dir.dot((a.pos - lpos).normalized());
       }
-      terms.hbond += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
+      hb += hbondEnergy(hbond_, lj.epsilon, lj.sigma, r, cosTheta);
     }
   }
-  return terms;
+  return hb;
 }
 
 ScoreTerms ScoringFunction::atomEnergy(std::size_t la, const Vec3& lpos,
                                        std::span<const Vec3> all) const {
   return options_.packed ? packedAtomEnergy(la, lpos, all) : scalarAtomEnergy(la, lpos, all);
+}
+
+namespace {
+
+/// Fused electrostatics + Lennard-Jones over the packed receptor slice
+/// [first, end) for `lanes` pose lanes of one ligand atom: each receptor
+/// atom's parameters are loaded once and applied to every lane, with
+/// out-of-cutoff lanes contributing an exact 0.0. Accumulation is
+/// straight packed-index order per lane, so a pose's partial sum does not
+/// depend on which other poses share the tile (masked lanes add an exact
+/// +-0.0, which never perturbs an accumulator that starts at +0.0).
+/// kLanes > 0 pins the lane count at compile time: the lane loop unrolls
+/// fully, lane positions and accumulators stay in registers across the
+/// whole range list (the __restrict contracts make the hoist legal), and
+/// only the six per-atom scalars are touched per receptor atom. kLanes ==
+/// 0 is the runtime-count fallback with the *identical* per-lane
+/// arithmetic, so a lane's result does not depend on which variant (or
+/// group split) computed it. `ranges` holds numRanges packed
+/// [first, end) index pairs into the receptor arrays, swept in order.
+template <int kLanes>
+inline void sweepRangesImpl(const double* __restrict X, const double* __restrict Y,
+                            const double* __restrict Z, const double* __restrict Q,
+                            const double* __restrict EPS, const double* __restrict SG2,
+                            const std::uint32_t* __restrict ranges, std::size_t numRanges,
+                            const double* __restrict lx, const double* __restrict ly,
+                            const double* __restrict lz, std::size_t lanes, double cut2,
+                            double* __restrict elecAcc, double* __restrict vdwAcc) {
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+  const std::size_t L = kLanes > 0 ? static_cast<std::size_t>(kLanes) : lanes;
+  for (std::size_t k = 0; k < numRanges; ++k) {
+    const std::size_t first = ranges[2 * k];
+    const std::size_t end = ranges[2 * k + 1];
+    for (std::size_t j = first; j < end; ++j) {
+      const double xj = X[j], yj = Y[j], zj = Z[j];
+      const double qj = Q[j], ej = EPS[j], gj = SG2[j];
+      for (std::size_t b = 0; b < L; ++b) {
+        const double dx = xj - lx[b];
+        const double dy = yj - ly[b];
+        const double dz = zj - lz[b];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double in = r2 <= cut2 ? 1.0 : 0.0;
+        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+        const double rinv = 1.0 / std::sqrt(r2c);
+        const double s2 = gj * (rinv * rinv);
+        const double s6 = s2 * s2 * s2;
+        elecAcc[b] += in * (qj * rinv);
+        vdwAcc[b] += in * (ej * (s6 * s6 - s6));
+      }
+    }
+  }
+}
+
+#if defined(__AVX512F__)
+
+/// AVX-512 range sweep: 8 pose lanes per zmm register, processed two
+/// chunks (16 lanes) at a time with a masked single-chunk tail, so one
+/// kernel serves every lane count (a lane's result is elementwise, so it
+/// cannot depend on its chunk neighbours or alignment — the property the
+/// bisection/tiling determinism argument needs). Lane positions and
+/// accumulators load once per chunk pass and stay in registers across
+/// the whole range list; per-receptor-atom broadcasts are shared by both
+/// chunks of a pair and the two independent rsqrt/Newton chains overlap
+/// in the pipeline. 1/sqrt runs as vrsqrt14pd + two Newton-Raphson
+/// steps (~1 ulp) instead of vdivpd+vsqrtpd, which roughly halves the
+/// per-pair cost; products fuse through explicit FMA intrinsics. Every
+/// batched sweep in an AVX-512 build goes through this one function, so
+/// batched results stay bit-deterministic within the build; they differ
+/// from non-AVX-512 builds (and from the per-pose kernel) within the
+/// documented ~1e-9 relative envelope.
+inline void sweepRanges(const double* X, const double* Y, const double* Z, const double* Q,
+                        const double* EPS, const double* SG2, const std::uint32_t* ranges,
+                        std::size_t numRanges, const double* lx, const double* ly,
+                        const double* lz, std::size_t lanes, double cut2, double* elecAcc,
+                        double* vdwAcc) {
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+  const __m512d vcut2 = _mm512_set1_pd(cut2);
+  const __m512d vmind2 = _mm512_set1_pd(kMinDist2);
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d v1p5 = _mm512_set1_pd(1.5);
+  std::size_t c = 0;
+  // Paired chunks: 16 lanes per receptor atom, so every per-atom
+  // broadcast (position, charge, pair row) is shared by two zmm chunks
+  // and the two independent rsqrt/Newton chains overlap in the pipeline.
+  // Each lane's arithmetic is identical to the single-chunk tail below,
+  // so results do not depend on which variant a lane lands in.
+  for (; c + 16 <= lanes; c += 16) {
+    const __m512d vlx0 = _mm512_loadu_pd(lx + c);
+    const __m512d vly0 = _mm512_loadu_pd(ly + c);
+    const __m512d vlz0 = _mm512_loadu_pd(lz + c);
+    const __m512d vlx1 = _mm512_loadu_pd(lx + c + 8);
+    const __m512d vly1 = _mm512_loadu_pd(ly + c + 8);
+    const __m512d vlz1 = _mm512_loadu_pd(lz + c + 8);
+    __m512d ve0 = _mm512_loadu_pd(elecAcc + c);
+    __m512d vv0 = _mm512_loadu_pd(vdwAcc + c);
+    __m512d ve1 = _mm512_loadu_pd(elecAcc + c + 8);
+    __m512d vv1 = _mm512_loadu_pd(vdwAcc + c + 8);
+    for (std::size_t k = 0; k < numRanges; ++k) {
+      const std::size_t first = ranges[2 * k];
+      const std::size_t end = ranges[2 * k + 1];
+      for (std::size_t j = first; j < end; ++j) {
+        const __m512d xj = _mm512_set1_pd(X[j]);
+        const __m512d yj = _mm512_set1_pd(Y[j]);
+        const __m512d zj = _mm512_set1_pd(Z[j]);
+        const __m512d dx0 = _mm512_sub_pd(xj, vlx0);
+        const __m512d dy0 = _mm512_sub_pd(yj, vly0);
+        const __m512d dz0 = _mm512_sub_pd(zj, vlz0);
+        const __m512d dx1 = _mm512_sub_pd(xj, vlx1);
+        const __m512d dy1 = _mm512_sub_pd(yj, vly1);
+        const __m512d dz1 = _mm512_sub_pd(zj, vlz1);
+        __m512d r20 = _mm512_mul_pd(dz0, dz0);
+        __m512d r21 = _mm512_mul_pd(dz1, dz1);
+        r20 = _mm512_fmadd_pd(dy0, dy0, r20);
+        r21 = _mm512_fmadd_pd(dy1, dy1, r21);
+        r20 = _mm512_fmadd_pd(dx0, dx0, r20);
+        r21 = _mm512_fmadd_pd(dx1, dx1, r21);
+        const __mmask8 kin0 = _mm512_cmp_pd_mask(r20, vcut2, _CMP_LE_OQ);
+        const __mmask8 kin1 = _mm512_cmp_pd_mask(r21, vcut2, _CMP_LE_OQ);
+        const __m512d r2c0 = _mm512_max_pd(r20, vmind2);
+        const __m512d r2c1 = _mm512_max_pd(r21, vmind2);
+        __m512d y0 = _mm512_rsqrt14_pd(r2c0);
+        __m512d y1 = _mm512_rsqrt14_pd(r2c1);
+        const __m512d h0 = _mm512_mul_pd(r2c0, vhalf);
+        const __m512d h1 = _mm512_mul_pd(r2c1, vhalf);
+        __m512d t0 = _mm512_mul_pd(y0, y0);
+        __m512d t1 = _mm512_mul_pd(y1, y1);
+        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
+        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
+        t0 = _mm512_mul_pd(y0, y0);
+        t1 = _mm512_mul_pd(y1, y1);
+        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
+        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
+        const __m512d gj = _mm512_set1_pd(SG2[j]);
+        const __m512d s20 = _mm512_mul_pd(gj, _mm512_mul_pd(y0, y0));
+        const __m512d s21 = _mm512_mul_pd(gj, _mm512_mul_pd(y1, y1));
+        const __m512d s60 = _mm512_mul_pd(s20, _mm512_mul_pd(s20, s20));
+        const __m512d s61 = _mm512_mul_pd(s21, _mm512_mul_pd(s21, s21));
+        const __m512d poly0 = _mm512_fmsub_pd(s60, s60, s60);
+        const __m512d poly1 = _mm512_fmsub_pd(s61, s61, s61);
+        const __m512d qj = _mm512_set1_pd(Q[j]);
+        const __m512d ej = _mm512_set1_pd(EPS[j]);
+        ve0 = _mm512_mask3_fmadd_pd(qj, y0, ve0, kin0);
+        vv0 = _mm512_mask3_fmadd_pd(ej, poly0, vv0, kin0);
+        ve1 = _mm512_mask3_fmadd_pd(qj, y1, ve1, kin1);
+        vv1 = _mm512_mask3_fmadd_pd(ej, poly1, vv1, kin1);
+      }
+    }
+    _mm512_storeu_pd(elecAcc + c, ve0);
+    _mm512_storeu_pd(vdwAcc + c, vv0);
+    _mm512_storeu_pd(elecAcc + c + 8, ve1);
+    _mm512_storeu_pd(vdwAcc + c + 8, vv1);
+  }
+  for (; c < lanes; c += 8) {
+    const std::size_t left = lanes - c;
+    const __mmask8 m = left >= 8 ? static_cast<__mmask8>(0xFF)
+                                 : static_cast<__mmask8>((1u << left) - 1u);
+    // mask_loadu with an explicit zero source (not maskz_loadu): same
+    // semantics, but GCC 12's maskz builtin trips -Wmaybe-uninitialized.
+    const __m512d vzero = _mm512_setzero_pd();
+    const __m512d vlx = _mm512_mask_loadu_pd(vzero, m, lx + c);
+    const __m512d vly = _mm512_mask_loadu_pd(vzero, m, ly + c);
+    const __m512d vlz = _mm512_mask_loadu_pd(vzero, m, lz + c);
+    __m512d ve = _mm512_mask_loadu_pd(vzero, m, elecAcc + c);
+    __m512d vv = _mm512_mask_loadu_pd(vzero, m, vdwAcc + c);
+    for (std::size_t k = 0; k < numRanges; ++k) {
+      const std::size_t first = ranges[2 * k];
+      const std::size_t end = ranges[2 * k + 1];
+      for (std::size_t j = first; j < end; ++j) {
+        const __m512d xj = _mm512_set1_pd(X[j]);
+        const __m512d yj = _mm512_set1_pd(Y[j]);
+        const __m512d zj = _mm512_set1_pd(Z[j]);
+        const __m512d dx = _mm512_sub_pd(xj, vlx);
+        const __m512d dy = _mm512_sub_pd(yj, vly);
+        const __m512d dz = _mm512_sub_pd(zj, vlz);
+        __m512d r2 = _mm512_mul_pd(dz, dz);
+        r2 = _mm512_fmadd_pd(dy, dy, r2);
+        r2 = _mm512_fmadd_pd(dx, dx, r2);
+        // Inactive tail lanes may pass the cutoff test on their zeroed
+        // positions; they are never stored, so only `kin` gating of the
+        // accumulators matters for the live lanes.
+        const __mmask8 kin = _mm512_cmp_pd_mask(r2, vcut2, _CMP_LE_OQ);
+        const __m512d r2c = _mm512_max_pd(r2, vmind2);
+        __m512d y = _mm512_rsqrt14_pd(r2c);
+        const __m512d h = _mm512_mul_pd(r2c, vhalf);
+        __m512d t = _mm512_mul_pd(y, y);
+        y = _mm512_mul_pd(y, _mm512_fnmadd_pd(h, t, v1p5));
+        t = _mm512_mul_pd(y, y);
+        y = _mm512_mul_pd(y, _mm512_fnmadd_pd(h, t, v1p5));
+        const __m512d gj = _mm512_set1_pd(SG2[j]);
+        const __m512d s2 = _mm512_mul_pd(gj, _mm512_mul_pd(y, y));
+        const __m512d s6 = _mm512_mul_pd(s2, _mm512_mul_pd(s2, s2));
+        const __m512d poly = _mm512_fmsub_pd(s6, s6, s6);
+        const __m512d qj = _mm512_set1_pd(Q[j]);
+        const __m512d ej = _mm512_set1_pd(EPS[j]);
+        ve = _mm512_mask3_fmadd_pd(qj, y, ve, kin);
+        vv = _mm512_mask3_fmadd_pd(ej, poly, vv, kin);
+      }
+    }
+    _mm512_mask_storeu_pd(elecAcc + c, m, ve);
+    _mm512_mask_storeu_pd(vdwAcc + c, m, vv);
+  }
+}
+
+#else  // !__AVX512F__
+
+/// Dispatches to the compile-time-lane variants for the group sizes the
+/// tile/bisection machinery actually produces (full tiles halve: 32, 16,
+/// 8); everything else takes the runtime loop. All variants share the
+/// per-lane arithmetic, so results are bit-independent of the dispatch.
+inline void sweepRanges(const double* X, const double* Y, const double* Z, const double* Q,
+                        const double* EPS, const double* SG2, const std::uint32_t* ranges,
+                        std::size_t numRanges, const double* lx, const double* ly,
+                        const double* lz, std::size_t lanes, double cut2, double* elecAcc,
+                        double* vdwAcc) {
+  switch (lanes) {
+    case 32:
+      sweepRangesImpl<32>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                          elecAcc, vdwAcc);
+      break;
+    case 16:
+      sweepRangesImpl<16>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                          elecAcc, vdwAcc);
+      break;
+    case 8:
+      sweepRangesImpl<8>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                         elecAcc, vdwAcc);
+      break;
+    default:
+      sweepRangesImpl<0>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                         elecAcc, vdwAcc);
+      break;
+  }
+}
+
+#endif  // __AVX512F__
+
+/// Conservative fp slack for the subcell pruning geometry: inflates the
+/// cutoff reach and subcell boxes so floor/division rounding can only add
+/// masked (exact-zero) work, never drop an in-cutoff pair.
+constexpr double kGeomMargin = 1e-6;
+
+}  // namespace
+
+void ScoringFunction::energyBatchTile(std::span<const Pose> poses, BatchScratch& s,
+                                      std::span<ScoreTerms> out) const {
+  const std::size_t L = poses.size();
+  const std::size_t n = ligand_.atomCount();
+
+  // Transform the tile into batch-major SoA lanes: lane b of ligand atom
+  // la lives at [la * L + b], so the kernel's inner loop streams
+  // contiguous doubles.
+  s.lx.resize(n * L);
+  s.ly.resize(n * L);
+  s.lz.resize(n * L);
+  for (std::size_t b = 0; b < L; ++b) {
+    ligand_.applyPose(poses[b], s.pose);
+    for (std::size_t la = 0; la < n; ++la) {
+      s.lx[la * L + b] = s.pose[la].x;
+      s.ly[la * L + b] = s.pose[la].y;
+      s.lz[la * L + b] = s.pose[la].z;
+    }
+  }
+  for (std::size_t b = 0; b < L; ++b) out[b] = ScoreTerms{};
+
+  const std::size_t rn = receptor_.atomCount();
+  const bool pruned = options_.useGrid && options_.cutoff > 0.0;
+  const double cut2 = options_.cutoff > 0.0 ? options_.cutoff * options_.cutoff
+                                            : std::numeric_limits<double>::infinity();
+  const double* X = receptor_.packedX().data();
+  const double* Y = receptor_.packedY().data();
+  const double* Z = receptor_.packedZ().data();
+  const double* Q = receptor_.packedCharges().data();
+
+  for (std::size_t la = 0; la < n; ++la) {
+    const double* lx = s.lx.data() + la * L;
+    const double* ly = s.ly.data() + la * L;
+    const double* lz = s.lz.data() + la * L;
+    const chem::PairRowTable& row = pairRows_[static_cast<std::size_t>(atomRow_[la])];
+    const double* EPS = row.epsilon.data();
+    const double* SG2 = row.sigma2.data();
+
+    double elecAcc[kMaxBatchLanes] = {};
+    double vdwAcc[kMaxBatchLanes] = {};
+
+    if (rn > 0 && !pruned) {
+      const std::uint32_t whole[2] = {0u, static_cast<std::uint32_t>(rn)};
+      sweepRanges(X, Y, Z, Q, EPS, SG2, whole, 1, lx, ly, lz, L, cut2, elecAcc, vdwAcc);
+    } else if (rn > 0) {
+      const NeighborGrid& g = receptor_.grid();
+      const double reach = options_.cutoff + kGeomMargin;
+      const double cut2m = reach * reach;
+      const double cell = g.cellSize();
+      const Vec3& o = g.origin();
+      const int S = g.hasSubcells() ? g.subdiv() : 1;
+      const std::size_t S3 = static_cast<std::size_t>(S) * S * S;
+      const std::uint32_t* subOff =
+          g.hasSubcells() ? g.subOffsets().data() : g.cellOffsets().data();
+      const double sub = cell / static_cast<double>(S);
+      const double invSub = 1.0 / sub;
+
+      // Lane-bisection work list: when a lane group's union cell window
+      // exceeds the locality heuristic, split the group in half and retry
+      // — halves have tighter bounding boxes. A single lane's window is
+      // at most 3x3x3 cells, so recursion always terminates in a union
+      // sweep; and because every path sweeps an ascending-packed-order
+      // superset of each lane's in-cutoff pairs with exact-zero masking,
+      // per-lane results are bit-independent of how the tile splits.
+      struct LaneSpan {
+        std::uint16_t b0, b1;
+      };
+      LaneSpan work[2 * kMaxBatchLanes];
+      int top = 0;
+      work[top++] = {0, static_cast<std::uint16_t>(L)};
+      while (top > 0) {
+        const LaneSpan span = work[--top];
+        const std::size_t b0 = span.b0, b1 = span.b1;
+        // Bounding box of this atom's positions over the lane group.
+        double bx0 = lx[b0], bx1 = lx[b0], by0 = ly[b0], by1 = ly[b0];
+        double bz0 = lz[b0], bz1 = lz[b0];
+        for (std::size_t b = b0 + 1; b < b1; ++b) {
+          bx0 = std::min(bx0, lx[b]);
+          bx1 = std::max(bx1, lx[b]);
+          by0 = std::min(by0, ly[b]);
+          by1 = std::max(by1, ly[b]);
+          bz0 = std::min(bz0, lz[b]);
+          bz1 = std::max(bz1, lz[b]);
+        }
+        // Cell window covering the cutoff reach of the bounding box, as
+        // doubles first so far-away lanes cannot overflow int.
+        const double fx0 = std::floor((bx0 - reach - o.x) / cell);
+        const double fx1 = std::floor((bx1 + reach - o.x) / cell);
+        const double fy0 = std::floor((by0 - reach - o.y) / cell);
+        const double fy1 = std::floor((by1 + reach - o.y) / cell);
+        const double fz0 = std::floor((bz0 - reach - o.z) / cell);
+        const double fz1 = std::floor((bz1 + reach - o.z) / cell);
+        const bool overlaps = fx1 >= 0.0 && fx0 <= static_cast<double>(g.nx() - 1) &&
+                              fy1 >= 0.0 && fy0 <= static_cast<double>(g.ny() - 1) &&
+                              fz1 >= 0.0 && fz0 <= static_cast<double>(g.nz() - 1);
+        if (!overlaps) continue;  // every lane in the group is beyond reach
+        const int px0 = static_cast<int>(std::max(fx0, 0.0));
+        const int px1 = static_cast<int>(std::min(fx1, static_cast<double>(g.nx() - 1)));
+        const int py0 = static_cast<int>(std::max(fy0, 0.0));
+        const int py1 = static_cast<int>(std::min(fy1, static_cast<double>(g.ny() - 1)));
+        const int pz0 = static_cast<int>(std::max(fz0, 0.0));
+        const int pz1 = static_cast<int>(std::min(fz1, static_cast<double>(g.nz() - 1)));
+        const std::size_t windowCells = static_cast<std::size_t>(px1 - px0 + 1) *
+                                        static_cast<std::size_t>(py1 - py0 + 1) *
+                                        static_cast<std::size_t>(pz1 - pz0 + 1);
+        if (windowCells > kMaxUnionWindowCells && b1 - b0 > 1) {
+          const std::size_t mid = b0 + (b1 - b0) / 2;
+          work[top++] = {static_cast<std::uint16_t>(mid), static_cast<std::uint16_t>(b1)};
+          work[top++] = {static_cast<std::uint16_t>(b0), static_cast<std::uint16_t>(mid)};
+          continue;
+        }
+        // Union sweep, sliced at subcell resolution. Phase 1 is pure
+        // geometry: walk the window's global (z, y) subcell rows, skip
+        // rows farther than the cutoff from the group bounding box, clip
+        // each surviving row's x extent by the remaining budget (sphere
+        // slicing), and emit the packed [first, end) receptor ranges into
+        // the scratch range list. Phase 2 sweeps the whole list in one
+        // kernel call, so lane positions and accumulators stay in
+        // registers across every range. The row order (gz, gy, px
+        // ascending) is a fixed total order on subcells independent of
+        // the window bounds, so a lane's in-cutoff pairs are visited in
+        // the same order no matter how the tile was split — the property
+        // the bit-determinism argument needs.
+        const std::size_t lanes = b1 - b0;
+        const int gz0 = pz0 * S, gz1 = pz1 * S + (S - 1);
+        const int gy0 = py0 * S, gy1 = py1 * S + (S - 1);
+        const std::size_t nzSub = static_cast<std::size_t>(gz1 - gz0 + 1);
+        const std::size_t nySub = static_cast<std::size_t>(gy1 - gy0 + 1);
+        s.slab.resize(nzSub + nySub);
+        double* dz2v = s.slab.data();
+        double* dy2v = s.slab.data() + nzSub;
+        for (int gz = gz0; gz <= gz1; ++gz) {
+          const double zlo = o.z + gz * sub - kGeomMargin;
+          const double zhi = zlo + sub + 2.0 * kGeomMargin;
+          const double dz = std::max({0.0, zlo - bz1, bz0 - zhi});
+          dz2v[gz - gz0] = dz * dz;
+        }
+        for (int gy = gy0; gy <= gy1; ++gy) {
+          const double ylo = o.y + gy * sub - kGeomMargin;
+          const double yhi = ylo + sub + 2.0 * kGeomMargin;
+          const double dy = std::max({0.0, ylo - by1, by0 - yhi});
+          dy2v[gy - gy0] = dy * dy;
+        }
+        s.ranges.clear();
+        for (int gz = gz0; gz <= gz1; ++gz) {
+          const double dz2 = dz2v[gz - gz0];
+          if (dz2 > cut2m) continue;
+          const int pz = gz / S, szz = gz - pz * S;
+          for (int gy = gy0; gy <= gy1; ++gy) {
+            const double d2 = dy2v[gy - gy0] + dz2;
+            if (d2 > cut2m) continue;
+            const int py = gy / S, syy = gy - py * S;
+            const double rx = std::sqrt(cut2m - d2);
+            // Global x subcell range for this row, sphere-clipped; clamp
+            // in doubles so far-out bounding boxes cannot overflow int.
+            const double fgx0 = std::floor((bx0 - rx - kGeomMargin - o.x) * invSub);
+            const double fgx1 = std::floor((bx1 + rx + kGeomMargin - o.x) * invSub);
+            const int gx0 =
+                static_cast<int>(std::max(fgx0, static_cast<double>(px0) * S));
+            const int gx1 =
+                static_cast<int>(std::min(fgx1, static_cast<double>(px1) * S + (S - 1)));
+            if (gx1 < gx0) continue;
+            const std::size_t rowKey = (static_cast<std::size_t>(szz) * S + syy) * S;
+            for (int px = gx0 / S; px <= gx1 / S; ++px) {
+              const int sx0 = std::max(gx0 - px * S, 0);
+              const int sx1 = std::min(gx1 - px * S, S - 1);
+              const std::size_t k0 = g.cellLinearIndex(px, py, pz) * S3 + rowKey;
+              const std::uint32_t first = subOff[k0 + static_cast<std::size_t>(sx0)];
+              const std::uint32_t end = subOff[k0 + static_cast<std::size_t>(sx1) + 1];
+              if (end > first) {
+                // Coalesce ranges that abut in packed index space; the
+                // swept j sequence is unchanged.
+                if (!s.ranges.empty() && s.ranges.back() == first) {
+                  s.ranges.back() = end;
+                } else {
+                  s.ranges.push_back(first);
+                  s.ranges.push_back(end);
+                }
+              }
+            }
+          }
+        }
+        if (!s.ranges.empty()) {
+          sweepRanges(X, Y, Z, Q, EPS, SG2, s.ranges.data(), s.ranges.size() / 2, lx + b0,
+                      ly + b0, lz + b0, lanes, cut2, elecAcc + b0, vdwAcc + b0);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < L; ++b) {
+      out[b].electrostatic += chem::kCoulomb * ligCharges_[la] * elecAcc[b];
+      out[b].vdw += 4.0 * vdwAcc[b];
+    }
+
+    // H-bond pass: per pose, the exact per-pose-kernel code path (same
+    // site order, same operations), so this term is bit-identical to
+    // per-pose packed scoring.
+    if (ligRoles_[la] != HBondRole::kNone) {
+      const int anchor = ligand_.hydrogenAnchors()[la];
+      for (std::size_t b = 0; b < L; ++b) {
+        const Vec3 lpos{lx[b], ly[b], lz[b]};
+        Vec3 anchorPos;
+        const Vec3* ap = nullptr;
+        if (anchor >= 0) {
+          const std::size_t ai = static_cast<std::size_t>(anchor);
+          anchorPos = Vec3{s.lx[ai * L + b], s.ly[ai * L + b], s.lz[ai * L + b]};
+          ap = &anchorPos;
+        }
+        out[b].hbond += packedHBondEnergy(la, lpos, ap);
+      }
+    }
+  }
+}
+
+void ScoringFunction::energyBatch(std::span<const Pose> poses, BatchScratch& scratch,
+                                  std::span<ScoreTerms> out) const {
+  if (out.size() != poses.size()) {
+    throw std::invalid_argument("ScoringFunction::energyBatch: output size mismatch");
+  }
+  if (!options_.packed) {
+    // Scalar fallback: exactly the per-pose path, pose by pose.
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+      ligand_.applyPose(poses[i], scratch.pose);
+      out[i] = energy(scratch.pose);
+    }
+    return;
+  }
+  for (std::size_t i0 = 0; i0 < poses.size(); i0 += kMaxBatchLanes) {
+    const std::size_t tile = std::min(kMaxBatchLanes, poses.size() - i0);
+    energyBatchTile(poses.subspan(i0, tile), scratch, out.subspan(i0, tile));
+  }
+}
+
+void ScoringFunction::scoreBatch(std::span<const Pose> poses, BatchScratch& scratch,
+                                 std::span<double> out) const {
+  if (out.size() != poses.size()) {
+    throw std::invalid_argument("ScoringFunction::scoreBatch: output size mismatch");
+  }
+  scratch.terms.resize(poses.size());
+  energyBatch(poses, scratch, scratch.terms);
+  for (std::size_t i = 0; i < poses.size(); ++i) out[i] = -scratch.terms[i].total();
 }
 
 ScoreTerms ScoringFunction::energy(std::span<const Vec3> ligandPositions) const {

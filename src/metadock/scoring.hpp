@@ -26,6 +26,20 @@
 ///
 /// Threaded evaluation sums ordered per-ligand-atom partials, so scores
 /// are bit-identical across thread counts (and to the serial path).
+///
+/// Pose-batched path (`energyBatch`/`scoreBatch`): B poses of the same
+/// ligand are transformed into batch-major SoA position lanes and scored
+/// in one receptor sweep — per ligand atom, the union of the poses' cell
+/// ranges is swept once, each receptor atom's parameters are loaded once
+/// and reused across all B pose lanes with a branch-free cutoff mask, and
+/// subcells farther than the cutoff from the lane bounding box are
+/// skipped entirely (the CPU analogue of METADOCK scoring many poses per
+/// surface spot per GPU kernel launch). Per-atom lane bounding boxes that
+/// diverge beyond a cell-locality heuristic are bisected into tighter
+/// lane groups and reswept. Batched scores are deterministic: bit-identical
+/// for any batch split and thread count, and within ~1e-9 relative of
+/// per-pose packed scoring (the pair terms are identical; only the lane
+/// accumulation order differs).
 
 #include <array>
 #include <cstdint>
@@ -98,6 +112,39 @@ class ScoringFunction {
   double scorePose(const Pose& pose, std::vector<Vec3>& scratch) const;
   double scorePose(const Pose& pose) const;
 
+  /// Poses per batched-kernel tile; larger batches are processed in tiles
+  /// of this many lanes (per-pose results do not depend on the tiling).
+  static constexpr std::size_t kMaxBatchLanes = 32;
+  /// Cell-locality heuristic: when the grid-cell window covering the
+  /// cutoff neighbourhood of a lane group's bounding box exceeds this
+  /// many cells (27 = one pose's neighbourhood), the batched kernel
+  /// bisects the lane group and retries each half with its tighter
+  /// bounding box (a single lane's window is at most 27 cells, so the
+  /// recursion always bottoms out in a union sweep).
+  static constexpr std::size_t kMaxUnionWindowCells = 64;
+
+  /// Reusable scratch for the pose-batched kernel (one per worker).
+  /// Contents are an implementation detail; callers only keep it alive
+  /// between calls so the lane buffers stay warm.
+  struct BatchScratch {
+    std::vector<Vec3> pose;         ///< applyPose temp (also scalar-path scratch)
+    std::vector<double> lx, ly, lz; ///< batch-major lanes [ligandAtom * lanes + pose]
+    std::vector<ScoreTerms> terms;  ///< per-pose totals for scoreBatch
+    std::vector<std::uint32_t> ranges;  ///< packed [first, end) pairs per sweep
+    std::vector<double> slab;       ///< per-subrow slab distances (geometry phase)
+  };
+
+  /// Pose-batched energies: `out[i]` receives the energy of `poses[i]`,
+  /// equal to energy(applyPose(poses[i])) within ~1e-9 relative (the
+  /// scalar fallback path is reused verbatim when options().packed is
+  /// false). out.size() must equal poses.size().
+  void energyBatch(std::span<const Pose> poses, BatchScratch& scratch,
+                   std::span<ScoreTerms> out) const;
+
+  /// Pose-batched docking scores (score := -energy.total()).
+  void scoreBatch(std::span<const Pose> poses, BatchScratch& scratch,
+                  std::span<double> out) const;
+
   const ReceptorModel& receptor() const { return receptor_; }
   const LigandModel& ligand() const { return ligand_; }
   const ScoringOptions& options() const { return options_; }
@@ -114,6 +161,16 @@ class ScoringFunction {
                               std::span<const Vec3> allLigandPositions) const;
   ScoreTerms pairEnergy(std::size_t receptorAtom, std::size_t ligandAtom, const Vec3& ligandPos,
                         std::span<const Vec3> allLigandPositions) const;
+
+  /// Sparse H-bond pass for one (ligand atom, pose): identical operations
+  /// and site order for the per-pose and batched kernels. `anchorPos` is
+  /// the donor hydrogen's anchor heavy-atom position (nullptr if none).
+  double packedHBondEnergy(std::size_t ligandAtom, const Vec3& ligandPos,
+                           const Vec3* anchorPos) const;
+
+  /// One tile (<= kMaxBatchLanes poses) of the batched kernel.
+  void energyBatchTile(std::span<const Pose> poses, BatchScratch& scratch,
+                       std::span<ScoreTerms> out) const;
 
   const ReceptorModel& receptor_;
   const LigandModel& ligand_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/chem/synthetic.hpp"
 #include "src/metadock/evaluator.hpp"
 
@@ -38,7 +40,12 @@ TEST_F(EvaluatorFixture, BatchMatchesIndividual) {
   const auto batch = eval.evaluateBatch(poses);
   ASSERT_EQ(batch.size(), poses.size());
   for (std::size_t i = 0; i < poses.size(); ++i) {
-    EXPECT_DOUBLE_EQ(batch[i], scoring_.scorePose(poses[i]));
+    // evaluateBatch runs the pose-batched kernel, whose lane accumulation
+    // order differs from the per-pose kernel: agreement is ~1e-9
+    // relative, not bitwise (test_scoring_batched pins the batched path's
+    // own bit-determinism guarantees).
+    const double ref = scoring_.scorePose(poses[i]);
+    EXPECT_NEAR(batch[i], ref, std::max(1e-9, std::fabs(ref) * 1e-9)) << "pose " << i;
   }
 }
 

@@ -214,10 +214,13 @@ TEST(PackedDeterminismTest, ScoresBitIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(PackedDeterminismTest, BatchEvaluatorMatchesSerialBitExactly) {
-  // evaluateBatch reuses pooled scratch buffers across chunks; results
-  // must still be bit-identical to one-at-a-time serial evaluation, and
-  // stable across repeated batches (buffer reuse must not leak state).
+TEST(PackedDeterminismTest, BatchEvaluatorMatchesSerialAndIsDeterministic) {
+  // evaluateBatch runs the pose-batched kernel: scores agree with
+  // one-at-a-time serial evaluation to ~1e-9 relative (the pair terms are
+  // identical, only the lane accumulation order differs), and the batched
+  // results themselves are bit-identical across repeated batches and
+  // thread counts (buffer reuse must not leak state, chunking must not
+  // change tiling-visible results).
   const chem::Scenario sc = chem::buildScenario(chem::ScenarioSpec::tiny());
   ReceptorModel receptor(sc.receptor, 12.0);
   LigandModel ligand(sc.ligand);
@@ -234,8 +237,15 @@ TEST(PackedDeterminismTest, BatchEvaluatorMatchesSerialBitExactly) {
   const std::vector<double> second = batched.evaluateBatch(poses);
   ASSERT_EQ(first.size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
-    EXPECT_EQ(first[i], reference[i]) << "pose " << i;
-    EXPECT_EQ(second[i], reference[i]) << "pose " << i << " (second batch)";
+    EXPECT_NEAR(first[i], reference[i], tol(reference[i])) << "pose " << i;
+    EXPECT_EQ(second[i], first[i]) << "pose " << i << " (second batch)";
+  }
+
+  ThreadPool pool1(1);
+  PoseEvaluator oneThread(sf, &pool1);
+  const std::vector<double> single = oneThread.evaluateBatch(poses);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(single[i], first[i]) << "pose " << i << " (1 vs 4 threads)";
   }
 }
 
