@@ -134,6 +134,9 @@ def main() -> None:
         "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
         "harness_build_type": harness_build_type,
         "benchmark_library_build_type": ctx.get("library_build_type"),
+        # Eq. 1 sweep tier the harness dispatched to at runtime (CPUID
+        # probe or DQNDOCK_FORCE_KERNEL): "avx512" or "generic".
+        "kernel_tier": ctx.get("dqndock_kernel_tier"),
         "paths": paths,
         "pose_batched": batched,
         "acceptance": {

@@ -1,18 +1,34 @@
 #include "src/metadock/file_env.hpp"
 
+#include <atomic>
 #include <fstream>
-#include <random>
 #include <stdexcept>
+
+#include "src/common/rng.hpp"
 
 namespace dqndock::metadock {
 
 namespace fs = std::filesystem;
 
-FileEnv::FileEnv(DockingEnv& env, fs::path exchangeDir) : env_(env), dir_(std::move(exchangeDir)) {
+namespace {
+
+/// Deterministic auto-generated exchange-dir name. The configured seed
+/// (not std::random_device) drives the name so runs are reproducible;
+/// the process-wide counter keeps simultaneous FileEnvs in one process
+/// on distinct directories even with equal seeds.
+std::string exchangeDirName(std::uint64_t seed) {
+  static std::atomic<std::uint64_t> instance{0};
+  const std::uint64_t n = instance.fetch_add(1, std::memory_order_relaxed);
+  Rng rng(seed ^ (n * 0x9e3779b97f4a7c15ULL));
+  return "dqndock-ipc-" + std::to_string(rng()) + "-" + std::to_string(n);
+}
+
+}  // namespace
+
+FileEnv::FileEnv(DockingEnv& env, fs::path exchangeDir, std::uint64_t seed)
+    : env_(env), dir_(std::move(exchangeDir)) {
   if (dir_.empty()) {
-    std::random_device rd;
-    dir_ = fs::temp_directory_path() /
-           ("dqndock-ipc-" + std::to_string(static_cast<unsigned long>(rd())));
+    dir_ = fs::temp_directory_path() / exchangeDirName(seed);
     ownsDir_ = true;
   }
   fs::create_directories(dir_);

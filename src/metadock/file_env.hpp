@@ -12,6 +12,7 @@
 /// RAM-based coupling (plain DockingEnv) buys, which is the refinement
 /// the authors say they are working on.
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 
@@ -22,8 +23,15 @@ namespace dqndock::metadock {
 class FileEnv {
  public:
   /// Wraps `env`. Files live under `exchangeDir` (created if missing);
-  /// pass an empty path for a unique directory under the system temp dir.
-  explicit FileEnv(DockingEnv& env, std::filesystem::path exchangeDir = {});
+  /// pass an empty path for an auto-named directory under the system temp
+  /// dir. Auto-naming is deterministic: the name is derived from `seed`
+  /// via the project Rng plus a process-wide instance counter (so two
+  /// FileEnvs in one process never collide), not from std::random_device
+  /// — the same seed reproduces the same directory sequence run to run.
+  /// Concurrent *processes* sharing a temp dir should pass distinct seeds
+  /// or explicit directories.
+  explicit FileEnv(DockingEnv& env, std::filesystem::path exchangeDir = {},
+                   std::uint64_t seed = 0);
   ~FileEnv();
 
   FileEnv(const FileEnv&) = delete;

@@ -5,17 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#if defined(__GNUC__) && !defined(__clang__)
-// GCC 12's _mm512_rsqrt14_pd / _mm512_max_pd headers pass
-// _mm512_undefined_pd() placeholders into the mask builtins, which trips
-// -Wmaybe-uninitialized through the always_inline chain at every call
-// site. Header false positive; nothing in this file reads uninitialized
-// data (the batched kernels' masked tail lanes are explicitly zeroed).
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
-#endif
+#include "src/metadock/scoring_kernels.hpp"
 
 namespace dqndock::metadock {
 
@@ -49,7 +39,14 @@ double hbondEnergy(const chem::HBondParams& hb, double epsilon, double sigma, do
 
 ScoringFunction::ScoringFunction(const ReceptorModel& receptor, const LigandModel& ligand,
                                  ScoringOptions options)
-    : receptor_(receptor), ligand_(ligand), options_(options) {
+    : receptor_(receptor),
+      ligand_(ligand),
+      options_(options),
+      // Dispatch table chosen once per ScoringFunction: CPUID probe with
+      // an optional DQNDOCK_FORCE_KERNEL override (throws on an
+      // unsupported forced tier, so a pinned test/bench run can't
+      // silently fall back).
+      kernel_(&detail::scoringKernelOps(resolveKernelTier())) {
   if (options_.useGrid && options_.cutoff > 0.0 && !receptor_.hasGrid()) {
     throw std::invalid_argument(
         "ScoringFunction: useGrid requires a ReceptorModel built with a grid");
@@ -151,73 +148,35 @@ ScoreTerms ScoringFunction::packedAtomEnergy(std::size_t la, const Vec3& lpos,
   if (n == 0) return terms;
 
   // Candidate ranges over the cell-sorted order: the 27-neighbourhood
-  // when grid-pruned, the whole receptor otherwise.
+  // when grid-pruned, the whole receptor otherwise, flattened to the
+  // packed [first, end) pairs the dispatch kernels consume.
   NeighborGrid::Range ranges[NeighborGrid::kMaxQueryRanges];
-  int numRanges;
+  std::uint32_t flat[2 * NeighborGrid::kMaxQueryRanges];
+  std::size_t numRanges;
   if (options_.useGrid && options_.cutoff > 0.0) {
-    numRanges = receptor_.grid().queryRanges(lpos, ranges);
+    numRanges = static_cast<std::size_t>(receptor_.grid().queryRanges(lpos, ranges));
+    for (std::size_t k = 0; k < numRanges; ++k) {
+      flat[2 * k] = ranges[k].first;
+      flat[2 * k + 1] = ranges[k].first + ranges[k].count;
+    }
   } else {
-    ranges[0] = NeighborGrid::Range{0, static_cast<std::uint32_t>(n)};
+    flat[0] = 0;
+    flat[1] = static_cast<std::uint32_t>(n);
     numRanges = 1;
   }
 
-  // Pass 1: fused electrostatics + Lennard-Jones over flat SoA arrays.
-  // Branch-free: out-of-cutoff lanes contribute an exact 0.0. W
-  // independent accumulator lanes keep the reduction vectorisable and
-  // deterministic (fixed lane-sum order, independent of thread count).
-  const double* X = receptor_.packedX().data();
-  const double* Y = receptor_.packedY().data();
-  const double* Z = receptor_.packedZ().data();
-  const double* Q = receptor_.packedCharges().data();
+  // Pass 1: fused electrostatics + Lennard-Jones over flat SoA arrays,
+  // through the runtime-dispatched sweep (branch-free, out-of-cutoff
+  // pairs contribute an exact 0.0; fixed 8-lane accumulator order, so
+  // results are bit-identical across tiers, builds, and thread counts).
   const chem::PairRowTable& row = pairRows_[static_cast<std::size_t>(atomRow_[la])];
-  const double* EPS = row.epsilon.data();
-  const double* SG2 = row.sigma2.data();
-  const double lx = lpos.x, ly = lpos.y, lz = lpos.z;
   const double cut2 = options_.cutoff > 0.0 ? options_.cutoff * options_.cutoff
                                             : std::numeric_limits<double>::infinity();
-  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
-
-  constexpr int W = 8;
-  double elecAcc[W] = {};
-  double vdwAcc[W] = {};
-  for (int k = 0; k < numRanges; ++k) {
-    std::size_t i = ranges[k].first;
-    const std::size_t end = i + ranges[k].count;
-    for (; i + W <= end; i += W) {
-      for (int l = 0; l < W; ++l) {
-        const std::size_t j = i + static_cast<std::size_t>(l);
-        const double dx = X[j] - lx;
-        const double dy = Y[j] - ly;
-        const double dz = Z[j] - lz;
-        const double r2 = dx * dx + dy * dy + dz * dz;
-        const double in = r2 <= cut2 ? 1.0 : 0.0;
-        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
-        const double rinv = 1.0 / std::sqrt(r2c);
-        const double s2 = SG2[j] * (rinv * rinv);
-        const double s6 = s2 * s2 * s2;
-        elecAcc[l] += in * (Q[j] * rinv);
-        vdwAcc[l] += in * (EPS[j] * (s6 * s6 - s6));
-      }
-    }
-    for (; i < end; ++i) {
-      const double dx = X[i] - lx;
-      const double dy = Y[i] - ly;
-      const double dz = Z[i] - lz;
-      const double r2 = dx * dx + dy * dy + dz * dz;
-      const double in = r2 <= cut2 ? 1.0 : 0.0;
-      const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
-      const double rinv = 1.0 / std::sqrt(r2c);
-      const double s2 = SG2[i] * (rinv * rinv);
-      const double s6 = s2 * s2 * s2;
-      elecAcc[0] += in * (Q[i] * rinv);
-      vdwAcc[0] += in * (EPS[i] * (s6 * s6 - s6));
-    }
-  }
   double elec = 0.0, vdw = 0.0;
-  for (int l = 0; l < W; ++l) {
-    elec += elecAcc[l];
-    vdw += vdwAcc[l];
-  }
+  kernel_->sweepAtom(receptor_.packedX().data(), receptor_.packedY().data(),
+                     receptor_.packedZ().data(), receptor_.packedCharges().data(),
+                     row.epsilon.data(), row.sigma2.data(), flat, numRanges, lpos.x, lpos.y,
+                     lpos.z, cut2, &elec, &vdw);
   terms.electrostatic = chem::kCoulomb * ligCharges_[la] * elec;
   terms.vdw = 4.0 * vdw;
 
@@ -273,237 +232,6 @@ ScoreTerms ScoringFunction::atomEnergy(std::size_t la, const Vec3& lpos,
 
 namespace {
 
-/// Fused electrostatics + Lennard-Jones over the packed receptor slice
-/// [first, end) for `lanes` pose lanes of one ligand atom: each receptor
-/// atom's parameters are loaded once and applied to every lane, with
-/// out-of-cutoff lanes contributing an exact 0.0. Accumulation is
-/// straight packed-index order per lane, so a pose's partial sum does not
-/// depend on which other poses share the tile (masked lanes add an exact
-/// +-0.0, which never perturbs an accumulator that starts at +0.0).
-/// kLanes > 0 pins the lane count at compile time: the lane loop unrolls
-/// fully, lane positions and accumulators stay in registers across the
-/// whole range list (the __restrict contracts make the hoist legal), and
-/// only the six per-atom scalars are touched per receptor atom. kLanes ==
-/// 0 is the runtime-count fallback with the *identical* per-lane
-/// arithmetic, so a lane's result does not depend on which variant (or
-/// group split) computed it. `ranges` holds numRanges packed
-/// [first, end) index pairs into the receptor arrays, swept in order.
-template <int kLanes>
-inline void sweepRangesImpl(const double* __restrict X, const double* __restrict Y,
-                            const double* __restrict Z, const double* __restrict Q,
-                            const double* __restrict EPS, const double* __restrict SG2,
-                            const std::uint32_t* __restrict ranges, std::size_t numRanges,
-                            const double* __restrict lx, const double* __restrict ly,
-                            const double* __restrict lz, std::size_t lanes, double cut2,
-                            double* __restrict elecAcc, double* __restrict vdwAcc) {
-  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
-  const std::size_t L = kLanes > 0 ? static_cast<std::size_t>(kLanes) : lanes;
-  for (std::size_t k = 0; k < numRanges; ++k) {
-    const std::size_t first = ranges[2 * k];
-    const std::size_t end = ranges[2 * k + 1];
-    for (std::size_t j = first; j < end; ++j) {
-      const double xj = X[j], yj = Y[j], zj = Z[j];
-      const double qj = Q[j], ej = EPS[j], gj = SG2[j];
-      for (std::size_t b = 0; b < L; ++b) {
-        const double dx = xj - lx[b];
-        const double dy = yj - ly[b];
-        const double dz = zj - lz[b];
-        const double r2 = dx * dx + dy * dy + dz * dz;
-        const double in = r2 <= cut2 ? 1.0 : 0.0;
-        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
-        const double rinv = 1.0 / std::sqrt(r2c);
-        const double s2 = gj * (rinv * rinv);
-        const double s6 = s2 * s2 * s2;
-        elecAcc[b] += in * (qj * rinv);
-        vdwAcc[b] += in * (ej * (s6 * s6 - s6));
-      }
-    }
-  }
-}
-
-#if defined(__AVX512F__)
-
-/// AVX-512 range sweep: 8 pose lanes per zmm register, processed two
-/// chunks (16 lanes) at a time with a masked single-chunk tail, so one
-/// kernel serves every lane count (a lane's result is elementwise, so it
-/// cannot depend on its chunk neighbours or alignment — the property the
-/// bisection/tiling determinism argument needs). Lane positions and
-/// accumulators load once per chunk pass and stay in registers across
-/// the whole range list; per-receptor-atom broadcasts are shared by both
-/// chunks of a pair and the two independent rsqrt/Newton chains overlap
-/// in the pipeline. 1/sqrt runs as vrsqrt14pd + two Newton-Raphson
-/// steps (~1 ulp) instead of vdivpd+vsqrtpd, which roughly halves the
-/// per-pair cost; products fuse through explicit FMA intrinsics. Every
-/// batched sweep in an AVX-512 build goes through this one function, so
-/// batched results stay bit-deterministic within the build; they differ
-/// from non-AVX-512 builds (and from the per-pose kernel) within the
-/// documented ~1e-9 relative envelope.
-inline void sweepRanges(const double* X, const double* Y, const double* Z, const double* Q,
-                        const double* EPS, const double* SG2, const std::uint32_t* ranges,
-                        std::size_t numRanges, const double* lx, const double* ly,
-                        const double* lz, std::size_t lanes, double cut2, double* elecAcc,
-                        double* vdwAcc) {
-  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
-  const __m512d vcut2 = _mm512_set1_pd(cut2);
-  const __m512d vmind2 = _mm512_set1_pd(kMinDist2);
-  const __m512d vhalf = _mm512_set1_pd(0.5);
-  const __m512d v1p5 = _mm512_set1_pd(1.5);
-  std::size_t c = 0;
-  // Paired chunks: 16 lanes per receptor atom, so every per-atom
-  // broadcast (position, charge, pair row) is shared by two zmm chunks
-  // and the two independent rsqrt/Newton chains overlap in the pipeline.
-  // Each lane's arithmetic is identical to the single-chunk tail below,
-  // so results do not depend on which variant a lane lands in.
-  for (; c + 16 <= lanes; c += 16) {
-    const __m512d vlx0 = _mm512_loadu_pd(lx + c);
-    const __m512d vly0 = _mm512_loadu_pd(ly + c);
-    const __m512d vlz0 = _mm512_loadu_pd(lz + c);
-    const __m512d vlx1 = _mm512_loadu_pd(lx + c + 8);
-    const __m512d vly1 = _mm512_loadu_pd(ly + c + 8);
-    const __m512d vlz1 = _mm512_loadu_pd(lz + c + 8);
-    __m512d ve0 = _mm512_loadu_pd(elecAcc + c);
-    __m512d vv0 = _mm512_loadu_pd(vdwAcc + c);
-    __m512d ve1 = _mm512_loadu_pd(elecAcc + c + 8);
-    __m512d vv1 = _mm512_loadu_pd(vdwAcc + c + 8);
-    for (std::size_t k = 0; k < numRanges; ++k) {
-      const std::size_t first = ranges[2 * k];
-      const std::size_t end = ranges[2 * k + 1];
-      for (std::size_t j = first; j < end; ++j) {
-        const __m512d xj = _mm512_set1_pd(X[j]);
-        const __m512d yj = _mm512_set1_pd(Y[j]);
-        const __m512d zj = _mm512_set1_pd(Z[j]);
-        const __m512d dx0 = _mm512_sub_pd(xj, vlx0);
-        const __m512d dy0 = _mm512_sub_pd(yj, vly0);
-        const __m512d dz0 = _mm512_sub_pd(zj, vlz0);
-        const __m512d dx1 = _mm512_sub_pd(xj, vlx1);
-        const __m512d dy1 = _mm512_sub_pd(yj, vly1);
-        const __m512d dz1 = _mm512_sub_pd(zj, vlz1);
-        __m512d r20 = _mm512_mul_pd(dz0, dz0);
-        __m512d r21 = _mm512_mul_pd(dz1, dz1);
-        r20 = _mm512_fmadd_pd(dy0, dy0, r20);
-        r21 = _mm512_fmadd_pd(dy1, dy1, r21);
-        r20 = _mm512_fmadd_pd(dx0, dx0, r20);
-        r21 = _mm512_fmadd_pd(dx1, dx1, r21);
-        const __mmask8 kin0 = _mm512_cmp_pd_mask(r20, vcut2, _CMP_LE_OQ);
-        const __mmask8 kin1 = _mm512_cmp_pd_mask(r21, vcut2, _CMP_LE_OQ);
-        const __m512d r2c0 = _mm512_max_pd(r20, vmind2);
-        const __m512d r2c1 = _mm512_max_pd(r21, vmind2);
-        __m512d y0 = _mm512_rsqrt14_pd(r2c0);
-        __m512d y1 = _mm512_rsqrt14_pd(r2c1);
-        const __m512d h0 = _mm512_mul_pd(r2c0, vhalf);
-        const __m512d h1 = _mm512_mul_pd(r2c1, vhalf);
-        __m512d t0 = _mm512_mul_pd(y0, y0);
-        __m512d t1 = _mm512_mul_pd(y1, y1);
-        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
-        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
-        t0 = _mm512_mul_pd(y0, y0);
-        t1 = _mm512_mul_pd(y1, y1);
-        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
-        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
-        const __m512d gj = _mm512_set1_pd(SG2[j]);
-        const __m512d s20 = _mm512_mul_pd(gj, _mm512_mul_pd(y0, y0));
-        const __m512d s21 = _mm512_mul_pd(gj, _mm512_mul_pd(y1, y1));
-        const __m512d s60 = _mm512_mul_pd(s20, _mm512_mul_pd(s20, s20));
-        const __m512d s61 = _mm512_mul_pd(s21, _mm512_mul_pd(s21, s21));
-        const __m512d poly0 = _mm512_fmsub_pd(s60, s60, s60);
-        const __m512d poly1 = _mm512_fmsub_pd(s61, s61, s61);
-        const __m512d qj = _mm512_set1_pd(Q[j]);
-        const __m512d ej = _mm512_set1_pd(EPS[j]);
-        ve0 = _mm512_mask3_fmadd_pd(qj, y0, ve0, kin0);
-        vv0 = _mm512_mask3_fmadd_pd(ej, poly0, vv0, kin0);
-        ve1 = _mm512_mask3_fmadd_pd(qj, y1, ve1, kin1);
-        vv1 = _mm512_mask3_fmadd_pd(ej, poly1, vv1, kin1);
-      }
-    }
-    _mm512_storeu_pd(elecAcc + c, ve0);
-    _mm512_storeu_pd(vdwAcc + c, vv0);
-    _mm512_storeu_pd(elecAcc + c + 8, ve1);
-    _mm512_storeu_pd(vdwAcc + c + 8, vv1);
-  }
-  for (; c < lanes; c += 8) {
-    const std::size_t left = lanes - c;
-    const __mmask8 m = left >= 8 ? static_cast<__mmask8>(0xFF)
-                                 : static_cast<__mmask8>((1u << left) - 1u);
-    // mask_loadu with an explicit zero source (not maskz_loadu): same
-    // semantics, but GCC 12's maskz builtin trips -Wmaybe-uninitialized.
-    const __m512d vzero = _mm512_setzero_pd();
-    const __m512d vlx = _mm512_mask_loadu_pd(vzero, m, lx + c);
-    const __m512d vly = _mm512_mask_loadu_pd(vzero, m, ly + c);
-    const __m512d vlz = _mm512_mask_loadu_pd(vzero, m, lz + c);
-    __m512d ve = _mm512_mask_loadu_pd(vzero, m, elecAcc + c);
-    __m512d vv = _mm512_mask_loadu_pd(vzero, m, vdwAcc + c);
-    for (std::size_t k = 0; k < numRanges; ++k) {
-      const std::size_t first = ranges[2 * k];
-      const std::size_t end = ranges[2 * k + 1];
-      for (std::size_t j = first; j < end; ++j) {
-        const __m512d xj = _mm512_set1_pd(X[j]);
-        const __m512d yj = _mm512_set1_pd(Y[j]);
-        const __m512d zj = _mm512_set1_pd(Z[j]);
-        const __m512d dx = _mm512_sub_pd(xj, vlx);
-        const __m512d dy = _mm512_sub_pd(yj, vly);
-        const __m512d dz = _mm512_sub_pd(zj, vlz);
-        __m512d r2 = _mm512_mul_pd(dz, dz);
-        r2 = _mm512_fmadd_pd(dy, dy, r2);
-        r2 = _mm512_fmadd_pd(dx, dx, r2);
-        // Inactive tail lanes may pass the cutoff test on their zeroed
-        // positions; they are never stored, so only `kin` gating of the
-        // accumulators matters for the live lanes.
-        const __mmask8 kin = _mm512_cmp_pd_mask(r2, vcut2, _CMP_LE_OQ);
-        const __m512d r2c = _mm512_max_pd(r2, vmind2);
-        __m512d y = _mm512_rsqrt14_pd(r2c);
-        const __m512d h = _mm512_mul_pd(r2c, vhalf);
-        __m512d t = _mm512_mul_pd(y, y);
-        y = _mm512_mul_pd(y, _mm512_fnmadd_pd(h, t, v1p5));
-        t = _mm512_mul_pd(y, y);
-        y = _mm512_mul_pd(y, _mm512_fnmadd_pd(h, t, v1p5));
-        const __m512d gj = _mm512_set1_pd(SG2[j]);
-        const __m512d s2 = _mm512_mul_pd(gj, _mm512_mul_pd(y, y));
-        const __m512d s6 = _mm512_mul_pd(s2, _mm512_mul_pd(s2, s2));
-        const __m512d poly = _mm512_fmsub_pd(s6, s6, s6);
-        const __m512d qj = _mm512_set1_pd(Q[j]);
-        const __m512d ej = _mm512_set1_pd(EPS[j]);
-        ve = _mm512_mask3_fmadd_pd(qj, y, ve, kin);
-        vv = _mm512_mask3_fmadd_pd(ej, poly, vv, kin);
-      }
-    }
-    _mm512_mask_storeu_pd(elecAcc + c, m, ve);
-    _mm512_mask_storeu_pd(vdwAcc + c, m, vv);
-  }
-}
-
-#else  // !__AVX512F__
-
-/// Dispatches to the compile-time-lane variants for the group sizes the
-/// tile/bisection machinery actually produces (full tiles halve: 32, 16,
-/// 8); everything else takes the runtime loop. All variants share the
-/// per-lane arithmetic, so results are bit-independent of the dispatch.
-inline void sweepRanges(const double* X, const double* Y, const double* Z, const double* Q,
-                        const double* EPS, const double* SG2, const std::uint32_t* ranges,
-                        std::size_t numRanges, const double* lx, const double* ly,
-                        const double* lz, std::size_t lanes, double cut2, double* elecAcc,
-                        double* vdwAcc) {
-  switch (lanes) {
-    case 32:
-      sweepRangesImpl<32>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
-                          elecAcc, vdwAcc);
-      break;
-    case 16:
-      sweepRangesImpl<16>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
-                          elecAcc, vdwAcc);
-      break;
-    case 8:
-      sweepRangesImpl<8>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
-                         elecAcc, vdwAcc);
-      break;
-    default:
-      sweepRangesImpl<0>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
-                         elecAcc, vdwAcc);
-      break;
-  }
-}
-
-#endif  // __AVX512F__
-
 /// Conservative fp slack for the subcell pruning geometry: inflates the
 /// cutoff reach and subcell boxes so floor/division rounding can only add
 /// masked (exact-zero) work, never drop an in-cutoff pair.
@@ -554,7 +282,7 @@ void ScoringFunction::energyBatchTile(std::span<const Pose> poses, BatchScratch&
 
     if (rn > 0 && !pruned) {
       const std::uint32_t whole[2] = {0u, static_cast<std::uint32_t>(rn)};
-      sweepRanges(X, Y, Z, Q, EPS, SG2, whole, 1, lx, ly, lz, L, cut2, elecAcc, vdwAcc);
+      kernel_->sweepRanges(X, Y, Z, Q, EPS, SG2, whole, 1, lx, ly, lz, L, cut2, elecAcc, vdwAcc);
     } else if (rn > 0) {
       const NeighborGrid& g = receptor_.grid();
       const double reach = options_.cutoff + kGeomMargin;
@@ -694,7 +422,7 @@ void ScoringFunction::energyBatchTile(std::span<const Pose> poses, BatchScratch&
           }
         }
         if (!s.ranges.empty()) {
-          sweepRanges(X, Y, Z, Q, EPS, SG2, s.ranges.data(), s.ranges.size() / 2, lx + b0,
+          kernel_->sweepRanges(X, Y, Z, Q, EPS, SG2, s.ranges.data(), s.ranges.size() / 2, lx + b0,
                       ly + b0, lz + b0, lanes, cut2, elecAcc + b0, vdwAcc + b0);
         }
       }

@@ -27,6 +27,16 @@
 /// Threaded evaluation sums ordered per-ligand-atom partials, so scores
 /// are bit-identical across thread counts (and to the serial path).
 ///
+/// The packed sweeps (per-pose and pose-batched) are runtime-dispatched:
+/// per-ISA translation units (portable C++ and AVX-512F) are compiled
+/// with explicit per-file flags, and a CPUID-probed function-pointer
+/// table is installed once at construction, so a portable Release binary
+/// still runs the AVX-512 batched sweep on capable hosts.
+/// `DQNDOCK_FORCE_KERNEL=generic|avx512` pins the tier for testing and
+/// benchmarking (see scoring_kernels.hpp). The per-pose sweep is
+/// bit-identical across tiers; the batched AVX-512 sweep agrees with the
+/// generic one to ~1e-9 relative and each tier is bit-deterministic.
+///
 /// Pose-batched path (`energyBatch`/`scoreBatch`): B poses of the same
 /// ligand are transformed into batch-major SoA position lanes and scored
 /// in one receptor sweep — per ligand atom, the union of the poses' cell
@@ -50,6 +60,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/metadock/ligand_model.hpp"
 #include "src/metadock/receptor_model.hpp"
+#include "src/metadock/scoring_kernels.hpp"
 
 namespace dqndock::metadock {
 
@@ -149,6 +160,11 @@ class ScoringFunction {
   const LigandModel& ligand() const { return ligand_; }
   const ScoringOptions& options() const { return options_; }
 
+  /// ISA tier of the sweep kernels this instance dispatches to — probed
+  /// from CPUID at construction (DQNDOCK_FORCE_KERNEL overrides; see
+  /// scoring_kernels.hpp).
+  KernelTier kernelTier() const { return kernel_->tier; }
+
  private:
   /// Full three-term energy of one ligand atom against the receptor,
   /// dispatched to the packed or scalar kernel. The unit the threaded
@@ -175,6 +191,8 @@ class ScoringFunction {
   const ReceptorModel& receptor_;
   const LigandModel& ligand_;
   ScoringOptions options_;
+  /// Runtime-dispatched sweep kernels (per-ISA TUs; chosen once here).
+  const detail::ScoringKernelOps* kernel_;
   /// Precombined Lorentz-Berthelot pair parameters, indexed
   /// [receptorElement][ligandElement] (scalar path + H-bond pass).
   std::array<std::array<chem::LjParams, chem::kElementCount>, chem::kElementCount> ljTable_{};

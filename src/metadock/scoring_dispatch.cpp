@@ -1,0 +1,104 @@
+/// \file scoring_dispatch.cpp
+/// CPUID probe + DQNDOCK_FORCE_KERNEL resolution for the Eq. 1 kernel
+/// tiers. Compiled with the plain target flags (no ISA extensions): it
+/// must be executable before any probing happened.
+
+#include "src/metadock/scoring_kernels.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dqndock::metadock {
+
+namespace {
+
+bool cpuHasAvx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang builtin: CPUID-backed, independent of the build's -march.
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* kernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kGeneric:
+      return "generic";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool kernelTierCompiled(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kGeneric:
+      return true;
+    case KernelTier::kAvx512:
+#ifdef DQNDOCK_KERNEL_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool kernelTierSupported(KernelTier tier) {
+  if (!kernelTierCompiled(tier)) return false;
+  return tier != KernelTier::kAvx512 || cpuHasAvx512f();
+}
+
+KernelTier probeKernelTier() {
+  // The probe is pure CPUID (cheap, stable for the process lifetime);
+  // cache it so constructing a ScoringFunction in a hot loop never pays
+  // for repeated feature queries.
+  static const KernelTier best =
+      kernelTierSupported(KernelTier::kAvx512) ? KernelTier::kAvx512 : KernelTier::kGeneric;
+  return best;
+}
+
+KernelTier resolveKernelTier() {
+  const char* env = std::getenv("DQNDOCK_FORCE_KERNEL");
+  if (env == nullptr || *env == '\0') return probeKernelTier();
+  const std::string name(env);
+  KernelTier forced;
+  if (name == "generic") {
+    forced = KernelTier::kGeneric;
+  } else if (name == "avx512") {
+    forced = KernelTier::kAvx512;
+  } else {
+    throw std::runtime_error("DQNDOCK_FORCE_KERNEL: unknown kernel tier '" + name +
+                             "' (expected 'generic' or 'avx512')");
+  }
+  // A forced run must never silently fall back — a benchmark reporting
+  // generic numbers as avx512 (or a test suite quietly skipping the tier
+  // it was asked to pin) is worse than an error.
+  if (!kernelTierSupported(forced)) {
+    throw std::runtime_error(std::string("DQNDOCK_FORCE_KERNEL=") + name +
+                             (kernelTierCompiled(forced)
+                                  ? ": this CPU does not support the tier"
+                                  : ": tier not compiled into this binary"));
+  }
+  return forced;
+}
+
+namespace detail {
+
+const ScoringKernelOps& scoringKernelOps(KernelTier tier) {
+#ifdef DQNDOCK_KERNEL_HAVE_AVX512
+  if (tier == KernelTier::kAvx512) return kAvx512KernelOps;
+#endif
+  if (tier != KernelTier::kGeneric) {
+    throw std::logic_error("scoringKernelOps: tier not compiled into this binary");
+  }
+  return kGenericKernelOps;
+}
+
+}  // namespace detail
+
+}  // namespace dqndock::metadock

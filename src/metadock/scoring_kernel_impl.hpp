@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file scoring_kernel_impl.hpp
+/// Shared bodies of the Eq. 1 sweep kernels, included by each per-ISA
+/// translation unit (`scoring_kernel_generic.cpp`,
+/// `scoring_kernel_avx512.cpp`). Every tier compiles the *same* per-lane
+/// arithmetic from this header — only the compiler flags (and, for the
+/// AVX-512 batched sweep, an intrinsic override in its own TU) differ —
+/// which is what makes the per-pose sweep bit-identical across tiers:
+/// the operations are plain IEEE add/mul/div/sqrt with FP contraction
+/// off, so instruction selection cannot change results.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/metadock/scoring.hpp"
+
+namespace dqndock::metadock::detail {
+
+/// Fused electrostatics + Lennard-Jones over the packed receptor ranges
+/// for `lanes` pose lanes of one ligand atom: each receptor atom's
+/// parameters are loaded once and applied to every lane, with
+/// out-of-cutoff lanes contributing an exact 0.0. Accumulation is
+/// straight packed-index order per lane, so a pose's partial sum does not
+/// depend on which other poses share the tile (masked lanes add an exact
+/// +-0.0, which never perturbs an accumulator that starts at +0.0).
+/// kLanes > 0 pins the lane count at compile time: the lane loop unrolls
+/// fully, lane positions and accumulators stay in registers across the
+/// whole range list (the __restrict contracts make the hoist legal), and
+/// only the six per-atom scalars are touched per receptor atom. kLanes ==
+/// 0 is the runtime-count fallback with the *identical* per-lane
+/// arithmetic, so a lane's result does not depend on which variant (or
+/// group split) computed it. `ranges` holds numRanges packed
+/// [first, end) index pairs into the receptor arrays, swept in order.
+template <int kLanes>
+inline void sweepRangesImpl(const double* __restrict X, const double* __restrict Y,
+                            const double* __restrict Z, const double* __restrict Q,
+                            const double* __restrict EPS, const double* __restrict SG2,
+                            const std::uint32_t* __restrict ranges, std::size_t numRanges,
+                            const double* __restrict lx, const double* __restrict ly,
+                            const double* __restrict lz, std::size_t lanes, double cut2,
+                            double* __restrict elecAcc, double* __restrict vdwAcc) {
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+  const std::size_t L = kLanes > 0 ? static_cast<std::size_t>(kLanes) : lanes;
+  for (std::size_t k = 0; k < numRanges; ++k) {
+    const std::size_t first = ranges[2 * k];
+    const std::size_t end = ranges[2 * k + 1];
+    for (std::size_t j = first; j < end; ++j) {
+      const double xj = X[j], yj = Y[j], zj = Z[j];
+      const double qj = Q[j], ej = EPS[j], gj = SG2[j];
+      for (std::size_t b = 0; b < L; ++b) {
+        const double dx = xj - lx[b];
+        const double dy = yj - ly[b];
+        const double dz = zj - lz[b];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double in = r2 <= cut2 ? 1.0 : 0.0;
+        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+        const double rinv = 1.0 / std::sqrt(r2c);
+        const double s2 = gj * (rinv * rinv);
+        const double s6 = s2 * s2 * s2;
+        elecAcc[b] += in * (qj * rinv);
+        vdwAcc[b] += in * (ej * (s6 * s6 - s6));
+      }
+    }
+  }
+}
+
+/// Dispatches to the compile-time-lane variants for the group sizes the
+/// tile/bisection machinery actually produces (full tiles halve: 32, 16,
+/// 8); everything else takes the runtime loop. All variants share the
+/// per-lane arithmetic, so results are bit-independent of the dispatch.
+inline void sweepRangesGenericImpl(const double* X, const double* Y, const double* Z,
+                                   const double* Q, const double* EPS, const double* SG2,
+                                   const std::uint32_t* ranges, std::size_t numRanges,
+                                   const double* lx, const double* ly, const double* lz,
+                                   std::size_t lanes, double cut2, double* elecAcc,
+                                   double* vdwAcc) {
+  switch (lanes) {
+    case 32:
+      sweepRangesImpl<32>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                          elecAcc, vdwAcc);
+      break;
+    case 16:
+      sweepRangesImpl<16>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                          elecAcc, vdwAcc);
+      break;
+    case 8:
+      sweepRangesImpl<8>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                         elecAcc, vdwAcc);
+      break;
+    default:
+      sweepRangesImpl<0>(X, Y, Z, Q, EPS, SG2, ranges, numRanges, lx, ly, lz, lanes, cut2,
+                         elecAcc, vdwAcc);
+      break;
+  }
+}
+
+/// Per-pose packed sweep (pass 1 of packedAtomEnergy): 8 independent
+/// accumulator lanes summed in fixed order, remainder pairs folded into
+/// lane 0 — the exact structure the pre-dispatch kernel used, preserved
+/// verbatim so results stay bit-identical with earlier builds.
+inline void sweepAtomImpl(const double* __restrict X, const double* __restrict Y,
+                          const double* __restrict Z, const double* __restrict Q,
+                          const double* __restrict EPS, const double* __restrict SG2,
+                          const std::uint32_t* __restrict ranges, std::size_t numRanges,
+                          double lx, double ly, double lz, double cut2,
+                          double* __restrict elecOut, double* __restrict vdwOut) {
+  constexpr double kMinDist2 = kMinPairDistance * kMinPairDistance;
+  constexpr int W = 8;
+  double elecAcc[W] = {};
+  double vdwAcc[W] = {};
+  for (std::size_t k = 0; k < numRanges; ++k) {
+    std::size_t i = ranges[2 * k];
+    const std::size_t end = ranges[2 * k + 1];
+    for (; i + W <= end; i += W) {
+      for (int l = 0; l < W; ++l) {
+        const std::size_t j = i + static_cast<std::size_t>(l);
+        const double dx = X[j] - lx;
+        const double dy = Y[j] - ly;
+        const double dz = Z[j] - lz;
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double in = r2 <= cut2 ? 1.0 : 0.0;
+        const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+        const double rinv = 1.0 / std::sqrt(r2c);
+        const double s2 = SG2[j] * (rinv * rinv);
+        const double s6 = s2 * s2 * s2;
+        elecAcc[l] += in * (Q[j] * rinv);
+        vdwAcc[l] += in * (EPS[j] * (s6 * s6 - s6));
+      }
+    }
+    for (; i < end; ++i) {
+      const double dx = X[i] - lx;
+      const double dy = Y[i] - ly;
+      const double dz = Z[i] - lz;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      const double in = r2 <= cut2 ? 1.0 : 0.0;
+      const double r2c = r2 > kMinDist2 ? r2 : kMinDist2;
+      const double rinv = 1.0 / std::sqrt(r2c);
+      const double s2 = SG2[i] * (rinv * rinv);
+      const double s6 = s2 * s2 * s2;
+      elecAcc[0] += in * (Q[i] * rinv);
+      vdwAcc[0] += in * (EPS[i] * (s6 * s6 - s6));
+    }
+  }
+  double elec = 0.0, vdw = 0.0;
+  for (int l = 0; l < W; ++l) {
+    elec += elecAcc[l];
+    vdw += vdwAcc[l];
+  }
+  *elecOut = elec;
+  *vdwOut = vdw;
+}
+
+}  // namespace dqndock::metadock::detail

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file scoring_kernels.hpp
+/// Runtime-dispatched Eq. 1 sweep kernels.
+///
+/// The batched (and per-pose packed) electrostatics+Lennard-Jones sweeps
+/// live in per-ISA translation units compiled with explicit per-file
+/// flags (`scoring_kernel_generic.cpp` portable, `scoring_kernel_avx512.cpp`
+/// with `-mavx512f`), instead of relying on `__AVX512F__` leaking in from
+/// `-march=native`. A CPUID-probed function-pointer table is chosen once
+/// at `ScoringFunction` construction, so one portable Release binary
+/// picks up the AVX-512 sweep on capable hosts — the one-binary-many-ISAs
+/// pattern of METADOCK's multi-backend scoring engine.
+///
+/// Tier contract:
+///  * Each tier is bit-deterministic: for a fixed tier, batched scores
+///    are bit-identical across batch splits, tile sizes, and thread
+///    counts, and the per-pose packed sweep is bit-identical across
+///    tiers and builds (IEEE div/sqrt only — ISA changes instruction
+///    selection, not results).
+///  * The AVX-512 batched sweep (vrsqrt14pd + 2 Newton-Raphson steps)
+///    agrees with the generic batched sweep to ~1e-9 relative.
+///  * Because both tiers are compiled from fixed per-file flags, a
+///    portable build and a `-march=native` build that select the same
+///    tier produce bit-identical scores.
+///
+/// `DQNDOCK_FORCE_KERNEL=generic|avx512` overrides the probe (testing /
+/// benchmarking); forcing a tier the binary or host cannot run throws.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dqndock::metadock {
+
+/// ISA tier of the Eq. 1 sweep kernels, ordered worst to best.
+enum class KernelTier : unsigned char {
+  kGeneric = 0,  ///< portable C++, compiler-auto-vectorised
+  kAvx512 = 1,   ///< AVX-512F intrinsics (batched sweep), zmm auto-vec (per-pose)
+};
+
+/// Stable lowercase name ("generic", "avx512") — the value accepted by
+/// DQNDOCK_FORCE_KERNEL and reported as `kernel_tier` in
+/// BENCH_scoring.json.
+const char* kernelTierName(KernelTier tier);
+
+/// True when this binary contains the tier's translation unit.
+bool kernelTierCompiled(KernelTier tier);
+
+/// True when the tier is compiled in AND the running CPU can execute it.
+bool kernelTierSupported(KernelTier tier);
+
+/// Best CPU-supported tier (CPUID probe, cached).
+KernelTier probeKernelTier();
+
+/// probeKernelTier() unless DQNDOCK_FORCE_KERNEL names a tier; throws
+/// std::runtime_error for an unknown name or an unsupported forced tier
+/// (a forced benchmark/test run must never silently fall back).
+KernelTier resolveKernelTier();
+
+namespace detail {
+
+/// Batched range sweep: fused elec+LJ over packed receptor ranges for
+/// `lanes` pose-position lanes (see ScoringFunction docs). `ranges` holds
+/// numRanges packed [first, end) index pairs, swept in order.
+using SweepRangesFn = void (*)(const double* X, const double* Y, const double* Z,
+                               const double* Q, const double* EPS, const double* SG2,
+                               const std::uint32_t* ranges, std::size_t numRanges,
+                               const double* lx, const double* ly, const double* lz,
+                               std::size_t lanes, double cut2, double* elecAcc, double* vdwAcc);
+
+/// Per-pose packed sweep: same pair arithmetic for one position, 8
+/// fixed-order accumulator lanes; returns the elec (sum q_j/r) and vdw
+/// (sum eps*(s12-s6)) partial sums via out params.
+using SweepAtomFn = void (*)(const double* X, const double* Y, const double* Z,
+                             const double* Q, const double* EPS, const double* SG2,
+                             const std::uint32_t* ranges, std::size_t numRanges, double lx,
+                             double ly, double lz, double cut2, double* elecOut, double* vdwOut);
+
+/// One tier's dispatch table. Instances live in the per-ISA TUs; the
+/// AVX-512 table must only be invoked after kernelTierSupported() says
+/// the host can run it.
+struct ScoringKernelOps {
+  KernelTier tier;
+  SweepRangesFn sweepRanges;
+  SweepAtomFn sweepAtom;
+};
+
+extern const ScoringKernelOps kGenericKernelOps;
+#ifdef DQNDOCK_KERNEL_HAVE_AVX512
+extern const ScoringKernelOps kAvx512KernelOps;
+#endif
+
+/// Table for `tier`; the tier must be compiled in.
+const ScoringKernelOps& scoringKernelOps(KernelTier tier);
+
+}  // namespace detail
+
+}  // namespace dqndock::metadock

@@ -30,6 +30,7 @@ std::vector<double> InferenceBatcher::infer(std::span<const double> state) {
   {
     std::unique_lock lock(mu_);
     if (stop_) throw std::runtime_error("InferenceBatcher::infer: batcher is shut down");
+    req.enqueuedAt = std::chrono::steady_clock::now();
     pending_.push_back(&req);
     pendingCv_.notify_one();
     req.cv.wait(lock, [&] { return req.done; });
@@ -62,9 +63,14 @@ void InferenceBatcher::dispatchLoop() {
     }
     // A batch opens with the first waiting request; give stragglers until
     // the flush deadline to coalesce, unless the batch fills first or we
-    // are draining for shutdown.
+    // are draining for shutdown. The deadline is anchored to the OLDEST
+    // pending row's enqueue time: if the dispatcher spent that long (or
+    // longer) in the previous forward pass, the batch flushes immediately
+    // instead of charging the queued rows a second full wait. The
+    // absolute deadline also makes spurious condvar wakeups and late
+    // arrivals harmless — neither can push it back.
     if (options_.flushDeadline.count() > 0) {
-      const auto deadline = std::chrono::steady_clock::now() + options_.flushDeadline;
+      const auto deadline = pending_.front()->enqueuedAt + options_.flushDeadline;
       pendingCv_.wait_until(lock, deadline,
                             [&] { return stop_ || pending_.size() >= options_.maxBatch; });
     }

@@ -28,8 +28,11 @@ namespace dqndock::serve {
 struct BatcherOptions {
   /// Rows per dispatched forward pass (paper minibatch: 32).
   std::size_t maxBatch = 32;
-  /// How long the dispatcher waits for the batch to fill after the first
-  /// request arrives. 0 dispatches whatever is queued immediately.
+  /// How long the dispatcher waits for the batch to fill, measured from
+  /// when the batch's first request was ENQUEUED (not from when the
+  /// dispatcher got around to looking) — a request never waits more than
+  /// flushDeadline beyond the dispatcher being free. 0 dispatches
+  /// whatever is queued immediately.
   std::chrono::microseconds flushDeadline{200};
 };
 
@@ -78,6 +81,10 @@ class InferenceBatcher {
     std::vector<double> state;
     std::vector<double> result;
     std::exception_ptr error;
+    /// When the row entered pending_ — the flush deadline for a batch is
+    /// anchored to its OLDEST row, so time the dispatcher spent busy in a
+    /// previous forward pass counts against the wait.
+    std::chrono::steady_clock::time_point enqueuedAt;
     bool done = false;
     std::condition_variable cv;
   };

@@ -100,11 +100,13 @@ void TcpServer::handleConnection(int fd) {
   Message request;
   for (;;) {
     try {
-      if (!recvMessage(fd, request)) break;  // client hung up
-    } catch (const std::exception&) {
+      if (!recvMessage(fd, request)) break;  // client hung up cleanly
+    } catch (const ProtocolError&) {
       std::lock_guard lock(mu_);
       ++stats_.protocolErrors;
       break;
+    } catch (const std::exception&) {
+      break;  // transport failure (reset, stop() shutdown) — not the peer's fault
     }
     Message reply;
     try {
@@ -280,12 +282,21 @@ TcpClient::~TcpClient() { close(); }
 
 Message TcpClient::request(const Message& msg) {
   if (fd_ < 0) throw std::runtime_error("TcpClient::request: closed");
-  sendMessage(fd_, msg);
-  Message reply;
-  if (!recvMessage(fd_, reply)) {
-    throw std::runtime_error("TcpClient::request: server closed the connection");
+  // After any failure the stream position is unknown (a request may be
+  // half-written, a reply half-read) — reusing the fd would pair the next
+  // request with a stale or misaligned reply. Close so every later
+  // request() fails fast instead of desyncing silently.
+  try {
+    sendMessage(fd_, msg);
+    Message reply;
+    if (!recvMessage(fd_, reply)) {
+      throw std::runtime_error("TcpClient::request: server closed the connection");
+    }
+    return reply;
+  } catch (...) {
+    close();
+    throw;
   }
-  return reply;
 }
 
 void TcpClient::close() {

@@ -98,8 +98,11 @@ class TcpClient {
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  /// Send one request, block for the response. Throws on I/O failure or
-  /// server hangup.
+  /// Send one request, block for the response. Throws on I/O failure,
+  /// framing violation (ProtocolError), or server hangup. Any throw
+  /// closes the connection — the stream position is unknown after a
+  /// failure, so reusing it could pair a request with the wrong reply;
+  /// subsequent request() calls fail fast until a new client is made.
   Message request(const Message& msg);
 
   void close();

@@ -152,11 +152,11 @@ Message decodeMessage(std::string_view payload) {
     }
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos || eq == 0) {
-      throw std::runtime_error("decodeMessage: malformed field line");
+      throw ProtocolError("decodeMessage: malformed field line");
     }
     msg.fields.emplace(line.substr(0, eq), line.substr(eq + 1));
   }
-  if (msg.type.empty()) throw std::runtime_error("decodeMessage: empty message");
+  if (msg.type.empty()) throw ProtocolError("decodeMessage: empty message");
   return msg;
 }
 
@@ -176,15 +176,15 @@ bool readFrame(int fd, std::string& payload) {
   unsigned char header[4];
   const std::size_t got = readAll(fd, reinterpret_cast<char*>(header), sizeof header);
   if (got == 0) return false;  // clean EOF between frames
-  if (got < sizeof header) throw std::runtime_error("readFrame: truncated length prefix");
+  if (got < sizeof header) throw ProtocolError("readFrame: truncated length prefix");
   const std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |
                           (static_cast<std::uint32_t>(header[1]) << 16) |
                           (static_cast<std::uint32_t>(header[2]) << 8) |
                           static_cast<std::uint32_t>(header[3]);
-  if (n > kMaxFrameBytes) throw std::runtime_error("readFrame: frame exceeds limit");
+  if (n > kMaxFrameBytes) throw ProtocolError("readFrame: frame exceeds limit");
   payload.resize(n);
   if (n > 0 && readAll(fd, payload.data(), n) < n) {
-    throw std::runtime_error("readFrame: truncated payload");
+    throw ProtocolError("readFrame: truncated payload");
   }
   return true;
 }

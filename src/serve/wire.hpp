@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -22,6 +23,18 @@ namespace dqndock::serve {
 /// Frames larger than this are a protocol violation (protects the server
 /// from hostile or corrupt length prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
+
+/// The peer violated the framing/message contract: EOF in the middle of
+/// a frame (truncated length prefix or payload), a length prefix beyond
+/// kMaxFrameBytes, or a payload that does not decode. Distinct from the
+/// plain std::runtime_error used for transport failures (errno I/O
+/// errors) so callers can tell "the peer sent garbage" from "the socket
+/// broke", and so a stream in an unknown position is never mistaken for
+/// an orderly shutdown.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Message {
   std::string type;
@@ -42,7 +55,7 @@ struct Message {
 
 /// Message <-> payload text. encode throws std::invalid_argument when a
 /// type/key/value contains '\n' or a key contains '='; decode throws
-/// std::runtime_error on malformed payloads (empty type, missing '=').
+/// ProtocolError on malformed payloads (empty type, missing '=').
 std::string encodeMessage(const Message& msg);
 Message decodeMessage(std::string_view payload);
 
@@ -52,9 +65,12 @@ Message decodeMessage(std::string_view payload);
 /// std::runtime_error on I/O failure or oversized payloads.
 void writeFrame(int fd, std::string_view payload);
 
-/// Read one frame. Returns false on clean EOF at a frame boundary;
-/// throws std::runtime_error on I/O failure, mid-frame EOF, or an
-/// oversized length prefix.
+/// Read one frame. Returns false ONLY on clean EOF at a frame boundary
+/// (the peer hung up with zero bytes of the next frame on the wire).
+/// EOF after a partial length prefix or mid-payload throws ProtocolError
+/// — a truncated stream must never read as an orderly shutdown. I/O
+/// failures throw std::runtime_error; oversized length prefixes throw
+/// ProtocolError.
 bool readFrame(int fd, std::string& payload);
 
 /// Convenience: frame + encode/decode in one call.

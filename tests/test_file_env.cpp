@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
 
 #include "src/chem/synthetic.hpp"
+#include "src/common/rng.hpp"
 #include "src/metadock/file_env.hpp"
 
 namespace dqndock::metadock {
@@ -73,6 +75,34 @@ TEST_F(FileEnvFixture, TemporaryDirectoryCleanedUpOnDestruction) {
     EXPECT_TRUE(fs::exists(dir));
   }
   EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST_F(FileEnvFixture, AutoDirectoryNameIsSeedDeterministic) {
+  // The auto-generated exchange dir is a pure function of (seed, per-
+  // process instance index) — routed through the project Rng, never
+  // std::random_device — so a run is reproducible from its seed. The
+  // name format is "dqndock-ipc-<rng64>-<instance>"; recompute the rng64
+  // part from the recorded instance index and the constructor's mixing
+  // formula and it must match exactly.
+  FileEnv file(env_, {}, /*seed=*/1234);
+  const std::string name = file.exchangeDir().filename().string();
+  const std::size_t lastDash = name.rfind('-');
+  const std::size_t prevDash = name.rfind('-', lastDash - 1);
+  ASSERT_NE(lastDash, std::string::npos);
+  ASSERT_NE(prevDash, std::string::npos);
+  const std::uint64_t instance = std::stoull(name.substr(lastDash + 1));
+  const std::uint64_t token = std::stoull(name.substr(prevDash + 1, lastDash - prevDash - 1));
+  Rng expected(1234 ^ (instance * 0x9e3779b97f4a7c15ULL));
+  EXPECT_EQ(token, expected());
+}
+
+TEST_F(FileEnvFixture, EqualSeedsInOneProcessGetDistinctDirectories) {
+  DockingEnv other(scenario_, {});
+  FileEnv a(env_, {}, 42);
+  FileEnv b(other, {}, 42);
+  EXPECT_NE(a.exchangeDir(), b.exchangeDir());
+  EXPECT_TRUE(fs::exists(a.exchangeDir()));
+  EXPECT_TRUE(fs::exists(b.exchangeDir()));
 }
 
 TEST_F(FileEnvFixture, ExplicitDirectoryIsKept) {

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -53,8 +57,10 @@ TEST(WireMessageTest, EncodeRejectsUnrepresentableContent) {
 }
 
 TEST(WireMessageTest, DecodeRejectsMalformedPayloads) {
-  EXPECT_THROW(decodeMessage(""), std::runtime_error);
-  EXPECT_THROW(decodeMessage("OK\nno-equals-sign"), std::runtime_error);
+  // Malformed peer payloads are ProtocolError (a runtime_error subtype),
+  // so servers can distinguish "peer sent garbage" from transport faults.
+  EXPECT_THROW(decodeMessage(""), ProtocolError);
+  EXPECT_THROW(decodeMessage("OK\nno-equals-sign"), ProtocolError);
 }
 
 class PipeFixture : public ::testing::Test {
@@ -92,11 +98,13 @@ TEST_F(PipeFixture, FrameRoundTripAndCleanEof) {
 }
 
 TEST_F(PipeFixture, TruncatedPrefixAndPayloadThrow) {
+  // EOF after a PARTIAL length prefix is a mid-frame hangup, never a
+  // clean shutdown: it must throw ProtocolError, not return false.
   const unsigned char partialPrefix[2] = {0, 0};
   ASSERT_EQ(::write(writeFd(), partialPrefix, 2), 2);
   closeWrite();
   std::string payload;
-  EXPECT_THROW(readFrame(readFd(), payload), std::runtime_error);
+  EXPECT_THROW(readFrame(readFd(), payload), ProtocolError);
 }
 
 TEST_F(PipeFixture, TruncatedBodyThrows) {
@@ -105,7 +113,16 @@ TEST_F(PipeFixture, TruncatedBodyThrows) {
   ASSERT_EQ(::write(writeFd(), "abc", 3), 3);  // delivers 3
   closeWrite();
   std::string payload;
-  EXPECT_THROW(readFrame(readFd(), payload), std::runtime_error);
+  EXPECT_THROW(readFrame(readFd(), payload), ProtocolError);
+}
+
+TEST_F(PipeFixture, SingleByteTruncationThrows) {
+  // The tightest truncation: one byte of prefix, then hangup.
+  const unsigned char oneByte[1] = {7};
+  ASSERT_EQ(::write(writeFd(), oneByte, 1), 1);
+  closeWrite();
+  std::string payload;
+  EXPECT_THROW(readFrame(readFd(), payload), ProtocolError);
 }
 
 TEST_F(PipeFixture, OversizedFramesRejectedBothDirections) {
@@ -115,7 +132,7 @@ TEST_F(PipeFixture, OversizedFramesRejectedBothDirections) {
   ASSERT_EQ(::write(writeFd(), prefix, 4), 4);
   closeWrite();
   std::string payload;
-  EXPECT_THROW(readFrame(readFd(), payload), std::runtime_error);
+  EXPECT_THROW(readFrame(readFd(), payload), ProtocolError);
 }
 
 TEST_F(PipeFixture, SendRecvMessageOverPipe) {
@@ -250,6 +267,104 @@ TEST_F(LoopbackFixture, BadRequestsComeBackAsErrors) {
 
   // The connection survives all of it.
   EXPECT_EQ(client.request(Message{"PING", {}}).type, "OK");
+}
+
+/// Minimal raw loopback listener for simulating a misbehaving server.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(fd_, 1), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::uint16_t port() const { return port_; }
+  int acceptOne() { return ::accept(fd_, nullptr, nullptr); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(TcpClientFramingTest, ClosesConnectionAfterFramingError) {
+  // A "server" that answers with a truncated length prefix then hangs up:
+  // the client must throw ProtocolError AND close its fd — after a
+  // framing failure the stream position is unknown, so reuse could pair
+  // the next request with a stale reply.
+  RawListener listener;
+  std::thread server([&] {
+    const int fd = listener.acceptOne();
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    ASSERT_GT(::read(fd, buf, sizeof buf), 0);  // drain the request frame
+    const unsigned char partial[2] = {0, 9};
+    ASSERT_EQ(::write(fd, partial, 2), 2);
+    ::close(fd);
+  });
+  TcpClient client(listener.port());
+  EXPECT_THROW(client.request(Message{"PING", {}}), ProtocolError);
+  server.join();
+  // The fd is gone: later requests fail fast with "closed", they never
+  // touch a desynchronised stream.
+  try {
+    client.request(Message{"PING", {}});
+    FAIL() << "expected request() on a closed client to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("closed"), std::string::npos);
+  }
+}
+
+TEST(TcpClientFramingTest, CleanServerHangupAlsoClosesClient) {
+  // Orderly EOF instead of a reply is still a failed request/response
+  // exchange from the client's point of view — same close-on-throw rule.
+  RawListener listener;
+  std::thread server([&] {
+    const int fd = listener.acceptOne();
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    ASSERT_GT(::read(fd, buf, sizeof buf), 0);
+    ::close(fd);  // hang up with no reply at all
+  });
+  TcpClient client(listener.port());
+  EXPECT_THROW(client.request(Message{"PING", {}}), std::runtime_error);
+  server.join();
+  EXPECT_THROW(client.request(Message{"PING", {}}), std::runtime_error);
+}
+
+TEST_F(LoopbackFixture, ProtocolErrorStatCountsGarbageNotCleanHangup) {
+  // A well-behaved client that connects, pings, and disconnects cleanly
+  // must not count as a protocol error.
+  {
+    TcpClient client(server_->port());
+    ASSERT_EQ(client.request(Message{"PING", {}}).type, "OK");
+  }
+  // A raw peer that sends a truncated frame and hangs up must.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server_->port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    const unsigned char partial[3] = {0, 0, 0};
+    ASSERT_EQ(::write(fd, partial, 3), 3);
+    ::close(fd);
+  }
+  // The handler thread processes the hangup asynchronously.
+  for (int i = 0; i < 200 && server_->stats().protocolErrors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->stats().protocolErrors, 1u);
 }
 
 TEST_F(LoopbackFixture, ShutdownRequestStopsTheServerGracefully) {
