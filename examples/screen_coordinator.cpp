@@ -1,0 +1,116 @@
+// Distributed virtual-screening coordinator. Shards a ligand library,
+// leases shards to screen_worker processes over TCP, journals completed
+// shards for checkpoint-resume, re-leases shards whose worker dies, and
+// merges per-shard top-K hits into one deterministic report.
+//
+//   ./screen_coordinator --library=lib.smi [--port=0]
+//       [--journal=screen.journal] [--resume]
+//       [--scenario=tiny|paper2bsm] [--scenario-seed=2018] [--receptor=file]
+//       [--method=monte-carlo] [--budget=400] [--refine] [--cluster]
+//       [--hit-threshold=0] [--seed=2020] [--topk=32]
+//       [--shard-size=64] [--chunk=8] [--lease-timeout=10]
+//       [--halt-after-shards=0] [--timeout=0]
+//       [--csv=out.csv] [--stats-json=stats.json]
+//
+// Exits 0 when the whole library is screened, 2 on a simulated halt
+// (--halt-after-shards) or timeout — in both cases the journal allows a
+// later --resume to pick up where it stopped.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "src/common/cli.hpp"
+#include "src/screen/coordinator.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  screen::ScreenJobConfig config;
+  config.libraryPath = args.getString("library", "");
+  if (config.libraryPath.empty()) {
+    std::fprintf(stderr, "usage: screen_coordinator --library=<lib.smi|lib.mol2> ...\n");
+    return 1;
+  }
+  config.scenario = args.getString("scenario", "tiny");
+  config.scenarioSeed = static_cast<std::uint64_t>(args.getInt("scenario-seed", 2018));
+  config.receptorFile = args.getString("receptor", "");
+  config.searchPreset = args.getString("method", "monte-carlo");
+  config.evaluationsPerLigand = static_cast<std::size_t>(args.getInt("budget", 400));
+  config.refineWithGradient = args.getBool("refine", false);
+  config.clusterModes = args.getBool("cluster", false);
+  config.hitThreshold = args.getDouble("hit-threshold", 0.0);
+  config.seed = static_cast<std::uint64_t>(args.getInt("seed", 2020));
+  config.topK = static_cast<std::size_t>(args.getInt("topk", 32));
+  config.shardSize = static_cast<std::size_t>(args.getInt("shard-size", 64));
+  config.chunkSize = static_cast<std::size_t>(args.getInt("chunk", 8));
+  config.leaseTimeoutSeconds = args.getDouble("lease-timeout", 10.0);
+
+  screen::CoordinatorOptions options;
+  options.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+  options.journalPath = args.getString("journal", "");
+  options.resume = args.getBool("resume", false);
+  options.haltAfterShards = static_cast<std::size_t>(args.getInt("halt-after-shards", 0));
+
+  screen::ScreenCoordinator coordinator(config, options);
+  std::printf("screen_coordinator: listening on 127.0.0.1:%u (library %s, %zu ligands)\n",
+              coordinator.port(), config.libraryPath.c_str(),
+              coordinator.config().librarySize);
+  std::fflush(stdout);
+
+  const bool done = coordinator.waitUntilDone(args.getDouble("timeout", 0.0));
+  if (done) {
+    // Linger one polling interval so workers pick up FINISHED instead of
+    // a dropped connection when we tear the listener down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  }
+
+  const metadock::ScreeningReport report = coordinator.report();
+  const screen::CoordinatorStats stats = coordinator.stats();
+  std::printf("screened %zu/%zu ligands in %.1f s — %zu shards done, %zu resumed, "
+              "%zu stolen, %zu lease(s) expired, %zu stale result(s), %zu worker(s)\n",
+              stats.ligandsDone, coordinator.config().librarySize, report.totalSeconds,
+              stats.shardsDone, stats.shardsResumed, stats.shardsStolen,
+              stats.leasesExpired, stats.resultsStale, stats.workersSeen);
+  std::printf("%-4s %-16s %6s %12s %12s\n", "rank", "ligand", "atoms", "search", "refined");
+  for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+    const auto& hit = report.ranked[i];
+    std::printf("%-4zu %-16s %6zu %12.2f %12.2f\n", i + 1, hit.ligandName.c_str(),
+                hit.atoms, hit.bestScore, hit.refinedScore);
+  }
+
+  const std::string csv = args.getString("csv", "");
+  if (done && !csv.empty()) {
+    metadock::writeScreeningCsv(csv, report);
+    std::printf("report written to %s\n", csv.c_str());
+  }
+
+  const std::string statsJson = args.getString("stats-json", "");
+  if (!statsJson.empty()) {
+    std::ofstream out(statsJson);
+    out << "{\n"
+        << "  \"done\": " << (done ? "true" : "false") << ",\n"
+        << "  \"library_size\": " << coordinator.config().librarySize << ",\n"
+        << "  \"ligands_done\": " << stats.ligandsDone << ",\n"
+        << "  \"shards_total\": " << stats.shardsTotal << ",\n"
+        << "  \"shards_done\": " << stats.shardsDone << ",\n"
+        << "  \"shards_resumed\": " << stats.shardsResumed << ",\n"
+        << "  \"shards_stolen\": " << stats.shardsStolen << ",\n"
+        << "  \"leases_expired\": " << stats.leasesExpired << ",\n"
+        << "  \"results_stale\": " << stats.resultsStale << ",\n"
+        << "  \"workers_seen\": " << stats.workersSeen << ",\n"
+        << "  \"hit_count\": " << report.hitCount << ",\n"
+        << "  \"total_evaluations\": " << report.totalEvaluations << ",\n"
+        << "  \"elapsed_seconds\": " << report.totalSeconds << ",\n"
+        << "  \"ligands_per_second\": "
+        << (report.totalSeconds > 0.0 ? stats.ligandsDone / report.totalSeconds : 0.0)
+        << "\n}\n";
+    std::printf("stats written to %s\n", statsJson.c_str());
+  }
+
+  coordinator.stop();
+  return done ? 0 : 2;
+}

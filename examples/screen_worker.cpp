@@ -1,0 +1,49 @@
+// Distributed virtual-screening worker: connects to a screen_coordinator,
+// pulls shard leases, screens granted windows of the shared library, and
+// submits per-shard top-K results. Run any number of these — locally or
+// across machines sharing the library file — and kill them freely; the
+// coordinator's lease timeout re-queues anything they were holding.
+//
+//   ./screen_worker --port=P [--host=127.0.0.1] [--id=w0] [--threads=0]
+//                   [--max-shards=0] [--abort-after-chunks=0]
+//
+// Exits 0 after FINISHED (library fully screened), 1 on error.
+
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/screen/worker.hpp"
+
+using namespace dqndock;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto port = static_cast<std::uint16_t>(args.getInt("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "usage: screen_worker --port=<coordinator port> ...\n");
+    return 1;
+  }
+
+  screen::WorkerOptions options;
+  options.id = args.getString("id", "worker");
+  options.maxShards = static_cast<std::size_t>(args.getInt("max-shards", 0));
+  options.abortAfterChunks =
+      static_cast<std::size_t>(args.getInt("abort-after-chunks", 0));
+  ThreadPool pool(static_cast<std::size_t>(args.getInt("threads", 0)));
+  options.pool = &pool;
+
+  screen::ScreenWorker worker(port, options, args.getString("host", "127.0.0.1"));
+  const screen::WorkerStats stats = worker.run();
+
+  std::printf("%s: %zu shard(s) completed, %zu ligand(s) in %zu chunk(s), "
+              "%zu abandoned, %zu stale%s%s\n",
+              options.id.c_str(), stats.shardsCompleted, stats.ligandsScreened,
+              stats.chunksScreened, stats.abandoned, stats.staleResults,
+              stats.finished ? ", finished" : "", stats.aborted ? ", aborted" : "");
+  if (!stats.error.empty()) {
+    std::fprintf(stderr, "%s: error: %s\n", options.id.c_str(), stats.error.c_str());
+    return 1;
+  }
+  return 0;
+}

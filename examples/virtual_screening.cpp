@@ -3,57 +3,39 @@
 // docking, optional gradient refinement and binding-mode counting, hit
 // ranking and CSV export. This is the workload METADOCK was built for.
 //
+// One CLI surface covers single-process and distributed runs: with
+// --shards=N (N > 1) the same job executes as an in-process coordinator
+// plus --workers pulling worker threads, and produces a bit-identical
+// report — per-ligand RNG streams are keyed by global library index, not
+// by who screens what.
+//
 //   ./virtual_screening [--ligands=12] [--budget=3000] [--method=monte-carlo]
-//                       [--csv=screen.csv] [--hit-threshold=200]
+//                       [--csv=screen.csv] [--hit-threshold=200] [--seed=2020]
+//                       [--topk=0] [--library=lib.smi] [--emit-library=lib.smi]
+//                       [--shards=1] [--workers=2] [--chunk=8]
+//                       [--journal=screen.journal] [--resume]
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
+#include "src/chem/library_io.hpp"
 #include "src/chem/synthetic.hpp"
 #include "src/common/cli.hpp"
 #include "src/metadock/vs_pipeline.hpp"
+#include "src/screen/coordinator.hpp"
+#include "src/screen/worker.hpp"
 
 using namespace dqndock;
 
 namespace {
 
-metadock::MetaheuristicParams presetByName(const std::string& name) {
-  if (name == "random-search") return metadock::MetaheuristicParams::randomSearch();
-  if (name == "local-search") return metadock::MetaheuristicParams::localSearch();
-  if (name == "monte-carlo") return metadock::MetaheuristicParams::monteCarlo();
-  if (name == "genetic") return metadock::MetaheuristicParams::genetic();
-  std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
-  std::exit(1);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const auto ligandCount = static_cast<std::size_t>(args.getInt("ligands", 12));
-
-  // One receptor (with its binding pocket), a library of random ligands.
-  // Real pipelines load the library from SMILES/MOL2 files instead
-  // (chem::moleculeFromSmiles / chem::readMol2File).
-  const chem::Scenario scenario = chem::buildScenario(chem::ScenarioSpec::tiny());
-  Rng libraryRng(99);
-  const std::vector<chem::Molecule> library =
-      chem::buildLigandLibrary(ligandCount, 8, 20, libraryRng);
-
-  metadock::ScreeningOptions opts;
-  opts.search = presetByName(args.getString("method", "monte-carlo"));
-  opts.evaluationsPerLigand = static_cast<std::size_t>(args.getInt("budget", 3000));
-  opts.hitThreshold = args.getDouble("hit-threshold", 200.0);
-  opts.refineWithGradient = true;
-  opts.clusterModes = true;
-
-  const metadock::ScreeningReport report =
-      metadock::screenLibrary(scenario.receptor, library, opts, &ThreadPool::global());
-
+void printReport(const metadock::ScreeningReport& report, std::size_t librarySize,
+                 const std::string& method, std::size_t budget, double hitThreshold) {
   std::printf("virtual screen: %zu ligands, method=%s, %zu evals/ligand, %.1f s total\n",
-              library.size(), opts.search.name.c_str(), opts.evaluationsPerLigand,
-              report.totalSeconds);
-  std::printf("%-4s %-16s %6s %12s %12s %8s\n", "rank", "ligand", "atoms", "search", "refined",
-              "modes");
+              librarySize, method.c_str(), budget, report.totalSeconds);
+  std::printf("%-4s %-16s %6s %12s %12s %8s\n", "rank", "ligand", "atoms", "search",
+              "refined", "modes");
   for (std::size_t i = 0; i < report.ranked.size(); ++i) {
     const auto& hit = report.ranked[i];
     std::printf("%-4zu %-16s %6zu %12.2f %12.2f %8zu\n", i + 1, hit.ligandName.c_str(),
@@ -61,8 +43,95 @@ int main(int argc, char** argv) {
   }
   std::printf("\nhits above %.0f: %zu/%zu (%.0f%%) — the compounds passed on to later\n"
               "drug-discovery stages (paper Section 2.1).\n",
-              opts.hitThreshold, report.hitCount, report.ranked.size(),
-              100.0 * report.hitRate);
+              hitThreshold, report.hitCount, librarySize, 100.0 * report.hitRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto ligandCount = static_cast<std::size_t>(args.getInt("ligands", 12));
+  const auto shards = static_cast<std::size_t>(args.getInt("shards", 1));
+  const auto workers = static_cast<std::size_t>(args.getInt("workers", 2));
+
+  screen::ScreenJobConfig config;
+  config.searchPreset = args.getString("method", "monte-carlo");
+  config.evaluationsPerLigand = static_cast<std::size_t>(args.getInt("budget", 3000));
+  config.hitThreshold = args.getDouble("hit-threshold", 200.0);
+  config.refineWithGradient = true;
+  config.clusterModes = true;
+  config.seed = static_cast<std::uint64_t>(args.getInt("seed", 2020));
+  config.topK = static_cast<std::size_t>(args.getInt("topk", 0));
+  config.chunkSize = static_cast<std::size_t>(args.getInt("chunk", 8));
+
+  // The library lives in a file so every process/shard reads the same
+  // molecules. --library uses an existing .smi/.mol2; otherwise a
+  // synthetic library is written to --emit-library (kept for re-use).
+  config.libraryPath = args.getString("library", "");
+  if (config.libraryPath.empty()) {
+    config.libraryPath = args.getString("emit-library", "vs_library.smi");
+    chem::writeSyntheticLibraryFile(config.libraryPath, ligandCount, 8, 20, 99);
+    std::printf("synthetic library (%zu ligands) written to %s\n", ligandCount,
+                config.libraryPath.c_str());
+  }
+
+  const chem::Molecule receptor = screen::loadReceptor(config);
+  metadock::ScreeningReport report;
+
+  if (shards <= 1) {
+    // Single process, straight through the VsPipeline.
+    chem::LigandLibraryReader reader(config.libraryPath);
+    config.librarySize = reader.size();
+    const std::vector<chem::Molecule> library = reader.readAll();
+    report = metadock::screenLibrary(receptor, library, config.screeningOptions(),
+                                     &ThreadPool::global());
+    if (config.topK > 0 && report.ranked.size() > config.topK) {
+      report.ranked.resize(config.topK);
+    }
+  } else {
+    // Distributed in-process: one coordinator, `workers` worker threads,
+    // all speaking the same wire protocol the standalone
+    // screen_coordinator / screen_worker binaries use.
+    {
+      chem::LigandLibraryReader reader(config.libraryPath);
+      config.shardSize = (reader.size() + shards - 1) / shards;
+      if (config.shardSize == 0) config.shardSize = 1;
+    }
+    screen::CoordinatorOptions coordOptions;
+    coordOptions.journalPath = args.getString("journal", "");
+    coordOptions.resume = args.getBool("resume", false);
+    screen::ScreenCoordinator coordinator(config, coordOptions);
+    std::printf("coordinator on 127.0.0.1:%u — %zu shards, %zu worker threads\n",
+                coordinator.port(), shards, workers);
+
+    std::vector<std::thread> crew;
+    std::vector<screen::WorkerStats> crewStats(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      crew.emplace_back([&, w] {
+        screen::WorkerOptions workerOptions;
+        workerOptions.id = "worker-" + std::to_string(w);
+        crewStats[w] = screen::ScreenWorker(coordinator.port(), workerOptions).run();
+      });
+    }
+    coordinator.waitUntilDone();
+    for (auto& t : crew) t.join();
+    report = coordinator.report();
+    const screen::CoordinatorStats stats = coordinator.stats();
+    std::printf("distributed: %zu shards done (%zu resumed, %zu stolen), "
+                "%zu lease(s) expired\n",
+                stats.shardsDone, stats.shardsResumed, stats.shardsStolen,
+                stats.leasesExpired);
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (!crewStats[w].error.empty()) {
+        std::fprintf(stderr, "worker-%zu error: %s\n", w, crewStats[w].error.c_str());
+      }
+    }
+    coordinator.stop();
+  }
+
+  chem::LigandLibraryReader reader(config.libraryPath);
+  printReport(report, reader.size(), config.searchPreset, config.evaluationsPerLigand,
+              config.hitThreshold);
 
   const std::string csv = args.getString("csv", "");
   if (!csv.empty()) {

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Benchmark the distributed virtual-screening service and emit BENCH_screening.json.
+
+Runs the same synthetic-library screen twice:
+
+  1. single-process reference: virtual_screening --shards=1
+  2. distributed: screen_coordinator + N screen_worker processes, with one
+     worker SIGKILLed mid-run (the coordinator's lease timeout must
+     reclaim its shard)
+
+and verifies the two CSV reports are byte-identical — the acceptance bar
+for the whole subsystem. The JSON carries throughput (ligands/second)
+for both modes plus the coordinator's shard/fault counters.
+
+Stdlib only. Usage:
+
+    python3 scripts/bench_screening.py [--build-dir build] [--out BENCH_screening.json]
+                                       [--ligands 1000] [--budget 150]
+                                       [--shard-size 64] [--chunk 8] [--workers 2]
+                                       [--kill-after 2.0] [--lease-timeout 2.0]
+"""
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+METHOD = "monte-carlo"
+SEED = 2020
+HIT_THRESHOLD = 200.0
+
+
+def wait_for_port(proc: subprocess.Popen) -> int:
+    """Parse the coordinator's 'listening on 127.0.0.1:PORT' banner."""
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("coordinator exited before announcing its port")
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("timed out waiting for the coordinator port banner")
+
+
+def run_single_process(vs_bin: Path, library: Path, csv: Path, args) -> float:
+    start = time.monotonic()
+    subprocess.run(
+        [str(vs_bin), f"--library={library}", "--shards=1",
+         f"--budget={args.budget}", f"--method={METHOD}", f"--seed={SEED}",
+         f"--hit-threshold={HIT_THRESHOLD}", "--topk=0", f"--csv={csv}"],
+        check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - start
+
+
+def run_distributed(coord_bin: Path, worker_bin: Path, library: Path, csv: Path,
+                    stats_json: Path, args) -> tuple[float, dict, bool]:
+    start = time.monotonic()
+    coordinator = subprocess.Popen(
+        [str(coord_bin), f"--library={library}",
+         f"--budget={args.budget}", f"--method={METHOD}", f"--seed={SEED}",
+         f"--hit-threshold={HIT_THRESHOLD}",
+         # virtual_screening hard-wires refinement + mode clustering on;
+         # the distributed run must screen under the same options to
+         # produce the same bits.
+         "--refine=true", "--cluster=true", "--topk=0",
+         f"--shard-size={args.shard_size}", f"--chunk={args.chunk}",
+         f"--lease-timeout={args.lease_timeout}",
+         f"--csv={csv}", f"--stats-json={stats_json}"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        port = wait_for_port(coordinator)
+        workers = [
+            subprocess.Popen([str(worker_bin), f"--port={port}", f"--id=bench-w{i}"],
+                             stdout=subprocess.DEVNULL)
+            for i in range(args.workers)
+        ]
+
+        # Fault injection: SIGKILL one worker mid-run. The screen must
+        # still finish, bit-identically, via lease-timeout reclamation.
+        time.sleep(args.kill_after)
+        killed_mid_run = workers[0].poll() is None
+        workers[0].send_signal(signal.SIGKILL)
+        if not killed_mid_run:
+            sys.stderr.write("note: worker 0 finished before --kill-after; "
+                             "raise --ligands/--budget for a longer run\n")
+
+        rc = coordinator.wait(timeout=1800)
+        elapsed = time.monotonic() - start
+        for w in workers[1:]:
+            w.wait(timeout=120)
+        workers[0].wait(timeout=120)
+        if rc != 0:
+            raise SystemExit(f"coordinator exited {rc}")
+    finally:
+        if coordinator.poll() is None:
+            coordinator.kill()
+
+    stats = json.loads(stats_json.read_text())
+    return elapsed, stats, killed_mid_run
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--out", default="BENCH_screening.json", type=Path)
+    ap.add_argument("--ligands", default=1000, type=int)
+    ap.add_argument("--budget", default=150, type=int,
+                    help="search evaluations per ligand")
+    ap.add_argument("--shard-size", default=64, type=int)
+    ap.add_argument("--chunk", default=8, type=int)
+    ap.add_argument("--workers", default=2, type=int)
+    ap.add_argument("--kill-after", default=2.0, type=float,
+                    help="seconds before SIGKILLing worker 0")
+    ap.add_argument("--lease-timeout", default=2.0, type=float)
+    args = ap.parse_args()
+
+    ex = args.build_dir / "examples"
+    vs_bin, coord_bin, worker_bin = (ex / "virtual_screening",
+                                     ex / "screen_coordinator", ex / "screen_worker")
+    for binary in (vs_bin, coord_bin, worker_bin):
+        if not binary.exists():
+            raise SystemExit(f"{binary} not found - build the examples first")
+
+    with tempfile.TemporaryDirectory(prefix="dqndock_bench_screen_") as tmp:
+        tmpdir = Path(tmp)
+        library = tmpdir / "library.smi"
+        single_csv, dist_csv = tmpdir / "single.csv", tmpdir / "dist.csv"
+        stats_json = tmpdir / "stats.json"
+
+        # Emit the synthetic library once (the --shards=1 run both writes
+        # it and produces the single-process reference report).
+        single_seconds = None
+        start = time.monotonic()
+        subprocess.run(
+            [str(vs_bin), f"--ligands={args.ligands}", f"--emit-library={library}",
+             "--shards=1", f"--budget={args.budget}", f"--method={METHOD}",
+             f"--seed={SEED}", f"--hit-threshold={HIT_THRESHOLD}", "--topk=0",
+             f"--csv={single_csv}"],
+            check=True, stdout=subprocess.DEVNULL)
+        single_seconds = time.monotonic() - start
+
+        dist_seconds, stats, killed_mid_run = run_distributed(
+            coord_bin, worker_bin, library, dist_csv, stats_json, args)
+
+        bit_identical = single_csv.read_bytes() == dist_csv.read_bytes()
+
+    report = {
+        "benchmark": "bench_screening",
+        "scenario": (f"synthetic .smi library, {args.ligands} ligands, "
+                     f"{METHOD} x {args.budget} evals/ligand, tiny receptor"),
+        "metric": "ligands_per_second",
+        "library_size": args.ligands,
+        "workers": args.workers,
+        "worker_killed_mid_run": killed_mid_run,
+        "shard_size": args.shard_size,
+        "chunk_size": args.chunk,
+        "lease_timeout_seconds": args.lease_timeout,
+        "single_process": {
+            "seconds": round(single_seconds, 3),
+            "ligands_per_second": round(args.ligands / single_seconds, 2),
+        },
+        "distributed": {
+            "seconds": round(dist_seconds, 3),
+            "ligands_per_second": round(args.ligands / dist_seconds, 2),
+            "shards_total": stats["shards_total"],
+            "shards_done": stats["shards_done"],
+            "shards_stolen": stats["shards_stolen"],
+            "leases_expired": stats["leases_expired"],
+            "results_stale": stats["results_stale"],
+            "workers_seen": stats["workers_seen"],
+        },
+        "acceptance": {
+            "required_bit_identical_to_single_process": True,
+            "measured_bit_identical": bit_identical,
+            "required_all_shards_completed": True,
+            "measured_all_shards_completed":
+                stats["ligands_done"] == stats["library_size"] == args.ligands,
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"  single-process : {report['single_process']['ligands_per_second']:8.2f} ligands/s"
+          f"  ({single_seconds:.1f} s)")
+    print(f"  distributed    : {report['distributed']['ligands_per_second']:8.2f} ligands/s"
+          f"  ({dist_seconds:.1f} s, {args.workers} workers, 1 killed)")
+    print(f"  shards: {stats['shards_done']}/{stats['shards_total']} done, "
+          f"{stats['shards_stolen']} stolen, {stats['leases_expired']} lease(s) expired")
+    print(f"  bit-identical  : {bit_identical}")
+
+    if not bit_identical:
+        raise SystemExit("FAIL: distributed report differs from single-process run")
+    if not report["acceptance"]["measured_all_shards_completed"]:
+        raise SystemExit("FAIL: not every ligand was screened")
+
+
+if __name__ == "__main__":
+    main()

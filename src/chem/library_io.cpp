@@ -1,0 +1,201 @@
+#include "src/chem/library_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/chem/mol2_io.hpp"
+#include "src/chem/smiles.hpp"
+#include "src/chem/synthetic.hpp"
+#include "src/chem/topology.hpp"
+
+namespace dqndock::chem {
+
+namespace {
+
+std::string lowerExtension(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos) return "";
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return ext;
+}
+
+std::string trimmed(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+bool isSmilesRecord(const std::string& line) {
+  const std::string t = trimmed(line);
+  return !t.empty() && t[0] != '#';
+}
+
+}  // namespace
+
+LigandLibraryReader::LigandLibraryReader(const std::string& path) : path_(path) {
+  const std::string ext = lowerExtension(path);
+  if (ext == "smi" || ext == "txt") {
+    format_ = Format::kSmiles;
+  } else if (ext == "mol2") {
+    format_ = Format::kMol2;
+  } else {
+    throw std::runtime_error("LigandLibraryReader: unknown library format '." + ext +
+                             "' for " + path + " (expected .smi/.txt/.mol2)");
+  }
+  in_.open(path);
+  if (!in_) throw std::runtime_error("LigandLibraryReader: cannot open " + path);
+
+  // One counting pass; the stream then rewinds for range reads.
+  std::string line;
+  if (format_ == Format::kSmiles) {
+    while (std::getline(in_, line)) {
+      if (isSmilesRecord(line)) ++count_;
+    }
+  } else {
+    while (std::getline(in_, line)) {
+      if (trimmed(line).rfind("@<TRIPOS>MOLECULE", 0) == 0) ++count_;
+    }
+  }
+  if (count_ == 0) throw std::runtime_error("LigandLibraryReader: no ligands in " + path);
+  rewind();
+}
+
+void LigandLibraryReader::rewind() {
+  in_.clear();
+  in_.seekg(0);
+  cursor_ = 0;
+  if (format_ == Format::kMol2) {
+    // Position the stream on the first @<TRIPOS>MOLECULE header so each
+    // record read starts at its own block.
+    std::string line;
+    while (in_.peek() != std::ifstream::traits_type::eof()) {
+      const auto at = in_.tellg();
+      if (!std::getline(in_, line)) break;
+      if (trimmed(line).rfind("@<TRIPOS>MOLECULE", 0) == 0) {
+        in_.seekg(at);
+        break;
+      }
+    }
+  }
+}
+
+void LigandLibraryReader::skipRecord() {
+  std::string line;
+  if (format_ == Format::kSmiles) {
+    while (std::getline(in_, line)) {
+      if (isSmilesRecord(line)) {
+        ++cursor_;
+        return;
+      }
+    }
+  } else {
+    // Consume this block's header line, then stop in front of the next.
+    std::getline(in_, line);
+    while (in_.peek() != std::ifstream::traits_type::eof()) {
+      const auto at = in_.tellg();
+      if (!std::getline(in_, line)) break;
+      if (trimmed(line).rfind("@<TRIPOS>MOLECULE", 0) == 0) {
+        in_.clear();
+        in_.seekg(at);
+        break;
+      }
+    }
+    ++cursor_;
+  }
+}
+
+Molecule LigandLibraryReader::readRecord() {
+  const std::size_t index = cursor_;
+  if (format_ == Format::kSmiles) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!isSmilesRecord(line)) continue;
+      std::istringstream fields(trimmed(line));
+      std::string smiles, name;
+      fields >> smiles >> name;
+      if (name.empty()) name = "lig" + std::to_string(index);
+      try {
+        // The embedding seed is the global index, so any process reading
+        // this record — whatever range it streams — builds the same
+        // conformer.
+        Molecule mol = moleculeFromSmiles(smiles, index + 1);
+        mol.setName(name);
+        detectRotatableBonds(mol);
+        ++cursor_;
+        return mol;
+      } catch (const std::exception& e) {
+        throw std::runtime_error("LigandLibraryReader: ligand " + std::to_string(index) +
+                                 " (" + name + "): " + e.what());
+      }
+    }
+    throw std::runtime_error("LigandLibraryReader: unexpected EOF at ligand " +
+                             std::to_string(index));
+  }
+
+  // MOL2: collect this block's lines (header through the line before the
+  // next header) and parse them as one molecule.
+  std::string block, line;
+  if (!std::getline(in_, line)) {
+    throw std::runtime_error("LigandLibraryReader: unexpected EOF at ligand " +
+                             std::to_string(index));
+  }
+  block += line + '\n';
+  while (in_.peek() != std::ifstream::traits_type::eof()) {
+    const auto at = in_.tellg();
+    if (!std::getline(in_, line)) break;
+    if (trimmed(line).rfind("@<TRIPOS>MOLECULE", 0) == 0) {
+      in_.clear();
+      in_.seekg(at);
+      break;
+    }
+    block += line + '\n';
+  }
+  try {
+    std::istringstream blockStream(block);
+    Molecule mol = readMol2(blockStream);
+    if (mol.name().empty()) mol.setName("lig" + std::to_string(index));
+    detectRotatableBonds(mol);
+    ++cursor_;
+    return mol;
+  } catch (const std::exception& e) {
+    throw std::runtime_error("LigandLibraryReader: ligand " + std::to_string(index) + ": " +
+                             e.what());
+  }
+}
+
+std::vector<Molecule> LigandLibraryReader::read(std::size_t begin, std::size_t end) {
+  end = std::min(end, count_);
+  std::vector<Molecule> out;
+  if (begin >= end) return out;
+  if (begin < cursor_) rewind();
+  while (cursor_ < begin) skipRecord();
+  out.reserve(end - begin);
+  while (cursor_ < end) out.push_back(readRecord());
+  return out;
+}
+
+void writeSmilesLibraryFile(const std::string& path, const std::vector<Molecule>& library) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeSmilesLibraryFile: cannot open " + path);
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const std::string name =
+        library[i].name().empty() ? "lig" + std::to_string(i) : library[i].name();
+    out << smilesFromMolecule(library[i]) << ' ' << name << '\n';
+  }
+  if (!out) throw std::runtime_error("writeSmilesLibraryFile: write failed for " + path);
+}
+
+std::size_t writeSyntheticLibraryFile(const std::string& path, std::size_t count,
+                                      std::size_t minAtoms, std::size_t maxAtoms,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<Molecule> library = buildLigandLibrary(count, minAtoms, maxAtoms, rng);
+  writeSmilesLibraryFile(path, library);
+  return library.size();
+}
+
+}  // namespace dqndock::chem

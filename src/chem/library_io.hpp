@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file library_io.hpp
+/// Streaming ligand-library reader for virtual screening at library
+/// scale. A million-ligand library must never be materialised whole in
+/// one process: the screening service shards it by global ligand index,
+/// and every shard-holder (coordinator, workers, the single-process
+/// pipeline) streams just its [begin, end) range from the same file.
+///
+/// Two formats, picked by extension:
+///
+///   * `.smi` / `.txt` — one ligand per line: `SMILES [name]` (the
+///     de-facto ZINC distribution format the paper cites). 3-D geometry
+///     is the deterministic SMILES embedding, seeded by the ligand's
+///     global index, so every reader of the file builds bit-identical
+///     molecules for the same index regardless of which range it reads.
+///   * `.mol2` — concatenated Tripos MOL2 blocks (one @<TRIPOS>MOLECULE
+///     per ligand), the multi-molecule form docking tools exchange.
+///
+/// Rotatable bonds are perceived on load (Autodock-style), so streamed
+/// ligands flow straight into the torsional docking machinery.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/chem/molecule.hpp"
+
+namespace dqndock::chem {
+
+class LigandLibraryReader {
+ public:
+  /// Opens the library and scans it once to count ligands. Throws
+  /// std::runtime_error when the file cannot be opened, its extension is
+  /// not a known library format, or it contains no ligands.
+  explicit LigandLibraryReader(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return count_; }
+
+  /// Materialise ligands [begin, end) — global indices, end clamped to
+  /// size(). Forward reads from an advancing cursor are streamed without
+  /// re-scanning; a backward seek rewinds the file first. Throws on
+  /// malformed records (with the offending global index).
+  std::vector<Molecule> read(std::size_t begin, std::size_t end);
+
+  /// Convenience: the whole library.
+  std::vector<Molecule> readAll() { return read(0, size()); }
+
+ private:
+  enum class Format { kSmiles, kMol2 };
+
+  void rewind();
+  /// Advance the stream by one ligand record without building it.
+  void skipRecord();
+  Molecule readRecord();
+
+  std::string path_;
+  Format format_ = Format::kSmiles;
+  std::ifstream in_;
+  std::size_t count_ = 0;
+  std::size_t cursor_ = 0;  ///< global index of the next record in the stream
+};
+
+/// Write `library` as a .smi file (SMILES + name per line) readable by
+/// LigandLibraryReader. Geometry is not stored — readers re-embed from
+/// the SMILES deterministically — so the file, not the writer's in-memory
+/// coordinates, is the source of truth every screening process shares.
+void writeSmilesLibraryFile(const std::string& path, const std::vector<Molecule>& library);
+
+/// Generate a deterministic synthetic screening library of `count`
+/// drug-like ligands (sizes in [minAtoms, maxAtoms], seeded tree
+/// topologies) and write it to `path` as .smi. Returns the ligand count
+/// written. Used by examples, tests and the screening bench to make
+/// realistic shared inputs without redistributing real compound sets.
+std::size_t writeSyntheticLibraryFile(const std::string& path, std::size_t count,
+                                      std::size_t minAtoms, std::size_t maxAtoms,
+                                      std::uint64_t seed);
+
+}  // namespace dqndock::chem

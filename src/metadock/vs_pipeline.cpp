@@ -7,11 +7,30 @@
 
 namespace dqndock::metadock {
 
+bool hitOrderBefore(const ScreeningHit& a, const ScreeningHit& b) {
+  if (a.refinedScore != b.refinedScore) return a.refinedScore > b.refinedScore;
+  return a.ligandIndex < b.ligandIndex;
+}
+
+Rng ligandScreenStream(std::uint64_t seed, std::uint64_t globalIndex) {
+  // A per-index derivation (not sequential split()) so the stream is a
+  // pure function of (seed, index): shards of any size reproduce it.
+  const std::uint64_t mixed = seed ^ (0x9e3779b97f4a7c15ULL * (globalIndex + 1));
+  return Rng(mixed);
+}
+
 ScreeningReport screenLibrary(const chem::Molecule& receptor,
                               const std::vector<chem::Molecule>& library,
                               ScreeningOptions options, ThreadPool* pool) {
+  return screenLibrarySlice(receptor, library, 0, options, pool);
+}
+
+ScreeningReport screenLibrarySlice(const chem::Molecule& receptor,
+                                   const std::vector<chem::Molecule>& slice,
+                                   std::size_t globalOffset, ScreeningOptions options,
+                                   ThreadPool* pool) {
   ScreeningReport report;
-  if (library.empty()) return report;
+  if (slice.empty()) return report;
   Stopwatch clock;
 
   // The receptor model (and its grid) is shared read-only by every job.
@@ -20,16 +39,18 @@ ScreeningReport screenLibrary(const chem::Molecule& receptor,
   sopts.cutoff = options.scoringCutoff;
   sopts.useGrid = options.scoringCutoff > 0.0;
 
-  // Deterministic per-ligand streams regardless of scheduling.
-  Rng root(options.seed);
+  // Deterministic per-ligand streams regardless of scheduling or shard
+  // layout: each ligand's stream is keyed by its global library index.
   std::vector<Rng> streams;
-  streams.reserve(library.size());
-  for (std::size_t i = 0; i < library.size(); ++i) streams.push_back(root.split());
+  streams.reserve(slice.size());
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    streams.push_back(ligandScreenStream(options.seed, globalOffset + i));
+  }
 
-  std::vector<ScreeningHit> hits(library.size());
+  std::vector<ScreeningHit> hits(slice.size());
   auto screenOne = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      const LigandModel ligand(library[i]);
+      const LigandModel ligand(slice[i]);
       const ScoringFunction scoring(receptorModel, ligand, sopts);
       // Serial evaluator inside a job; parallelism is across ligands.
       PoseEvaluator evaluator(scoring, nullptr);
@@ -39,9 +60,9 @@ ScreeningReport screenLibrary(const chem::Molecule& receptor,
       const MetaheuristicResult searched = engine.run(streams[i]);
 
       ScreeningHit hit;
-      hit.ligandName = library[i].name();
-      hit.ligandIndex = i;
-      hit.atoms = library[i].atomCount();
+      hit.ligandName = slice[i].name();
+      hit.ligandIndex = globalOffset + i;
+      hit.atoms = slice[i].atomCount();
       hit.bestScore = searched.best.score;
       hit.bestPose = searched.best.pose;
       hit.evaluations = searched.evaluations;
@@ -74,14 +95,12 @@ ScreeningReport screenLibrary(const chem::Molecule& receptor,
     }
   };
   if (pool) {
-    pool->parallelFor(0, library.size(), screenOne);
+    pool->parallelFor(0, slice.size(), screenOne);
   } else {
-    screenOne(0, library.size());
+    screenOne(0, slice.size());
   }
 
-  std::sort(hits.begin(), hits.end(), [](const ScreeningHit& a, const ScreeningHit& b) {
-    return a.refinedScore > b.refinedScore;
-  });
+  std::sort(hits.begin(), hits.end(), hitOrderBefore);
   for (const auto& hit : hits) {
     if (hit.refinedScore > options.hitThreshold) ++report.hitCount;
     report.totalEvaluations += hit.evaluations;
@@ -90,6 +109,22 @@ ScreeningReport screenLibrary(const chem::Molecule& receptor,
   report.hitRate = static_cast<double>(report.hitCount) / report.ranked.size();
   report.totalSeconds = clock.seconds();
   return report;
+}
+
+ScreeningReport mergeScreeningReports(const std::vector<ScreeningReport>& parts,
+                                      std::size_t librarySize, std::size_t topK) {
+  ScreeningReport merged;
+  for (const ScreeningReport& part : parts) {
+    merged.ranked.insert(merged.ranked.end(), part.ranked.begin(), part.ranked.end());
+    merged.hitCount += part.hitCount;
+    merged.totalEvaluations += part.totalEvaluations;
+    merged.totalSeconds += part.totalSeconds;
+  }
+  std::sort(merged.ranked.begin(), merged.ranked.end(), hitOrderBefore);
+  if (topK > 0 && merged.ranked.size() > topK) merged.ranked.resize(topK);
+  merged.hitRate =
+      librarySize == 0 ? 0.0 : static_cast<double>(merged.hitCount) / librarySize;
+  return merged;
 }
 
 void writeScreeningCsv(const std::string& path, const ScreeningReport& report) {

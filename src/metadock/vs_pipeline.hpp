@@ -9,6 +9,7 @@
 /// with optional gradient refinement and binding-mode clustering, and the
 /// ranked results export to CSV.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,7 @@ struct ScreeningOptions {
 
 struct ScreeningHit {
   std::string ligandName;
-  std::size_t ligandIndex = 0;
+  std::size_t ligandIndex = 0;   ///< global library index, stable across shards
   std::size_t atoms = 0;
   double bestScore = 0.0;
   double refinedScore = 0.0;     ///< == bestScore when refinement is off
@@ -42,20 +43,50 @@ struct ScreeningHit {
   Pose bestPose;
 };
 
+/// Stable total order used everywhere hits are ranked or merged: better
+/// refinedScore first, ties broken by ascending ligand index. Because no
+/// two hits share a ligand index, the order is total — merged shard
+/// reports sort bit-identically regardless of shard count or arrival
+/// order.
+bool hitOrderBefore(const ScreeningHit& a, const ScreeningHit& b);
+
 struct ScreeningReport {
-  std::vector<ScreeningHit> ranked;  ///< descending by refinedScore
+  std::vector<ScreeningHit> ranked;  ///< descending by hitOrderBefore
   std::size_t hitCount = 0;
   double hitRate = 0.0;
   double totalSeconds = 0.0;
   std::size_t totalEvaluations = 0;
 };
 
+/// RNG stream for one ligand, derived from (seed, global library index)
+/// only — never from library size, shard layout, or scheduling — so any
+/// slicing of the library screens a ligand with bit-identical randomness.
+Rng ligandScreenStream(std::uint64_t seed, std::uint64_t globalIndex);
+
 /// Screen `library` against `receptor`. Ligand jobs are independent and
-/// run across `pool`; each job uses a deterministic split RNG stream, so
-/// the report is reproducible regardless of thread count.
+/// run across `pool`; each job draws from ligandScreenStream(seed, index),
+/// so the report is reproducible regardless of thread count.
 ScreeningReport screenLibrary(const chem::Molecule& receptor,
                               const std::vector<chem::Molecule>& library,
                               ScreeningOptions options = {}, ThreadPool* pool = nullptr);
+
+/// Shardable entry point: screen a contiguous slice of a larger library
+/// whose first molecule has global index `globalOffset`. Hits carry
+/// global indices and per-ligand RNG streams depend only on
+/// (options.seed, global index), so screening [0,N) in one call is
+/// bit-identical to screening any partition of [0,N) slice by slice and
+/// merging. screenLibrary(...) == screenLibrarySlice(..., 0, ...).
+ScreeningReport screenLibrarySlice(const chem::Molecule& receptor,
+                                   const std::vector<chem::Molecule>& slice,
+                                   std::size_t globalOffset, ScreeningOptions options = {},
+                                   ThreadPool* pool = nullptr);
+
+/// Merge partial reports from disjoint library slices into one ranked
+/// report (counts and evaluations sum; ranking re-sorted under the stable
+/// total order). `librarySize` sets the hit-rate denominator. Optionally
+/// truncate the ranking to the best `topK` hits (0 = keep all).
+ScreeningReport mergeScreeningReports(const std::vector<ScreeningReport>& parts,
+                                      std::size_t librarySize, std::size_t topK = 0);
 
 /// Dump a report as CSV (rank, ligand, atoms, scores, modes, evals).
 void writeScreeningCsv(const std::string& path, const ScreeningReport& report);

@@ -1,0 +1,154 @@
+#include "src/screen/hit_codec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace dqndock::screen {
+
+namespace {
+
+void appendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+std::string escapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '%' || c == ',' || c == ' ' || c == '\n' || c == '=' || c == '\t') {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescapeName(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%') {
+      if (i + 2 >= escaped.size()) throw std::invalid_argument("decodeHit: truncated escape");
+      const std::string hex(escaped.substr(i + 1, 2));
+      out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> splitFields(std::string_view token) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    const auto comma = token.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(token.substr(start));
+      break;
+    }
+    fields.push_back(token.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+double parseDouble(std::string_view field, const char* what) {
+  const std::string s(field);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || s.empty()) {
+    throw std::invalid_argument(std::string("decodeHit: bad ") + what + " '" + s + "'");
+  }
+  return v;
+}
+
+std::size_t parseSize(std::string_view field, const char* what) {
+  const std::string s(field);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || s.empty()) {
+    throw std::invalid_argument(std::string("decodeHit: bad ") + what + " '" + s + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::string encodeHit(const metadock::ScreeningHit& hit) {
+  std::string out;
+  out += std::to_string(hit.ligandIndex);
+  out += ',';
+  out += escapeName(hit.ligandName);
+  out += ',';
+  out += std::to_string(hit.atoms);
+  out += ',';
+  appendDouble(out, hit.bestScore);
+  out += ',';
+  appendDouble(out, hit.refinedScore);
+  out += ',';
+  out += std::to_string(hit.bindingModes);
+  out += ',';
+  out += std::to_string(hit.evaluations);
+  out += ',';
+  appendDouble(out, hit.bestPose.translation.x);
+  out += ',';
+  appendDouble(out, hit.bestPose.translation.y);
+  out += ',';
+  appendDouble(out, hit.bestPose.translation.z);
+  out += ',';
+  appendDouble(out, hit.bestPose.orientation.w);
+  out += ',';
+  appendDouble(out, hit.bestPose.orientation.x);
+  out += ',';
+  appendDouble(out, hit.bestPose.orientation.y);
+  out += ',';
+  appendDouble(out, hit.bestPose.orientation.z);
+  out += ',';
+  out += std::to_string(hit.bestPose.torsions.size());
+  for (const double t : hit.bestPose.torsions) {
+    out += ',';
+    appendDouble(out, t);
+  }
+  return out;
+}
+
+metadock::ScreeningHit decodeHit(std::string_view token) {
+  const auto fields = splitFields(token);
+  constexpr std::size_t kFixedFields = 15;
+  if (fields.size() < kFixedFields) {
+    throw std::invalid_argument("decodeHit: expected >= 15 fields, got " +
+                                std::to_string(fields.size()));
+  }
+  metadock::ScreeningHit hit;
+  hit.ligandIndex = parseSize(fields[0], "index");
+  hit.ligandName = unescapeName(fields[1]);
+  hit.atoms = parseSize(fields[2], "atoms");
+  hit.bestScore = parseDouble(fields[3], "best_score");
+  hit.refinedScore = parseDouble(fields[4], "refined_score");
+  hit.bindingModes = parseSize(fields[5], "binding_modes");
+  hit.evaluations = parseSize(fields[6], "evaluations");
+  hit.bestPose.translation = {parseDouble(fields[7], "tx"), parseDouble(fields[8], "ty"),
+                              parseDouble(fields[9], "tz")};
+  hit.bestPose.orientation = {parseDouble(fields[10], "qw"), parseDouble(fields[11], "qx"),
+                              parseDouble(fields[12], "qy"), parseDouble(fields[13], "qz")};
+  const std::size_t torsions = parseSize(fields[14], "torsion_count");
+  if (fields.size() != kFixedFields + torsions) {
+    throw std::invalid_argument("decodeHit: torsion count mismatch");
+  }
+  hit.bestPose.torsions.reserve(torsions);
+  for (std::size_t i = 0; i < torsions; ++i) {
+    hit.bestPose.torsions.push_back(parseDouble(fields[kFixedFields + i], "torsion"));
+  }
+  return hit;
+}
+
+}  // namespace dqndock::screen

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file hit_codec.hpp
+/// Lossless single-token serialization of a ScreeningHit, shared by the
+/// RESULT wire frames and the coordinator's on-disk journal so a hit
+/// survives any number of worker -> coordinator -> journal -> resume
+/// round trips bit-for-bit (doubles travel as %.17g, which strtod
+/// reverses exactly).
+///
+/// Token layout (comma-separated, no spaces or newlines):
+///
+///   index,name,atoms,best,refined,modes,evals,tx,ty,tz,qw,qx,qy,qz,nt,t0..t{nt-1}
+///
+/// Ligand names are percent-escaped so arbitrary names cannot break the
+/// token or the line-oriented journal around it.
+
+#include <string>
+#include <string_view>
+
+#include "src/metadock/vs_pipeline.hpp"
+
+namespace dqndock::screen {
+
+std::string encodeHit(const metadock::ScreeningHit& hit);
+
+/// Throws std::invalid_argument on malformed tokens (wrong field count,
+/// unparsable numbers, truncated torsion list).
+metadock::ScreeningHit decodeHit(std::string_view token);
+
+}  // namespace dqndock::screen

@@ -1,0 +1,95 @@
+#include "src/screen/journal.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/logging.hpp"
+#include "src/screen/hit_codec.hpp"
+
+namespace dqndock::screen {
+
+namespace {
+
+constexpr const char* kHeader = "DQNDOCK-SCREEN-JOURNAL v1";
+
+}  // namespace
+
+ScreenJournal::LoadResult ScreenJournal::load(const std::string& path) {
+  LoadResult result;
+  std::ifstream in(path);
+  if (!in) return result;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return result;
+  if (!std::getline(in, line) || line.rfind("FINGERPRINT ", 0) != 0) return result;
+  result.fingerprint = line.substr(12);
+  result.exists = true;
+
+  while (std::getline(in, line)) {
+    // One record per line; anything that does not parse end-to-end —
+    // including a torn final line from a killed coordinator — is skipped,
+    // not fatal: losing one in-flight record only means its range gets
+    // re-screened.
+    if (line.rfind("SHARD ", 0) != 0) {
+      ++result.skippedLines;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    ShardRecord record;
+    std::size_t n = 0;
+    fields >> tag >> record.begin >> record.end >> record.hitCount >> record.evaluations >> n;
+    if (!fields || record.end <= record.begin) {
+      ++result.skippedLines;
+      continue;
+    }
+    bool ok = true;
+    record.hits.reserve(n);
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      std::string token;
+      if (!(fields >> token)) {
+        ok = false;
+        break;
+      }
+      try {
+        record.hits.push_back(decodeHit(token));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    std::string sentinel;
+    if (!ok || !(fields >> sentinel) || sentinel != "END") {
+      ++result.skippedLines;
+      continue;
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+ScreenJournal::ScreenJournal(const std::string& path, const std::string& fingerprint,
+                             bool truncate)
+    : path_(path) {
+  const bool writeHeader = truncate || !load(path).exists;
+  out_.open(path, writeHeader ? std::ios::trunc : std::ios::app);
+  if (!out_) throw std::runtime_error("ScreenJournal: cannot open " + path);
+  if (writeHeader) {
+    out_ << kHeader << '\n' << "FINGERPRINT " << fingerprint << '\n';
+    out_.flush();
+    if (!out_) throw std::runtime_error("ScreenJournal: header write failed for " + path);
+  }
+}
+
+void ScreenJournal::append(const ShardRecord& record) {
+  out_ << "SHARD " << record.begin << ' ' << record.end << ' ' << record.hitCount << ' '
+       << record.evaluations << ' ' << record.hits.size();
+  for (const auto& hit : record.hits) out_ << ' ' << encodeHit(hit);
+  out_ << " END\n";
+  out_.flush();
+  if (!out_) {
+    logError() << "ScreenJournal: append failed for " << path_;
+    throw std::runtime_error("ScreenJournal: append failed for " + path_);
+  }
+}
+
+}  // namespace dqndock::screen

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file journal.hpp
+/// Append-only checkpoint journal of the screening coordinator. One
+/// record per completed shard, written (and flushed) the moment the
+/// shard's RESULT is accepted, so a killed coordinator loses at most the
+/// shards still in flight — never finished work. A restart with
+/// --resume loads the journal, re-seeds the top-K merger and the
+/// aggregate counters, and queues only the uncovered index ranges.
+///
+/// Format (line-oriented text, hexdump-debuggable like the wire):
+///
+///   DQNDOCK-SCREEN-JOURNAL v1
+///   FINGERPRINT <config fingerprint>
+///   SHARD <begin> <end> <hit_count> <evaluations> <n> <hit0> ... <hit{n-1}> END
+///   ...
+///
+/// Every record is a single line ending in the literal sentinel "END";
+/// a torn tail (the coordinator died mid-write) fails that check and is
+/// skipped, as is anything after it. The fingerprint pins every
+/// result-affecting config field: resuming under a different config
+/// refuses the journal instead of silently mixing two runs.
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/metadock/vs_pipeline.hpp"
+
+namespace dqndock::screen {
+
+/// One completed shard: the library range it covered, its aggregate
+/// counters, and its local top-K hits.
+struct ShardRecord {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t hitCount = 0;
+  std::size_t evaluations = 0;
+  std::vector<metadock::ScreeningHit> hits;
+};
+
+class ScreenJournal {
+ public:
+  struct LoadResult {
+    bool exists = false;             ///< file was present and had a valid header
+    std::string fingerprint;
+    std::vector<ShardRecord> records;
+    std::size_t skippedLines = 0;    ///< torn/garbled lines ignored
+  };
+
+  /// Parse a journal. A missing/unreadable file or bad header returns
+  /// exists=false rather than throwing — "nothing to resume" is a normal
+  /// first run.
+  static LoadResult load(const std::string& path);
+
+  /// Open `path` for appending. When `truncate` is true (fresh run) the
+  /// file is recreated with a new header; otherwise records append after
+  /// the existing content (resume). Throws std::runtime_error on I/O
+  /// failure.
+  ScreenJournal(const std::string& path, const std::string& fingerprint, bool truncate);
+
+  /// Append one shard record and flush it to the OS, so the record
+  /// survives any subsequent crash of this process.
+  void append(const ShardRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace dqndock::screen

@@ -1,0 +1,141 @@
+#include "src/screen/protocol.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/chem/mol2_io.hpp"
+#include "src/chem/pdb_io.hpp"
+#include "src/chem/synthetic.hpp"
+
+namespace dqndock::screen {
+
+namespace {
+
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+metadock::ScreeningOptions ScreenJobConfig::screeningOptions() const {
+  metadock::ScreeningOptions opts;
+  opts.search = searchPresetByName(searchPreset);
+  opts.evaluationsPerLigand = evaluationsPerLigand;
+  opts.refineWithGradient = refineWithGradient;
+  opts.clusterModes = clusterModes;
+  opts.clusterRmsd = clusterRmsd;
+  opts.scoringCutoff = scoringCutoff;
+  opts.seed = seed;
+  opts.hitThreshold = hitThreshold;
+  return opts;
+}
+
+metadock::MetaheuristicParams searchPresetByName(const std::string& name) {
+  if (name == "random-search") return metadock::MetaheuristicParams::randomSearch();
+  if (name == "local-search") return metadock::MetaheuristicParams::localSearch();
+  if (name == "monte-carlo") return metadock::MetaheuristicParams::monteCarlo();
+  if (name == "genetic") return metadock::MetaheuristicParams::genetic();
+  throw std::runtime_error("unknown search preset '" + name + "'");
+}
+
+serve::Message configToMessage(const ScreenJobConfig& config) {
+  serve::Message msg{kMsgConfig, {}};
+  msg.set("library", config.libraryPath)
+      .set("library_size", static_cast<std::uint64_t>(config.librarySize))
+      .set("scenario", config.scenario)
+      .set("scenario_seed", config.scenarioSeed)
+      .set("search", config.searchPreset)
+      .set("evals", static_cast<std::uint64_t>(config.evaluationsPerLigand))
+      .set("refine", static_cast<long>(config.refineWithGradient ? 1 : 0))
+      .set("cluster", static_cast<long>(config.clusterModes ? 1 : 0))
+      .set("cluster_rmsd", config.clusterRmsd)
+      .set("cutoff", config.scoringCutoff)
+      .set("hit_threshold", config.hitThreshold)
+      .set("seed", config.seed)
+      .set("topk", static_cast<std::uint64_t>(config.topK))
+      .set("shard_size", static_cast<std::uint64_t>(config.shardSize))
+      .set("chunk", static_cast<std::uint64_t>(config.chunkSize))
+      .set("lease_timeout_s", config.leaseTimeoutSeconds);
+  if (!config.receptorFile.empty()) msg.set("receptor_file", config.receptorFile);
+  return msg;
+}
+
+ScreenJobConfig configFromMessage(const serve::Message& msg) {
+  if (msg.type != kMsgConfig) {
+    throw serve::ProtocolError("configFromMessage: expected CONFIG, got " + msg.type);
+  }
+  ScreenJobConfig config;
+  config.libraryPath = msg.get("library");
+  config.librarySize = static_cast<std::size_t>(msg.getInt("library_size", 0));
+  config.scenario = msg.get("scenario", config.scenario);
+  config.scenarioSeed = static_cast<std::uint64_t>(msg.getInt("scenario_seed", 2018));
+  config.receptorFile = msg.get("receptor_file");
+  config.searchPreset = msg.get("search", config.searchPreset);
+  config.evaluationsPerLigand = static_cast<std::size_t>(msg.getInt("evals", 400));
+  config.refineWithGradient = msg.getInt("refine", 0) != 0;
+  config.clusterModes = msg.getInt("cluster", 0) != 0;
+  config.clusterRmsd = msg.getDouble("cluster_rmsd", config.clusterRmsd);
+  config.scoringCutoff = msg.getDouble("cutoff", config.scoringCutoff);
+  config.hitThreshold = msg.getDouble("hit_threshold", config.hitThreshold);
+  config.seed = static_cast<std::uint64_t>(msg.getInt("seed", 2020));
+  config.topK = static_cast<std::size_t>(msg.getInt("topk", 32));
+  config.shardSize = static_cast<std::size_t>(msg.getInt("shard_size", 64));
+  config.chunkSize = static_cast<std::size_t>(msg.getInt("chunk", 8));
+  config.leaseTimeoutSeconds = msg.getDouble("lease_timeout_s", 10.0);
+  if (config.libraryPath.empty()) throw serve::ProtocolError("CONFIG missing library=");
+  if (config.librarySize == 0) throw serve::ProtocolError("CONFIG missing library_size=");
+  if (config.chunkSize == 0 || config.shardSize == 0) {
+    throw serve::ProtocolError("CONFIG shard_size/chunk must be positive");
+  }
+  return config;
+}
+
+std::string configFingerprint(const ScreenJobConfig& config) {
+  // Only fields that change per-ligand results or the report shape
+  // participate; scheduling knobs (shard/chunk size, lease timeout, the
+  // library *path*) may differ between a run and its resume.
+  std::string fp = "v1";
+  fp += ";n=" + std::to_string(config.librarySize);
+  fp += ";rec=" + (config.receptorFile.empty()
+                       ? config.scenario + ":" + std::to_string(config.scenarioSeed)
+                       : config.receptorFile);
+  fp += ";search=" + config.searchPreset;
+  fp += ";evals=" + std::to_string(config.evaluationsPerLigand);
+  fp += ";refine=" + std::to_string(config.refineWithGradient ? 1 : 0);
+  fp += ";cluster=" + std::to_string(config.clusterModes ? 1 : 0);
+  fp += ";crmsd=" + formatDouble(config.clusterRmsd);
+  fp += ";cutoff=" + formatDouble(config.scoringCutoff);
+  fp += ";hit=" + formatDouble(config.hitThreshold);
+  fp += ";seed=" + std::to_string(config.seed);
+  fp += ";topk=" + std::to_string(config.topK);
+  for (char& c : fp) {
+    if (c == ' ' || c == '\n') c = '_';
+  }
+  return fp;
+}
+
+chem::Molecule loadReceptor(const ScreenJobConfig& config) {
+  if (!config.receptorFile.empty()) {
+    const auto dot = config.receptorFile.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : config.receptorFile.substr(dot + 1);
+    if (ext == "mol2") return chem::readMol2File(config.receptorFile);
+    if (ext == "pdb") return chem::readPdbFile(config.receptorFile);
+    throw std::runtime_error("loadReceptor: unsupported receptor format " +
+                             config.receptorFile);
+  }
+  chem::ScenarioSpec spec;
+  if (config.scenario == "tiny") {
+    spec = chem::ScenarioSpec::tiny();
+  } else if (config.scenario == "paper2bsm") {
+    spec = chem::ScenarioSpec::paper2bsm();
+  } else {
+    throw std::runtime_error("loadReceptor: unknown scenario '" + config.scenario + "'");
+  }
+  spec.seed = config.scenarioSeed;
+  return chem::buildScenario(spec).receptor;
+}
+
+}  // namespace dqndock::screen

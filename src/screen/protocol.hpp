@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Wire vocabulary and shared job configuration of the distributed
+/// virtual-screening service. The coordinator serves, workers pull:
+///
+///   HELLO    worker=<id>                         -> CONFIG (job config)
+///   LEASE    worker=<id>                         -> SHARD | WAIT | FINISHED
+///   PROGRESS worker shard lease done claim       -> GRANT | ABANDON
+///   RESULT   worker shard lease begin end ...    -> OK | STALE
+///   STATUS                                       -> OK (stats)
+///
+/// Shard execution uses *granted windows*: a worker may only screen
+/// ligands the coordinator has explicitly granted ([cursor, grant_end)),
+/// and asks for the next window with each PROGRESS — which doubles as
+/// the heartbeat. Because every extension passes through the
+/// coordinator, shrinking a straggler shard (work stealing) needs no
+/// extra message: the coordinator trims shard.end and the next grant
+/// simply stops there, so two workers can never screen the same ligand
+/// index under live leases.
+///
+/// All frames ride the serve/wire.hpp length-prefixed protocol and keep
+/// its ProtocolError discipline: malformed payloads are framing
+/// violations, distinct from transport failures.
+
+#include <cstdint>
+#include <string>
+
+#include "src/chem/molecule.hpp"
+#include "src/metadock/metaheuristic.hpp"
+#include "src/metadock/vs_pipeline.hpp"
+#include "src/serve/wire.hpp"
+
+namespace dqndock::screen {
+
+// Message types (requests and replies).
+inline constexpr const char* kMsgHello = "HELLO";
+inline constexpr const char* kMsgConfig = "CONFIG";
+inline constexpr const char* kMsgLease = "LEASE";
+inline constexpr const char* kMsgShard = "SHARD";
+inline constexpr const char* kMsgWait = "WAIT";
+inline constexpr const char* kMsgFinished = "FINISHED";
+inline constexpr const char* kMsgProgress = "PROGRESS";
+inline constexpr const char* kMsgGrant = "GRANT";
+inline constexpr const char* kMsgAbandon = "ABANDON";
+inline constexpr const char* kMsgResult = "RESULT";
+inline constexpr const char* kMsgStale = "STALE";
+inline constexpr const char* kMsgStatus = "STATUS";
+
+/// Everything a worker needs to reproduce the coordinator's screening
+/// job bit-for-bit: the shared library file, the receptor source, and
+/// the result-affecting screening options. The search strategy travels
+/// as a named METADOCK preset (random-search / local-search /
+/// monte-carlo / genetic) — the presets are canonical, so a name pins
+/// every numeric knob.
+struct ScreenJobConfig {
+  std::string libraryPath;
+  std::size_t librarySize = 0;  ///< filled by the coordinator
+
+  /// Receptor source: a synthetic scenario preset ("tiny" | "paper2bsm",
+  /// built with `scenarioSeed`), or a structure file (.pdb/.mol2) when
+  /// `receptorFile` is non-empty (it then overrides `scenario`).
+  std::string scenario = "tiny";
+  std::uint64_t scenarioSeed = 2018;
+  std::string receptorFile;
+
+  std::string searchPreset = "monte-carlo";
+  std::size_t evaluationsPerLigand = 400;
+  bool refineWithGradient = false;
+  bool clusterModes = false;
+  double clusterRmsd = 2.0;
+  double scoringCutoff = 12.0;
+  double hitThreshold = 0.0;
+  std::uint64_t seed = 2020;
+
+  std::size_t topK = 32;      ///< hits kept per shard result and in the final report
+  std::size_t shardSize = 64; ///< ligands per shard at creation
+  std::size_t chunkSize = 8;  ///< ligands per granted window (heartbeat cadence)
+  double leaseTimeoutSeconds = 10.0;
+
+  /// The metadock::ScreeningOptions this config pins down.
+  metadock::ScreeningOptions screeningOptions() const;
+};
+
+/// Resolve a METADOCK search preset by name; throws std::runtime_error
+/// on an unknown name.
+metadock::MetaheuristicParams searchPresetByName(const std::string& name);
+
+/// Config <-> CONFIG message. configFromMessage throws
+/// serve::ProtocolError when required fields are missing or invalid.
+serve::Message configToMessage(const ScreenJobConfig& config);
+ScreenJobConfig configFromMessage(const serve::Message& msg);
+
+/// One token (no spaces/newlines) fingerprinting every result-affecting
+/// field. A journal written under one fingerprint must never seed a
+/// resume under another — the merged report would silently mix
+/// incompatible runs.
+std::string configFingerprint(const ScreenJobConfig& config);
+
+/// Load the receptor this config names (scenario surrogate or structure
+/// file by extension). Throws std::runtime_error on failure.
+chem::Molecule loadReceptor(const ScreenJobConfig& config);
+
+}  // namespace dqndock::screen

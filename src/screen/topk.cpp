@@ -1,0 +1,21 @@
+#include "src/screen/topk.hpp"
+
+namespace dqndock::screen {
+
+void TopKMerger::add(const metadock::ScreeningHit& hit) {
+  if (!seen_.insert(hit.ligandIndex).second) return;  // duplicate delivery
+  best_.insert(hit);
+  if (k_ > 0 && best_.size() > k_) {
+    best_.erase(std::prev(best_.end()));  // drop the current worst
+  }
+}
+
+void TopKMerger::add(const std::vector<metadock::ScreeningHit>& hits) {
+  for (const auto& hit : hits) add(hit);
+}
+
+std::vector<metadock::ScreeningHit> TopKMerger::sorted() const {
+  return std::vector<metadock::ScreeningHit>(best_.begin(), best_.end());
+}
+
+}  // namespace dqndock::screen

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file topk.hpp
+/// Deterministic fault-tolerant top-K accumulator for screening hits.
+///
+/// Merging is associative, commutative and idempotent under the stable
+/// total order metadock::hitOrderBefore (score, then ligand index):
+/// feeding the same per-ligand hits in any grouping — one shard or a
+/// thousand, any arrival order, including duplicate deliveries from
+/// re-screened shards — yields a bit-identical top-K. That is what lets
+/// the coordinator accept results from retries, resumed journals and
+/// re-leased shards without a reconciliation pass.
+
+#include <cstddef>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "src/metadock/vs_pipeline.hpp"
+
+namespace dqndock::screen {
+
+class TopKMerger {
+ public:
+  /// Keep the best `k` hits; k == 0 keeps everything.
+  explicit TopKMerger(std::size_t k) : k_(k) {}
+
+  /// Insert one hit. A ligand index already seen is ignored (duplicate
+  /// deliveries are bit-identical re-screens by construction, so first
+  /// wins == last wins).
+  void add(const metadock::ScreeningHit& hit);
+  void add(const std::vector<metadock::ScreeningHit>& hits);
+
+  /// Hits currently retained, best first (stable total order).
+  std::vector<metadock::ScreeningHit> sorted() const;
+
+  std::size_t size() const { return best_.size(); }
+  std::size_t k() const { return k_; }
+
+ private:
+  struct OrderCmp {
+    bool operator()(const metadock::ScreeningHit& a, const metadock::ScreeningHit& b) const {
+      return metadock::hitOrderBefore(a, b);
+    }
+  };
+
+  std::size_t k_;
+  std::set<metadock::ScreeningHit, OrderCmp> best_;
+  /// Every ligand index ever offered — including ones pruned below the
+  /// K-th rank — so duplicates can never re-enter.
+  std::unordered_set<std::size_t> seen_;
+};
+
+}  // namespace dqndock::screen

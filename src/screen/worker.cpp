@@ -1,0 +1,150 @@
+#include "src/screen/worker.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/chem/library_io.hpp"
+#include "src/common/logging.hpp"
+#include "src/metadock/vs_pipeline.hpp"
+#include "src/screen/hit_codec.hpp"
+#include "src/screen/protocol.hpp"
+#include "src/screen/topk.hpp"
+#include "src/serve/wire.hpp"
+
+namespace dqndock::screen {
+
+using serve::Message;
+
+ScreenWorker::ScreenWorker(std::uint16_t port, WorkerOptions options, std::string host)
+    : port_(port), host_(std::move(host)), options_(std::move(options)) {}
+
+WorkerStats ScreenWorker::run() {
+  WorkerStats stats;
+  try {
+    serve::TcpClient client(port_, host_, options_.retry);
+
+    Message hello{kMsgHello, {}};
+    hello.set("worker", options_.id);
+    const Message configReply = client.request(hello, options_.retry);
+    if (configReply.type != kMsgConfig) {
+      stats.error = "HELLO rejected: " + configReply.type + " " +
+                    configReply.get("reason", "");
+      return stats;
+    }
+    const ScreenJobConfig config = configFromMessage(configReply);
+    const chem::Molecule receptor = loadReceptor(config);
+    chem::LigandLibraryReader reader(config.libraryPath);
+    const metadock::ScreeningOptions screeningOptions = config.screeningOptions();
+
+    while (options_.maxShards == 0 || stats.shardsCompleted < options_.maxShards) {
+      Message lease{kMsgLease, {}};
+      lease.set("worker", options_.id);
+      // LEASE is safe to retry across reconnects: a lease granted to a
+      // lost reply is simply never heartbeated and expires back into the
+      // queue.
+      const Message leaseReply = client.request(lease, options_.retry);
+      if (leaseReply.type == kMsgFinished) {
+        stats.finished = true;
+        return stats;
+      }
+      if (leaseReply.type == kMsgWait) {
+        const long retryMs = leaseReply.getInt("retry_ms", 100);
+        std::this_thread::sleep_for(std::chrono::milliseconds(retryMs));
+        continue;
+      }
+      if (leaseReply.type != kMsgShard) {
+        stats.error = "LEASE rejected: " + leaseReply.type + " " +
+                      leaseReply.get("reason", "");
+        return stats;
+      }
+
+      const auto shardId = static_cast<std::uint64_t>(leaseReply.getInt("shard", 0));
+      const auto leaseToken = static_cast<std::uint64_t>(leaseReply.getInt("lease", 0));
+      const auto begin = static_cast<std::size_t>(leaseReply.getInt("begin", 0));
+      std::size_t cursor = begin;
+      auto grantEnd = static_cast<std::size_t>(leaseReply.getInt("grant_end", 0));
+
+      TopKMerger local(config.topK);
+      std::size_t localHits = 0;
+      std::size_t localEvaluations = 0;
+      bool lostLease = false;
+
+      for (;;) {
+        if (grantEnd > cursor) {
+          const std::vector<chem::Molecule> window = reader.read(cursor, grantEnd);
+          const metadock::ScreeningReport part = metadock::screenLibrarySlice(
+              receptor, window, cursor, screeningOptions, options_.pool);
+          local.add(part.ranked);
+          localHits += part.hitCount;
+          localEvaluations += part.totalEvaluations;
+          stats.ligandsScreened += grantEnd - cursor;
+          cursor = grantEnd;
+          ++stats.chunksScreened;
+          if (options_.abortAfterChunks > 0 &&
+              stats.chunksScreened >= options_.abortAfterChunks) {
+            // Simulated crash: vanish without a RESULT or goodbye. The
+            // coordinator's lease timeout reclaims the shard.
+            stats.aborted = true;
+            return stats;
+          }
+        }
+        // Report the completed frontier and claim the next chunk — this
+        // is the heartbeat. Idempotent, so safe under request retries.
+        Message progress{kMsgProgress, {}};
+        progress.set("shard", shardId)
+            .set("lease", leaseToken)
+            .set("done", static_cast<std::uint64_t>(cursor))
+            .set("claim", static_cast<std::uint64_t>(cursor + config.chunkSize));
+        const Message grantReply = client.request(progress, options_.retry);
+        if (grantReply.type == kMsgAbandon) {
+          // Lease lost (expired and re-queued, or we out-waited a split).
+          // Discard local work; the range is someone else's now.
+          ++stats.abandoned;
+          lostLease = true;
+          break;
+        }
+        if (grantReply.type != kMsgGrant) {
+          stats.error = "PROGRESS rejected: " + grantReply.type + " " +
+                        grantReply.get("reason", "");
+          return stats;
+        }
+        const auto granted = static_cast<std::size_t>(grantReply.getInt("grant_end", 0));
+        if (granted <= cursor) break;  // no more indices: shard complete at cursor
+        grantEnd = granted;
+      }
+      if (lostLease) continue;
+
+      Message result{kMsgResult, {}};
+      result.set("shard", shardId)
+          .set("lease", leaseToken)
+          .set("begin", static_cast<std::uint64_t>(begin))
+          .set("end", static_cast<std::uint64_t>(cursor))
+          .set("hit_count", static_cast<std::uint64_t>(localHits))
+          .set("evals", static_cast<std::uint64_t>(localEvaluations));
+      const std::vector<metadock::ScreeningHit> hits = local.sorted();
+      result.set("n", static_cast<std::uint64_t>(hits.size()));
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        result.set("h" + std::to_string(i), encodeHit(hits[i]));
+      }
+      const Message resultReply = client.request(result, options_.retry);
+      if (resultReply.type == kMsgStale) {
+        ++stats.staleResults;
+        continue;
+      }
+      if (resultReply.type != "OK") {
+        stats.error = "RESULT rejected: " + resultReply.type + " " +
+                      resultReply.get("reason", "");
+        return stats;
+      }
+      ++stats.shardsCompleted;
+      logDebug() << "ScreenWorker '" << options_.id << "': shard " << shardId << " ["
+                 << begin << "," << cursor << ") accepted";
+    }
+  } catch (const std::exception& e) {
+    stats.error = e.what();
+  }
+  return stats;
+}
+
+}  // namespace dqndock::screen

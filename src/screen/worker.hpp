@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file worker.hpp
+/// ScreenWorker: the pulling side of the distributed screening service.
+/// A worker connects to the coordinator, fetches the job config (HELLO),
+/// then loops: lease a shard, screen it chunk-by-chunk through granted
+/// windows, and submit the shard's local top-K as one RESULT.
+///
+/// The worker may only screen indices the coordinator has granted; each
+/// PROGRESS both reports the completed frontier and claims the next
+/// chunk, so it doubles as the heartbeat. When a claim comes back with
+/// grant_end == done the shard has no more indices (possibly because its
+/// tail was stolen) and the worker submits [begin, done). Determinism is
+/// carried by metadock::ligandScreenStream — every granted window is
+/// screened with per-ligand RNG streams keyed by global index, so any
+/// shard/worker arrangement reproduces the single-process run bit for
+/// bit.
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/thread_pool.hpp"
+#include "src/serve/tcp.hpp"
+
+namespace dqndock::screen {
+
+struct WorkerOptions {
+  std::string id = "worker";        ///< reported in HELLO/LEASE; shows up in logs
+  std::size_t maxShards = 0;        ///< stop after completing this many (0 = until FINISHED)
+  /// Fault-injection hook: after screening this many granted chunks in
+  /// total, drop the connection and return without submitting — to the
+  /// coordinator this is indistinguishable from a worker crash. 0 = never.
+  std::size_t abortAfterChunks = 0;
+  serve::RetryPolicy retry = serve::RetryPolicy::patient();
+  ThreadPool* pool = nullptr;       ///< optional intra-worker screening parallelism
+};
+
+struct WorkerStats {
+  std::size_t shardsCompleted = 0;  ///< RESULTs accepted by the coordinator
+  std::size_t ligandsScreened = 0;
+  std::size_t chunksScreened = 0;
+  std::size_t abandoned = 0;        ///< shards dropped (lease lost mid-work)
+  std::size_t staleResults = 0;     ///< RESULTs rejected as stale
+  bool finished = false;            ///< saw FINISHED (library fully covered)
+  bool aborted = false;             ///< abortAfterChunks fired
+  std::string error;                ///< non-empty when the loop ended on a failure
+};
+
+class ScreenWorker {
+ public:
+  ScreenWorker(std::uint16_t port, WorkerOptions options = {},
+               std::string host = "127.0.0.1");
+
+  /// Run the lease-screen-submit loop until FINISHED, maxShards,
+  /// abortAfterChunks, or an unrecoverable error (recorded in
+  /// stats.error rather than thrown, so supervisors can inspect it).
+  WorkerStats run();
+
+ private:
+  std::uint16_t port_;
+  std::string host_;
+  WorkerOptions options_;
+};
+
+}  // namespace dqndock::screen

@@ -1,0 +1,250 @@
+// End-to-end tests for the distributed virtual-screening service: a
+// real ScreenCoordinator on a loopback socket with ScreenWorker threads
+// pulling shards over the wire. The acceptance bar is bit-identity —
+// any shard/worker arrangement, including worker death and coordinator
+// checkpoint-resume, must reproduce the single-process VsPipeline run
+// exactly.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "src/chem/library_io.hpp"
+#include "src/metadock/vs_pipeline.hpp"
+#include "src/screen/coordinator.hpp"
+#include "src/screen/protocol.hpp"
+#include "src/screen/worker.hpp"
+
+namespace dqndock::screen {
+namespace {
+
+class ScreenServiceFixture : public ::testing::Test {
+ protected:
+  ScreenServiceFixture() {
+    const auto dir = std::filesystem::temp_directory_path();
+    libraryPath_ = (dir / "dqndock_screen_lib.smi").string();
+    journalPath_ = (dir / "dqndock_screen_journal.txt").string();
+    std::filesystem::remove(journalPath_);
+    chem::writeSyntheticLibraryFile(libraryPath_, 24, 6, 12, 7);
+
+    config_.libraryPath = libraryPath_;
+    config_.searchPreset = "monte-carlo";
+    config_.evaluationsPerLigand = 120;  // small but real screening work
+    config_.refineWithGradient = false;
+    config_.clusterModes = false;
+    config_.hitThreshold = -1e18;  // everything is a hit -> full accounting
+    config_.seed = 41;
+    config_.topK = 0;  // keep all 24 so reports compare hit-for-hit
+    config_.shardSize = 6;
+    config_.chunkSize = 2;
+    config_.leaseTimeoutSeconds = 0.4;
+  }
+
+  ~ScreenServiceFixture() override {
+    std::filesystem::remove(libraryPath_);
+    std::filesystem::remove(journalPath_);
+  }
+
+  /// The single-process ground truth for this config.
+  metadock::ScreeningReport singleProcess() {
+    chem::LigandLibraryReader reader(libraryPath_);
+    const chem::Molecule receptor = loadReceptor(config_);
+    return metadock::screenLibrary(receptor, reader.readAll(), config_.screeningOptions());
+  }
+
+  static void expectSameRanking(const metadock::ScreeningReport& a,
+                                const metadock::ScreeningReport& b) {
+    ASSERT_EQ(a.ranked.size(), b.ranked.size());
+    for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+      EXPECT_EQ(a.ranked[i].ligandIndex, b.ranked[i].ligandIndex) << "rank " << i;
+      EXPECT_EQ(a.ranked[i].ligandName, b.ranked[i].ligandName);
+      EXPECT_EQ(a.ranked[i].bestScore, b.ranked[i].bestScore);      // bit-exact
+      EXPECT_EQ(a.ranked[i].refinedScore, b.ranked[i].refinedScore);
+      EXPECT_EQ(a.ranked[i].evaluations, b.ranked[i].evaluations);
+    }
+    EXPECT_EQ(a.hitCount, b.hitCount);
+    EXPECT_EQ(a.totalEvaluations, b.totalEvaluations);
+    EXPECT_DOUBLE_EQ(a.hitRate, b.hitRate);
+  }
+
+  /// Worker options that give up quickly once the coordinator halts,
+  /// instead of grinding through the patient default backoff.
+  static WorkerOptions quickRetry() {
+    WorkerOptions options;
+    options.retry.maxAttempts = 2;
+    options.retry.initialBackoff = std::chrono::milliseconds(50);
+    options.retry.deadline = std::chrono::seconds(5);
+    return options;
+  }
+
+  std::vector<WorkerStats> runWorkers(std::uint16_t port, std::size_t count,
+                                      WorkerOptions base = {}) {
+    std::vector<WorkerStats> stats(count);
+    std::vector<std::thread> crew;
+    for (std::size_t w = 0; w < count; ++w) {
+      crew.emplace_back([&, w] {
+        WorkerOptions options = base;
+        options.id = "w" + std::to_string(w);
+        stats[w] = ScreenWorker(port, options).run();
+      });
+    }
+    for (auto& t : crew) t.join();
+    return stats;
+  }
+
+  std::string libraryPath_;
+  std::string journalPath_;
+  ScreenJobConfig config_;
+};
+
+TEST_F(ScreenServiceFixture, DistributedMatchesSingleProcessBitForBit) {
+  const metadock::ScreeningReport reference = singleProcess();
+
+  ScreenCoordinator coordinator(config_);
+  const auto stats = runWorkers(coordinator.port(), 3);
+  EXPECT_TRUE(coordinator.waitUntilDone(60.0));
+  for (const auto& s : stats) {
+    EXPECT_TRUE(s.error.empty()) << s.error;
+    EXPECT_TRUE(s.finished);
+  }
+  expectSameRanking(reference, coordinator.report());
+
+  const CoordinatorStats cs = coordinator.stats();
+  EXPECT_EQ(cs.ligandsDone, 24u);
+  EXPECT_EQ(cs.shardsDone, cs.shardsTotal);
+  EXPECT_EQ(cs.workersSeen, 3u);
+  coordinator.stop();
+}
+
+TEST_F(ScreenServiceFixture, WorkerDeathIsReclaimedByLeaseTimeout) {
+  const metadock::ScreeningReport reference = singleProcess();
+
+  ScreenCoordinator coordinator(config_);
+  // One worker dies mid-shard (after 2 granted chunks, RESULT never
+  // sent); a healthy worker must pick up the re-queued range after the
+  // lease lapses and finish the whole library.
+  std::thread doomed([&] {
+    WorkerOptions options;
+    options.id = "doomed";
+    options.abortAfterChunks = 2;
+    const WorkerStats stats = ScreenWorker(coordinator.port(), options).run();
+    EXPECT_TRUE(stats.aborted);
+    EXPECT_EQ(stats.shardsCompleted, 0u);
+  });
+  doomed.join();
+
+  const auto stats = runWorkers(coordinator.port(), 2);
+  EXPECT_TRUE(coordinator.waitUntilDone(60.0));
+  for (const auto& s : stats) EXPECT_TRUE(s.error.empty()) << s.error;
+
+  expectSameRanking(reference, coordinator.report());
+  EXPECT_GE(coordinator.stats().leasesExpired, 1u);
+  coordinator.stop();
+}
+
+TEST_F(ScreenServiceFixture, StragglerShardIsSplitForIdleWorkers) {
+  // One giant shard: without work stealing a second worker would idle
+  // while the first grinds through all 24 ligands. A larger per-ligand
+  // budget keeps the straggler busy long enough for the idle worker to
+  // show up and steal, even on a loaded machine.
+  config_.evaluationsPerLigand = 500;
+  config_.shardSize = 24;
+  config_.leaseTimeoutSeconds = 30.0;  // stealing, not expiry, must kick in
+  const metadock::ScreeningReport reference = singleProcess();
+  ScreenCoordinator coordinator(config_);
+  const auto stats = runWorkers(coordinator.port(), 2);
+  EXPECT_TRUE(coordinator.waitUntilDone(60.0));
+  for (const auto& s : stats) {
+    EXPECT_TRUE(s.error.empty()) << s.error;
+    EXPECT_GT(s.ligandsScreened, 0u) << "a worker idled through the whole run";
+  }
+  expectSameRanking(reference, coordinator.report());
+  EXPECT_GE(coordinator.stats().shardsStolen, 1u);
+  coordinator.stop();
+}
+
+TEST_F(ScreenServiceFixture, CheckpointResumeEqualsUninterruptedRun) {
+  const metadock::ScreeningReport reference = singleProcess();
+
+  // Phase 1: coordinator "crashes" (halt, journal left behind) after two
+  // shard results.
+  std::size_t ligandsFirstRun = 0;
+  {
+    CoordinatorOptions options;
+    options.journalPath = journalPath_;
+    options.haltAfterShards = 2;
+    ScreenCoordinator coordinator(config_, options);
+    const auto stats = runWorkers(coordinator.port(), 2, quickRetry());
+    EXPECT_FALSE(coordinator.waitUntilDone(60.0));  // halted, not done
+    EXPECT_TRUE(coordinator.halted());
+    for (const auto& s : stats) ligandsFirstRun += s.ligandsScreened;
+    coordinator.stop();
+  }
+  const auto journaled = ScreenJournal::load(journalPath_);
+  ASSERT_TRUE(journaled.exists);
+  EXPECT_EQ(journaled.records.size(), 2u);
+
+  // Phase 2: a fresh coordinator resumes from the journal. Completed
+  // shards must not be re-screened: the resumed run's workers screen
+  // exactly the complement of the journaled ranges.
+  {
+    CoordinatorOptions options;
+    options.journalPath = journalPath_;
+    options.resume = true;
+    ScreenCoordinator coordinator(config_, options);
+    EXPECT_EQ(coordinator.stats().shardsResumed, 2u);
+    const auto stats = runWorkers(coordinator.port(), 2);
+    EXPECT_TRUE(coordinator.waitUntilDone(60.0));
+
+    std::size_t ligandsSecondRun = 0;
+    for (const auto& s : stats) ligandsSecondRun += s.ligandsScreened;
+    EXPECT_EQ(ligandsSecondRun, 24u - 2u * config_.shardSize)
+        << "resume re-screened journaled shards";
+
+    expectSameRanking(reference, coordinator.report());
+    coordinator.stop();
+  }
+}
+
+TEST_F(ScreenServiceFixture, ResumeRefusesForeignJournal) {
+  {
+    CoordinatorOptions options;
+    options.journalPath = journalPath_;
+    options.haltAfterShards = 1;
+    ScreenCoordinator coordinator(config_, options);
+    runWorkers(coordinator.port(), 1, quickRetry());
+    coordinator.waitUntilDone(60.0);
+    coordinator.stop();
+  }
+  // Same journal, different screening seed: the fingerprint must refuse
+  // the resume instead of silently mixing two incompatible runs.
+  config_.seed += 1;
+  CoordinatorOptions options;
+  options.journalPath = journalPath_;
+  options.resume = true;
+  EXPECT_THROW(ScreenCoordinator(config_, options), std::runtime_error);
+}
+
+TEST_F(ScreenServiceFixture, TopKReportIsPrefixOfFullRanking) {
+  const metadock::ScreeningReport reference = singleProcess();
+
+  config_.topK = 5;
+  ScreenCoordinator coordinator(config_);
+  runWorkers(coordinator.port(), 2);
+  EXPECT_TRUE(coordinator.waitUntilDone(60.0));
+  const metadock::ScreeningReport top = coordinator.report();
+  ASSERT_EQ(top.ranked.size(), 5u);
+  for (std::size_t i = 0; i < top.ranked.size(); ++i) {
+    EXPECT_EQ(top.ranked[i].ligandIndex, reference.ranked[i].ligandIndex);
+    EXPECT_EQ(top.ranked[i].refinedScore, reference.ranked[i].refinedScore);
+  }
+  // Aggregates still cover the whole library, not just the top K.
+  EXPECT_EQ(top.hitCount, reference.hitCount);
+  EXPECT_EQ(top.totalEvaluations, reference.totalEvaluations);
+  coordinator.stop();
+}
+
+}  // namespace
+}  // namespace dqndock::screen

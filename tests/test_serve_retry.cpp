@@ -1,0 +1,181 @@
+// Tests for TcpClient connect/request retry: capped exponential backoff
+// under an overall deadline, with every retry on a FRESH connection — a
+// desynchronized stream is never reused.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/serve/tcp.hpp"
+#include "src/serve/wire.hpp"
+
+namespace dqndock::serve {
+namespace {
+
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(fd_, 4), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() { closeListener(); }
+  void closeListener() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  std::uint16_t port() const { return port_; }
+  int acceptOne() { return ::accept(fd_, nullptr, nullptr); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(TcpClientRetryTest, DefaultPolicyFailsFast) {
+  RawListener probe;
+  const std::uint16_t port = probe.port();
+  probe.closeListener();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(TcpClient(port, "127.0.0.1", RetryPolicy{}), std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));  // one attempt, no backoff
+}
+
+TEST(TcpClientRetryTest, ConnectRetriesUntilServerAppears) {
+  RawListener probe;
+  const std::uint16_t port = probe.port();
+  probe.closeListener();  // nothing listening yet
+
+  std::atomic<bool> served{false};
+  std::thread lateServer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    // Rebind the same port and answer one request.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(fd, 1), 0);
+    const int conn = ::accept(fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    Message request;
+    ASSERT_TRUE(recvMessage(conn, request));
+    sendMessage(conn, Message::ok());
+    served = true;
+    ::close(conn);
+    ::close(fd);
+  });
+
+  RetryPolicy retry;
+  retry.maxAttempts = 10;
+  retry.initialBackoff = std::chrono::milliseconds(50);
+  retry.deadline = std::chrono::seconds(10);
+  TcpClient client(port, "127.0.0.1", retry);
+  const Message reply = client.request(Message{"PING", {}});
+  EXPECT_EQ(reply.type, "OK");
+  lateServer.join();
+  EXPECT_TRUE(served);
+}
+
+TEST(TcpClientRetryTest, DeadlineBoundsTotalWait) {
+  RawListener probe;
+  const std::uint16_t port = probe.port();
+  probe.closeListener();
+
+  RetryPolicy retry;
+  retry.maxAttempts = 1000;  // attempts alone would retry for a long time
+  retry.initialBackoff = std::chrono::milliseconds(50);
+  retry.maxBackoff = std::chrono::milliseconds(100);
+  retry.deadline = std::chrono::milliseconds(300);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(TcpClient(port, "127.0.0.1", retry), std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+}
+
+TEST(TcpClientRetryTest, RequestRetryUsesFreshConnection) {
+  // First connection: the server reads the request and hangs up without
+  // replying — the client's stream is now desynchronized. The retrying
+  // request() must NOT reuse it: it reconnects and resends, and the
+  // server answers on the second, fresh connection.
+  RawListener listener;
+  std::atomic<int> connections{0};
+  std::thread server([&] {
+    const int first = listener.acceptOne();
+    ASSERT_GE(first, 0);
+    ++connections;
+    char buf[4096];
+    ASSERT_GT(::read(first, buf, sizeof buf), 0);
+    ::close(first);  // no reply: failed exchange
+
+    const int second = listener.acceptOne();
+    ASSERT_GE(second, 0);
+    ++connections;
+    Message request;
+    ASSERT_TRUE(recvMessage(second, request));
+    EXPECT_EQ(request.type, "PING");
+    Message reply = Message::ok();
+    reply.set("attempt", static_cast<long>(2));
+    sendMessage(second, reply);
+    ::close(second);
+  });
+
+  TcpClient client(listener.port());
+  RetryPolicy retry;
+  retry.maxAttempts = 4;
+  retry.initialBackoff = std::chrono::milliseconds(20);
+  const Message reply = client.request(Message{"PING", {}}, retry);
+  EXPECT_EQ(reply.type, "OK");
+  EXPECT_EQ(reply.getInt("attempt", 0), 2);
+  EXPECT_EQ(connections.load(), 2);
+  server.join();
+}
+
+TEST(TcpClientRetryTest, RetryExhaustionThrowsLastError) {
+  RawListener listener;
+  std::thread server([&] {
+    for (int i = 0; i < 3; ++i) {
+      const int fd = listener.acceptOne();
+      if (fd < 0) return;
+      char buf[4096];
+      (void)!::read(fd, buf, sizeof buf);
+      ::close(fd);  // never reply
+    }
+  });
+
+  TcpClient client(listener.port());
+  RetryPolicy retry;
+  retry.maxAttempts = 3;
+  retry.initialBackoff = std::chrono::milliseconds(10);
+  EXPECT_THROW(client.request(Message{"PING", {}}, retry), std::runtime_error);
+  server.join();
+}
+
+TEST(TcpClientRetryTest, PatientPolicyHasSaneShape) {
+  const RetryPolicy p = RetryPolicy::patient();
+  EXPECT_GT(p.maxAttempts, 1);
+  EXPECT_GT(p.deadline.count(), 0);
+  EXPECT_GE(p.maxBackoff, p.initialBackoff);
+}
+
+}  // namespace
+}  // namespace dqndock::serve

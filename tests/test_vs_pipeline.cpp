@@ -120,6 +120,73 @@ TEST_F(VsPipelineFixture, KnownBinderRanksFirst) {
   EXPECT_GT(report.ranked.front().refinedScore, report.ranked[1].refinedScore);
 }
 
+TEST_F(VsPipelineFixture, StableTotalOrderBreaksScoreTiesByIndex) {
+  ScreeningHit a, b;
+  a.refinedScore = 1.5;
+  b.refinedScore = 1.5;
+  a.ligandIndex = 3;
+  b.ligandIndex = 7;
+  EXPECT_TRUE(hitOrderBefore(a, b));   // tie -> lower index first
+  EXPECT_FALSE(hitOrderBefore(b, a));
+  b.refinedScore = 2.0;
+  EXPECT_TRUE(hitOrderBefore(b, a));   // higher score first
+  EXPECT_FALSE(hitOrderBefore(a, a));  // irreflexive (strict weak order)
+}
+
+TEST_F(VsPipelineFixture, LigandStreamDependsOnlyOnSeedAndGlobalIndex) {
+  // Shard-layout invariance rests on this: the stream for ligand 11 is
+  // the same whether it is screened alone, in slice [8,16), or in the
+  // whole library.
+  Rng a = ligandScreenStream(2020, 11);
+  Rng b = ligandScreenStream(2020, 11);
+  const std::uint64_t base = a();
+  EXPECT_EQ(base, b());
+  Rng c = ligandScreenStream(2020, 12);
+  Rng d = ligandScreenStream(2021, 11);
+  EXPECT_NE(c(), base);
+  EXPECT_NE(d(), base);
+}
+
+TEST_F(VsPipelineFixture, SliceMergeMatchesWholeLibraryBitForBit) {
+  // The distributed-screening keystone: screening the library as one
+  // slice must equal screening it as N slices merged, for any N.
+  const ScreeningOptions opts = fastOptions();
+  const ScreeningReport whole = screenLibrary(scenario_.receptor, library_, opts);
+
+  for (std::size_t slices : {2u, 3u, 4u}) {
+    std::vector<ScreeningReport> parts;
+    const std::size_t step = (library_.size() + slices - 1) / slices;
+    for (std::size_t lo = 0; lo < library_.size(); lo += step) {
+      const std::size_t hi = std::min(lo + step, library_.size());
+      const std::vector<chem::Molecule> slice(library_.begin() + lo, library_.begin() + hi);
+      parts.push_back(screenLibrarySlice(scenario_.receptor, slice, lo, opts));
+    }
+    const ScreeningReport merged = mergeScreeningReports(parts, library_.size());
+    ASSERT_EQ(merged.ranked.size(), whole.ranked.size()) << slices << " slices";
+    for (std::size_t i = 0; i < whole.ranked.size(); ++i) {
+      EXPECT_EQ(merged.ranked[i].ligandIndex, whole.ranked[i].ligandIndex);
+      EXPECT_EQ(merged.ranked[i].ligandName, whole.ranked[i].ligandName);
+      // Bit-exact, not approximately equal: same ligand, same stream,
+      // same arithmetic regardless of slicing.
+      EXPECT_EQ(merged.ranked[i].bestScore, whole.ranked[i].bestScore);
+      EXPECT_EQ(merged.ranked[i].refinedScore, whole.ranked[i].refinedScore);
+    }
+    EXPECT_EQ(merged.hitCount, whole.hitCount);
+    EXPECT_EQ(merged.totalEvaluations, whole.totalEvaluations);
+    EXPECT_DOUBLE_EQ(merged.hitRate, whole.hitRate);
+  }
+}
+
+TEST_F(VsPipelineFixture, MergeTruncatesToTopK) {
+  const ScreeningOptions opts = fastOptions();
+  const ScreeningReport whole = screenLibrary(scenario_.receptor, library_, opts);
+  const ScreeningReport top2 = mergeScreeningReports({whole}, library_.size(), 2);
+  ASSERT_EQ(top2.ranked.size(), 2u);
+  EXPECT_EQ(top2.ranked[0].ligandIndex, whole.ranked[0].ligandIndex);
+  EXPECT_EQ(top2.ranked[1].ligandIndex, whole.ranked[1].ligandIndex);
+  EXPECT_EQ(top2.hitCount, whole.hitCount);  // counters are library-wide, not top-K
+}
+
 TEST_F(VsPipelineFixture, CsvExport) {
   const ScreeningReport report = screenLibrary(scenario_.receptor, library_, fastOptions());
   const auto path = std::filesystem::temp_directory_path() / "dqndock_screen.csv";
