@@ -3,7 +3,7 @@
 // move to RAM-based communication as its first planned refinement.
 // Measures per-step latency of both couplings on the full-size scenario.
 
-#include <benchmark/benchmark.h>
+#include "bench/benchkit.hpp"
 
 #include <memory>
 

@@ -16,6 +16,7 @@
 //   bench_fig4_training                    # scaled preset (seconds)
 //   bench_fig4_training --episodes=300     # longer run
 //   bench_fig4_training --paper-scale      # full Table 1 configuration
+//   bench_fig4_training --vector-envs=8    # lockstep vectorized trainer
 //   bench_fig4_training --csv=fig4.csv     # dump the series
 
 #include <cstdio>
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
   cfg.trainer.episodes =
       static_cast<std::size_t>(args.getInt("episodes", static_cast<long>(cfg.trainer.episodes)));
   cfg.trainer.seed = static_cast<std::uint64_t>(args.getInt("seed", 2018));
+  cfg.vectorEnvs =
+      static_cast<std::size_t>(args.getInt("vector-envs", static_cast<long>(cfg.vectorEnvs)));
+  if (cfg.vectorEnvs >= 1) cfg.compactReplay = false;  // vectorized needs raw-state replay
 
   std::printf("# Figure 4 reproduction: avg max predicted Q per episode\n");
   std::printf("# preset=%s episodes=%zu stateDim mode=%s\n",
@@ -50,12 +54,19 @@ int main(int argc, char** argv) {
   const std::size_t logEvery = std::max<std::size_t>(1, cfg.trainer.episodes / 30);
   std::printf("%8s %14s %14s %12s %10s %8s\n", "episode", "avgMaxQ", "reward", "bestScore",
               "steps", "eps");
-  for (std::size_t e = 0; e < cfg.trainer.episodes; ++e) {
-    const rl::EpisodeRecord r = system.trainEpisode();
-    if (e % logEvery == 0 || e + 1 == cfg.trainer.episodes) {
+  const auto printRecord = [&](const rl::EpisodeRecord& r) {
+    if (r.episode % logEvery == 0 || r.episode + 1 == cfg.trainer.episodes) {
       std::printf("%8zu %14.4f %14.2f %12.2f %10zu %8.3f\n", r.episode, r.avgMaxQ, r.totalReward,
                   r.bestScore, r.steps, r.epsilon);
     }
+  };
+  if (cfg.vectorEnvs >= 1) {
+    // The lockstep schedule has no single-episode granularity; records
+    // stream out of run() in completion order via the callback.
+    system.trainer().setEpisodeCallback(printRecord);
+    system.train();
+  } else {
+    for (std::size_t e = 0; e < cfg.trainer.episodes; ++e) printRecord(system.trainEpisode());
   }
   const double elapsed = clock.seconds();
 

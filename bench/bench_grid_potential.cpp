@@ -4,7 +4,7 @@
 // docking-engine optimisation, quantified here on the 2BSM-sized
 // scenario: build time, map memory, per-pose latency and accuracy drift.
 
-#include <benchmark/benchmark.h>
+#include "bench/benchkit.hpp"
 
 #include <cstdio>
 #include <memory>

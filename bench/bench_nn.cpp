@@ -2,7 +2,7 @@
 // (Table 1: input 16,599 / hidden 135x135 / output 12, minibatch 32) and
 // at the scaled preset's dimensions, across thread counts.
 
-#include <benchmark/benchmark.h>
+#include "bench/benchkit.hpp"
 
 #include <memory>
 

@@ -4,7 +4,7 @@
 // sampling. Measures push/sample throughput of both and prints the
 // resident-memory ratio at the paper's N = 400,000 capacity.
 
-#include <benchmark/benchmark.h>
+#include "bench/benchkit.hpp"
 
 #include <cstdio>
 #include <memory>

@@ -14,7 +14,7 @@
 //
 // google-benchmark harness; reports pairs/second where meaningful.
 
-#include <benchmark/benchmark.h>
+#include "bench/benchkit.hpp"
 
 #include <memory>
 

@@ -1,0 +1,195 @@
+// Vectorized training-loop throughput on the paper-2BSM task: V lockstep
+// envs feeding the pose-batched scoring kernel and one tiled Q-forward
+// per step, vs the paper's sequential one-env loop. Reports training
+// transitions/second (one candidate pose is scored per transition, so
+// this is also pose-evals/second) for sequential and V in {1, 8, 32}
+// during the collect phase (epsilon = 0.05, no SGD: the learn call is
+// identical per transition in both schedules, so collect throughput is
+// where the speedup lives), plus a short learning-phase row at V = 32
+// and a built-in sequential-vs-V=1 bit-identity check.
+//
+// Output is a single JSON object on stdout; scripts/bench_training.py
+// wraps it into BENCH_training.json with the acceptance gate.
+//
+// Usage: bench_training [--episodes=8] [--max-steps=50] [--seed=2018]
+//                       [--replay=512] [--learn-max-steps=10] [--skip-identity]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/core/dqn_docking.hpp"
+#include "src/metadock/scoring_kernels.hpp"
+
+using namespace dqndock;
+
+namespace {
+
+core::DqnDockingConfig benchConfig(std::size_t vectorEnvs, std::size_t episodes,
+                                   std::size_t maxSteps, std::uint64_t seed,
+                                   std::size_t replayCapacity, bool learning) {
+  core::DqnDockingConfig cfg = core::DqnDockingConfig::paper2bsm();
+  cfg.env.maxSteps = maxSteps;
+  cfg.trainer.episodes = episodes;
+  cfg.trainer.seed = seed;
+  // Constant Table-1 floor epsilon: mostly-greedy acting exercises the
+  // Q-forward on every step, which is what vectorization amortizes.
+  cfg.trainer.epsilon = rl::EpsilonSchedule(0.05, 0.05, 0.0, 0);
+  cfg.trainer.learningStart = learning ? cfg.agent.batchSize : (1ull << 40);
+  // Raw-state replay (the vectorized path's storage); a small ring keeps
+  // the 16,599-double states bounded (~0.27 MB/transition).
+  cfg.replayCapacity = replayCapacity;
+  cfg.compactReplay = false;
+  cfg.vectorEnvs = vectorEnvs;
+  return cfg;
+}
+
+struct ModeResult {
+  std::string label;
+  std::size_t vectorEnvs = 0;
+  std::size_t episodes = 0;
+  std::size_t steps = 0;
+  std::size_t batchedSteps = 0;
+  std::size_t learnCalls = 0;
+  double seconds = 0.0;
+};
+
+ModeResult runMode(const std::string& label, const chem::Scenario& scenario,
+                   const core::DqnDockingConfig& cfg, ThreadPool* pool) {
+  core::DqnDocking system(cfg, scenario, pool);
+  Stopwatch clock;
+  system.train();
+  ModeResult r;
+  r.label = label;
+  r.vectorEnvs = cfg.vectorEnvs;
+  r.episodes = system.metrics().size();
+  r.steps = system.trainer().globalStep();
+  r.batchedSteps = system.vectorEnv() ? system.vectorEnv()->batchedSteps() : 0;
+  r.learnCalls = system.agent().learnSteps();
+  r.seconds = clock.seconds();
+  std::fprintf(stderr, "  %-16s episodes=%zu steps=%zu learns=%zu %.2fs (%.0f steps/s)\n",
+               label.c_str(), r.episodes, r.steps, r.learnCalls, r.seconds,
+               static_cast<double>(r.steps) / r.seconds);
+  return r;
+}
+
+void printMode(const ModeResult& r, bool last) {
+  const double stepsPerSec = static_cast<double>(r.steps) / r.seconds;
+  const double batchedFraction =
+      r.steps ? static_cast<double>(r.batchedSteps) * static_cast<double>(r.vectorEnvs) /
+                    static_cast<double>(r.steps)
+              : 0.0;
+  std::printf("    {\"label\": \"%s\", \"vector_envs\": %zu, \"episodes\": %zu, "
+              "\"steps\": %zu, \"learn_calls\": %zu, \"seconds\": %.4f, "
+              "\"steps_per_second\": %.1f, \"pose_evals_per_second\": %.1f, "
+              "\"batched_steps\": %zu, \"batched_fraction\": %.4f}%s\n",
+              r.label.c_str(), r.vectorEnvs, r.episodes, r.steps, r.learnCalls, r.seconds,
+              stepsPerSec, stepsPerSec, r.batchedSteps, batchedFraction, last ? "" : ",");
+}
+
+/// Sequential vs V=1 must match bit-for-bit: same episode records, same
+/// final weights (test_vector_env proves it on the scaled task; this
+/// reruns the check on the paper-2BSM geometry the numbers ship from).
+bool v1BitIdentical(const chem::Scenario& scenario, std::uint64_t seed, ThreadPool* pool) {
+  core::DqnDockingConfig seqCfg = benchConfig(0, 2, 30, seed, 512, /*learning=*/true);
+  core::DqnDockingConfig vecCfg = seqCfg;
+  vecCfg.vectorEnvs = 1;
+  core::DqnDocking seq(seqCfg, scenario, pool);
+  core::DqnDocking vec(vecCfg, scenario, pool);
+  seq.train();
+  vec.train();
+
+  const auto& sr = seq.metrics().records();
+  const auto& vr = vec.metrics().records();
+  if (sr.size() != vr.size()) return false;
+  for (std::size_t i = 0; i < sr.size(); ++i) {
+    if (sr[i].totalReward != vr[i].totalReward || sr[i].steps != vr[i].steps ||
+        sr[i].finalScore != vr[i].finalScore || sr[i].avgMaxQ != vr[i].avgMaxQ) {
+      return false;
+    }
+  }
+  auto sp = seq.agent().online().parameters();
+  auto vp = vec.agent().online().parameters();
+  if (sp.size() != vp.size()) return false;
+  for (std::size_t t = 0; t < sp.size(); ++t) {
+    const auto a = sp[t]->flat();
+    const auto b = vp[t]->flat();
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto episodes = static_cast<std::size_t>(args.getInt("episodes", 8));
+  const auto maxSteps = static_cast<std::size_t>(args.getInt("max-steps", 50));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2018));
+  const auto replayCapacity = static_cast<std::size_t>(args.getInt("replay", 512));
+  const auto learnMaxSteps = static_cast<std::size_t>(args.getInt("learn-max-steps", 10));
+  const bool skipIdentity = args.has("skip-identity");
+
+  const core::DqnDockingConfig base = core::DqnDockingConfig::paper2bsm();
+  const chem::Scenario scenario = chem::buildScenario(base.scenario);
+  ThreadPool pool;
+
+  // --- Collect phase: sequential baseline, then V in {1, 8, 32}. -------
+  std::vector<ModeResult> modes;
+  modes.push_back(runMode("sequential", scenario,
+                          benchConfig(0, episodes, maxSteps, seed, replayCapacity, false),
+                          &pool));
+  for (std::size_t v : {1u, 8u, 32u}) {
+    // Episode quota >= V keeps the lockstep full for most of the run.
+    const std::size_t quota = std::max(episodes, v);
+    modes.push_back(runMode("V=" + std::to_string(v), scenario,
+                            benchConfig(v, quota, maxSteps, seed, replayCapacity, false),
+                            &pool));
+  }
+
+  // --- Learning phase at V=32 vs sequential. SGD cost is per-transition
+  // identical in both schedules, so this row shows how much of the
+  // collect speedup survives end to end. Both rows run the same episode
+  // quota (32 x learn-max-steps transitions) so the learn-call counts
+  // match and the comparison is apples to apples.
+  ModeResult learnSeq = runMode(
+      "learn-sequential", scenario,
+      benchConfig(0, 32, learnMaxSteps, seed, replayCapacity, true), &pool);
+  ModeResult learnVec = runMode(
+      "learn-V=32", scenario,
+      benchConfig(32, 32, learnMaxSteps, seed, replayCapacity, true), &pool);
+
+  const bool identical = skipIdentity || v1BitIdentical(scenario, seed, &pool);
+  if (!skipIdentity) {
+    std::fprintf(stderr, "  v1 bit-identity: %s\n", identical ? "PASS" : "FAIL");
+  }
+
+  std::printf("{\n");
+#ifdef NDEBUG
+  std::printf("  \"dqndock_bench_asserts\": \"off\",\n");
+#else
+  std::printf("  \"dqndock_bench_asserts\": \"on\",\n");
+#endif
+  std::printf("  \"dqndock_bench_build_type\": \"%s\",\n", DQNDOCK_BENCH_BUILD_TYPE);
+  std::printf("  \"dqndock_kernel_tier\": \"%s\",\n",
+              metadock::kernelTierName(metadock::resolveKernelTier()));
+  std::printf("  \"scenario\": \"paper-2BSM (%zu receptor atoms x %zu-atom ligand)\",\n",
+              base.scenario.receptorAtoms, base.scenario.ligandAtoms);
+  std::printf("  \"max_steps\": %zu,\n", maxSteps);
+  std::printf("  \"v1_bit_identity_checked\": %s,\n", skipIdentity ? "false" : "true");
+  std::printf("  \"v1_bit_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"collect_phase\": [\n");
+  for (std::size_t i = 0; i < modes.size(); ++i) printMode(modes[i], i + 1 == modes.size());
+  std::printf("  ],\n");
+  std::printf("  \"learn_phase\": [\n");
+  printMode(learnSeq, false);
+  printMode(learnVec, true);
+  std::printf("  ]\n}\n");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file benchkit.hpp
+/// In-tree benchmark harness, drop-in compatible with the subset of the
+/// google-benchmark API our benches use (State range/items/label loops,
+/// BENCHMARK()->Arg()->UseRealTime(), JSON/console reporters, the
+/// --benchmark_filter/--benchmark_min_time/--benchmark_format flags).
+///
+/// Why not the system libbenchmark: the only binary available in the
+/// image was built without NDEBUG and self-reports
+/// "library_build_type": "debug", which the result-publishing scripts
+/// now refuse (a debug harness library adds per-iteration overhead that
+/// pollutes published numbers). This library is always compiled -O3
+/// -DNDEBUG regardless of the harness build type (see bench/CMakeLists)
+/// and stamps library_build_type from its own compile mode, so the JSON
+/// context stays honest if anyone un-forces the flags.
+///
+/// Timing protocol, kept deliberately close to google-benchmark: each
+/// benchmark is re-run with a growing iteration count until the timed
+/// region exceeds --benchmark_min_time, and only the final run is
+/// reported. real_time/cpu_time are per-iteration nanoseconds;
+/// items_per_second divides total items by total cpu (or real, with
+/// UseRealTime) seconds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::size_t maxIterations, std::vector<std::int64_t> args);
+
+  /// `for (auto _ : state)` — begin() starts the timer, the final
+  /// iterator comparison stops it.
+  class Iterator {
+   public:
+    Iterator(State* state, std::size_t remaining) : state_(state), remaining_(remaining) {}
+    bool operator!=(const Iterator&) {
+      if (remaining_ != 0) return true;
+      state_->finishTiming();
+      return false;
+    }
+    Iterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    // Non-trivial so `for (auto _ : state)` doesn't warn set-but-unused.
+    struct Value {
+      Value() {}
+      ~Value() {}
+    };
+    Value operator*() const { return {}; }
+
+   private:
+    State* state_;
+    std::size_t remaining_;
+  };
+
+  Iterator begin() {
+    startTiming();
+    return Iterator(this, maxIterations_);
+  }
+  Iterator end() { return Iterator(this, 0); }
+
+  std::int64_t range(std::size_t i = 0) const;
+  std::size_t iterations() const { return maxIterations_; }
+  void SetItemsProcessed(std::int64_t items) { items_ = items; }
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  // -- harness-side accessors (not part of the user-facing API) ----------
+  double realSeconds() const { return realSeconds_; }
+  double cpuSeconds() const { return cpuSeconds_; }
+  std::int64_t itemsProcessed() const { return items_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  void startTiming();
+  void finishTiming();
+
+  std::size_t maxIterations_;
+  std::vector<std::int64_t> args_;
+  std::int64_t items_ = 0;
+  std::string label_;
+  double realSeconds_ = 0.0;
+  double cpuSeconds_ = 0.0;
+  double realStart_ = 0.0;
+  double cpuStart_ = 0.0;
+  bool timing_ = false;
+};
+
+using Function = void (*)(State&);
+
+namespace internal {
+
+/// One registered benchmark; Arg() fan-out and reporting options chain
+/// off the BENCHMARK() macro like google-benchmark's builder.
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn) : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    args_.push_back({value});
+    return this;
+  }
+  Benchmark* UseRealTime() {
+    useRealTime_ = true;
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+  Function function() const { return fn_; }
+  /// One entry per run: the Arg list (empty -> single no-arg run).
+  std::vector<std::vector<std::int64_t>> runs() const {
+    return args_.empty() ? std::vector<std::vector<std::int64_t>>{{}} : args_;
+  }
+  bool useRealTime() const { return useRealTime_; }
+
+ private:
+  std::string name_;
+  Function fn_;
+  std::vector<std::vector<std::int64_t>> args_;
+  bool useRealTime_ = false;
+};
+
+Benchmark* RegisterBenchmark(const char* name, Function fn);
+
+}  // namespace internal
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+template <class T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+void Initialize(int* argc, char** argv);
+bool ReportUnrecognizedArguments(int argc, char** argv);
+void AddCustomContext(const std::string& key, const std::string& value);
+std::size_t RunSpecifiedBenchmarks();
+void Shutdown();
+
+}  // namespace benchmark
+
+#define BENCHKIT_CONCAT2(a, b) a##b
+#define BENCHKIT_CONCAT(a, b) BENCHKIT_CONCAT2(a, b)
+
+#define BENCHMARK(func)                                                  \
+  static ::benchmark::internal::Benchmark* BENCHKIT_CONCAT(bk_reg_, __LINE__) \
+      [[maybe_unused]] = ::benchmark::internal::RegisterBenchmark(#func, func)
+
+#define BENCHMARK_MAIN()                                                \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }

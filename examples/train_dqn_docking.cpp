@@ -7,6 +7,7 @@
 //   ./train_dqn_docking --paper-scale            # Table 1 verbatim (slow)
 //   ./train_dqn_docking --variant=double --dueling --compact-replay
 //   ./train_dqn_docking --state-mode=full-with-bonds
+//   ./train_dqn_docking --vector-envs=8               # lockstep vectorized trainer
 //   ./train_dqn_docking --config=run.ini --dump-config=run-used.ini
 
 #include <cstdio>
@@ -40,6 +41,11 @@ int main(int argc, char** argv) {
   cfg.agent.dueling = args.getBool("dueling", cfg.agent.dueling);
   cfg.compactReplay = args.getBool("compact-replay", cfg.compactReplay);
   cfg.env.flexibleLigand = args.getBool("flexible", cfg.env.flexibleLigand);
+  cfg.vectorEnvs =
+      static_cast<std::size_t>(args.getInt("vector-envs", static_cast<long>(cfg.vectorEnvs)));
+  // The vectorized trainer needs raw-state replay; presets that default
+  // to compact storage (scaled) switch over unless the user forced it.
+  if (cfg.vectorEnvs >= 1 && !args.has("compact-replay")) cfg.compactReplay = false;
 
   ThreadPool pool;
   core::DqnDocking system(cfg, &pool);
@@ -47,7 +53,8 @@ int main(int argc, char** argv) {
             << " params=" << system.agent().online().parameterCountTotal()
             << " replay=" << (cfg.compactReplay ? "compact-pose" : "raw-state")
             << " variant=" << rl::dqnVariantName(cfg.agent.variant)
-            << (cfg.agent.dueling ? "+dueling" : "");
+            << (cfg.agent.dueling ? "+dueling" : "")
+            << (cfg.vectorEnvs >= 1 ? " vector-envs=" + std::to_string(cfg.vectorEnvs) : "");
 
   system.train();
 
@@ -64,7 +71,7 @@ int main(int argc, char** argv) {
 
   const rl::EpisodeRecord greedy = system.evaluateGreedy();
   std::printf("  greedy policy: steps=%zu bestScore=%.2f finalRmsd=%.2f A\n", greedy.steps,
-              greedy.bestScore, system.env().rmsdToCrystal());
+              greedy.bestScore, system.trainingEnv().rmsdToCrystal());
 
   const std::string csv = args.getString("csv", "");
   if (!csv.empty()) {

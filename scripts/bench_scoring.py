@@ -67,7 +67,13 @@ def run_bench(binary: Path, min_time: float) -> dict:
 
 
 def check_build_type(ctx: dict, allow_debug: bool) -> str:
-    """Refuse debug harness builds: their numbers are meaningless."""
+    """Refuse debug harness OR debug benchmark-library builds.
+
+    The harness build type covers the code under test; the benchmark
+    library build type covers the timing loop itself. Either one being a
+    debug build (or unknown) makes the published numbers untrustworthy,
+    so both gates hard-fail unless --allow-debug.
+    """
     harness = ctx.get("dqndock_bench_build_type", "")
     if harness.lower() in DEBUG_BUILD_TYPES or ctx.get("dqndock_bench_asserts") == "on":
         msg = (f"refusing to publish: bench harness build type is "
@@ -77,9 +83,15 @@ def check_build_type(ctx: dict, allow_debug: bool) -> str:
         if not allow_debug:
             raise SystemExit(msg)
         sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
-    if ctx.get("library_build_type", "").lower() == "debug":
-        sys.stderr.write("note: system google-benchmark library is a debug build "
-                         "(harness overhead only; timed loops are unaffected)\n")
+    library = ctx.get("library_build_type", "")
+    if library.lower() != "release":
+        msg = (f"refusing to publish: benchmark library build type is "
+               f"{library or 'unknown'!r}; the in-tree benchkit library is "
+               f"forced -O3/NDEBUG (bench/CMakeLists.txt) - rebuild the "
+               f"bench tree instead of linking a debug libbenchmark")
+        if not allow_debug:
+            raise SystemExit(msg)
+        sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
     return harness
 
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Benchmark the vectorized training loop and emit BENCH_training.json.
+
+Runs bench_training (paper-2BSM task): sequential one-env baseline vs
+V in {1, 8, 32} lockstep envs feeding the pose-batched scoring kernel and
+one tiled Q-forward per step. The binary reports collect-phase and
+learning-phase transitions/second (one candidate pose is scored per
+transition, so steps/s == pose-evals/s) plus a built-in sequential-vs-V=1
+bit-identity check.
+
+Gates (mirroring bench_scoring.py): refuses a debug harness build,
+refuses if the V=1 schedule is not bit-identical to the sequential
+baseline, and enforces the acceptance floor of a 2x collect-phase
+speedup at V=32.
+
+Stdlib only. Usage:
+
+    python3 scripts/bench_training.py [--build-dir build] [--out BENCH_training.json]
+                                      [--episodes 8] [--max-steps 50]
+                                      [--learn-max-steps 10] [--replay 512]
+                                      [--seed 2018] [--skip-identity] [--allow-debug]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+DEBUG_BUILD_TYPES = {"", "debug"}
+REQUIRED_SPEEDUP_V32 = 2.0
+
+
+def run_bench(binary: Path, args) -> dict:
+    cmd = [
+        str(binary),
+        f"--episodes={args.episodes}",
+        f"--max-steps={args.max_steps}",
+        f"--learn-max-steps={args.learn_max_steps}",
+        f"--replay={args.replay}",
+        f"--seed={args.seed}",
+    ]
+    if args.skip_identity:
+        cmd.append("--skip-identity")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # Exit code 1 signals a failed bit-identity check; the JSON still
+    # carries the flag, so parse first and fail on the flag below.
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    sys.stderr.write(proc.stderr)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"bench_training emitted unparseable JSON: {err}")
+
+
+def check_build_type(raw: dict, allow_debug: bool) -> str:
+    """Refuse debug harness builds: their numbers are meaningless."""
+    harness = raw.get("dqndock_bench_build_type", "")
+    if harness.lower() in DEBUG_BUILD_TYPES or raw.get("dqndock_bench_asserts") == "on":
+        msg = (f"refusing to publish: bench harness build type is "
+               f"{harness or 'unknown'!r} (asserts "
+               f"{raw.get('dqndock_bench_asserts', 'unknown')}); "
+               f"rebuild with -DCMAKE_BUILD_TYPE=Release")
+        if not allow_debug:
+            raise SystemExit(msg)
+        sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
+    return harness
+
+
+def rate(rows: list, label: str) -> float:
+    for row in rows:
+        if row["label"] == label:
+            return row["steps_per_second"]
+    raise SystemExit(f"bench_training JSON is missing the {label!r} row")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--out", default="BENCH_training.json", type=Path)
+    ap.add_argument("--episodes", default=8, type=int)
+    ap.add_argument("--max-steps", default=50, type=int,
+                    help="episode length for the collect-phase rows")
+    ap.add_argument("--learn-max-steps", default=10, type=int,
+                    help="episode length for the learning-phase rows")
+    ap.add_argument("--replay", default=512, type=int)
+    ap.add_argument("--seed", default=2018, type=int)
+    ap.add_argument("--skip-identity", action="store_true",
+                    help="skip the built-in sequential-vs-V=1 bit-identity run")
+    ap.add_argument("--min-speedup", default=REQUIRED_SPEEDUP_V32, type=float,
+                    help="acceptance floor for the V=32 collect speedup; CI smoke "
+                         "runs pass a lower bar (tiny configs on shared runners "
+                         "measure schema and bit-identity, not throughput)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="emit JSON even from a debug harness build (flagged, for smoke tests)")
+    args = ap.parse_args()
+
+    binary = args.build_dir / "bench" / "bench_training"
+    if not binary.exists():
+        raise SystemExit(f"{binary} not found - build with -DDQNDOCK_BUILD_BENCH=ON first")
+
+    raw = run_bench(binary, args)
+    harness = check_build_type(raw, args.allow_debug)
+
+    if raw.get("v1_bit_identity_checked") and not raw.get("v1_bit_identical"):
+        raise SystemExit("refusing to publish: V=1 vectorized training is NOT "
+                         "bit-identical to the sequential baseline")
+
+    sequential = rate(raw["collect_phase"], "sequential")
+    v32 = rate(raw["collect_phase"], "V=32")
+    speedup_v32 = v32 / sequential
+    speedup_v8 = rate(raw["collect_phase"], "V=8") / sequential
+    ratio_v1 = rate(raw["collect_phase"], "V=1") / sequential
+    learn_seq = rate(raw["learn_phase"], "learn-sequential")
+    learn_v32 = rate(raw["learn_phase"], "learn-V=32")
+
+    doc = {
+        "benchmark": "bench_training",
+        "scenario": raw.get("scenario", ""),
+        "metric": "training_transitions_per_second",
+        "harness_build_type": harness,
+        "kernel_tier": raw.get("dqndock_kernel_tier", ""),
+        "episodes": args.episodes,
+        "max_steps": raw.get("max_steps"),
+        "v1_bit_identity_checked": raw.get("v1_bit_identity_checked", False),
+        "v1_bit_identical": raw.get("v1_bit_identical", False),
+        "collect_phase": raw["collect_phase"],
+        "learn_phase": raw["learn_phase"],
+        "acceptance": {
+            "required_speedup_collect_v32": args.min_speedup,
+            "measured_speedup_collect_v32": round(speedup_v32, 2),
+            "measured_speedup_collect_v8": round(speedup_v8, 2),
+            "v1_over_sequential": round(ratio_v1, 2),
+            "learn_phase_speedup_v32": round(learn_v32 / learn_seq, 2),
+        },
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"  collect: sequential {sequential:.0f} steps/s | "
+          f"V=8 {speedup_v8:.2f}x | V=32 {speedup_v32:.2f}x")
+    print(f"  learn:   sequential {learn_seq:.0f} steps/s | "
+          f"V=32 {learn_v32 / learn_seq:.2f}x")
+    if speedup_v32 < args.min_speedup:
+        raise SystemExit(f"acceptance FAILED: V=32 collect speedup {speedup_v32:.2f}x "
+                         f"< required {args.min_speedup}x")
+    print(f"  acceptance OK: {speedup_v32:.2f}x >= {args.min_speedup}x"
+          + ("" if raw.get("v1_bit_identity_checked") else "  (identity check skipped)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,12 @@ struct DqnDockingConfig {
   /// n-step returns (>= 1); transitions carry n-step rewards and the
   /// agent bootstraps with gamma^n.
   int nStep = 1;
+  /// Vectorized training: V lockstep envs batching action selection and
+  /// pose scoring per step (trainer.hpp documents the schedule). 0 keeps
+  /// the sequential trainer; 1 is the bit-identical vectorized run.
+  /// Requires raw-state replay (compactReplay re-derives poses from the
+  /// single sequential task at push time, so the paths are exclusive).
+  std::size_t vectorEnvs = 0;
 
   /// Table 1 verbatim: 2BSM-sized scenario, 16,599-real state, 12
   /// actions, hidden 135x135, eps 1 -> 0.05 at 4.5e-5/step, N = 400k,

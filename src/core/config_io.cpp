@@ -136,6 +136,8 @@ const std::map<std::string, Setter>& setters() {
       {"trainer.learning_start",
        [](auto& c, const auto& v, auto l) { c.trainer.learningStart = parseLong(v, l); }},
       {"trainer.seed", [](auto& c, const auto& v, auto l) { c.trainer.seed = parseLong(v, l); }},
+      {"trainer.vector_envs",
+       [](auto& c, const auto& v, auto l) { c.vectorEnvs = parseLong(v, l); }},
       {"trainer.epsilon_start",
        [](auto& c, const auto& v, auto l) {
          c.trainer.epsilon = rl::EpsilonSchedule(parseDouble(v, l), c.trainer.epsilon.end(),
@@ -198,6 +200,7 @@ void writeConfig(std::ostream& out, const DqnDockingConfig& cfg) {
   out << "episodes = " << cfg.trainer.episodes << '\n';
   out << "learning_start = " << cfg.trainer.learningStart << '\n';
   out << "seed = " << cfg.trainer.seed << '\n';
+  out << "vector_envs = " << cfg.vectorEnvs << '\n';
   out << "[replay]\n";
   out << "capacity = " << cfg.replayCapacity << '\n';
   out << "compact = " << (cfg.compactReplay ? "true" : "false") << '\n';

@@ -23,6 +23,16 @@ void DqnDocking::build(ThreadPool* pool) {
         "DqnDocking: n-step returns require raw state storage (compactReplay records the "
         "trailing pose pair only)");
   }
+  if (config_.vectorEnvs >= 1 && config_.compactReplay) {
+    throw std::invalid_argument(
+        "DqnDocking: vectorEnvs requires raw state storage (compactReplay re-derives poses "
+        "from the single sequential task at push time)");
+  }
+  if (config_.vectorEnvs > 1 && config_.nStep > 1) {
+    throw std::invalid_argument(
+        "DqnDocking: n-step returns chain consecutive transitions of one episode stream; "
+        "lockstep vectorEnvs > 1 interleave V streams into the sink");
+  }
   config_.agent.nStep = config_.nStep;
 
   config_.env.scoring.pool = nullptr;  // parallelism lives in the NN + batch layers
@@ -55,7 +65,16 @@ void DqnDocking::build(ThreadPool* pool) {
     nstepSink_ = std::make_unique<rl::NStepSink>(*sink, config_.nStep, config_.agent.gamma);
     sink = nstepSink_.get();
   }
-  trainer_ = std::make_unique<rl::Trainer>(*task_, *agent_, *sink, *source, config_.trainer);
+  if (config_.vectorEnvs >= 1) {
+    // The batched pose evaluator takes the pool; per-env scalar scoring
+    // stays serial like the sequential path above.
+    vectorEnv_ = std::make_unique<DockingVectorEnv>(scenario_, config_.env, *encoder_,
+                                                    config_.vectorEnvs, pool);
+    trainer_ = std::make_unique<rl::Trainer>(*vectorEnv_, *agent_, *sink, *source,
+                                             config_.trainer);
+  } else {
+    trainer_ = std::make_unique<rl::Trainer>(*task_, *agent_, *sink, *source, config_.trainer);
+  }
 }
 
 const rl::MetricsLog& DqnDocking::train() { return trainer_->run(); }

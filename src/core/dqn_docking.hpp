@@ -16,6 +16,7 @@
 
 #include "src/core/config.hpp"
 #include "src/core/docking_task.hpp"
+#include "src/core/docking_vector_env.hpp"
 #include "src/core/pose_replay.hpp"
 #include "src/rl/nstep.hpp"
 #include "src/rl/prioritized_replay.hpp"
@@ -50,6 +51,12 @@ class DqnDocking {
   // Component access for tests, benches and custom loops.
   metadock::DockingEnv& env() { return *env_; }
   DockingTask& task() { return *task_; }
+  /// Non-null when config.vectorEnvs >= 1 (the trainer then runs the
+  /// vectorized lockstep schedule over these envs instead of task()).
+  DockingVectorEnv* vectorEnv() { return vectorEnv_.get(); }
+  /// The env the trainer (and evaluateGreedy) actually steps: env 0 of
+  /// the vector env in vectorized mode, task().env() otherwise.
+  metadock::DockingEnv& trainingEnv() { return vectorEnv_ ? vectorEnv_->env(0) : *env_; }
   rl::DqnAgent& agent() { return *agent_; }
   rl::Trainer& trainer() { return *trainer_; }
   const StateEncoder& encoder() const { return *encoder_; }
@@ -59,6 +66,11 @@ class DqnDocking {
   /// Bytes held by the replay buffer (raw vs compact comparison).
   std::size_t replayMemoryBytes() const;
 
+  /// The raw-state replay buffer. Only valid when the default raw
+  /// storage is active (no compact/prioritized replay) — equivalence
+  /// tests compare stored transitions across trainer schedules.
+  const rl::ReplayBuffer& rawReplay() const { return *rawReplay_; }
+
  private:
   void build(ThreadPool* pool);
 
@@ -67,6 +79,7 @@ class DqnDocking {
   std::unique_ptr<metadock::DockingEnv> env_;
   std::unique_ptr<StateEncoder> encoder_;
   std::unique_ptr<DockingTask> task_;
+  std::unique_ptr<DockingVectorEnv> vectorEnv_;
   std::unique_ptr<rl::ReplayBuffer> rawReplay_;
   std::unique_ptr<PoseReplayBuffer> poseReplay_;
   std::unique_ptr<rl::PrioritizedReplayBuffer> prioritizedReplay_;

@@ -54,7 +54,7 @@ StateEncoder::StateEncoder(const chem::Scenario& scenario, StateMode mode, bool 
   if (mode_ == StateMode::kFullWithBonds) dim_ += 3 * ligandBonds_.size();
 }
 
-void StateEncoder::writeVec(std::vector<double>& out, std::size_t& at, const Vec3& v,
+void StateEncoder::writeVec(std::span<double> out, std::size_t& at, const Vec3& v,
                             bool isPosition) const {
   if (isPosition) {
     out[at++] = (v.x - origin_.x) * invScale_;
@@ -69,10 +69,18 @@ void StateEncoder::writeVec(std::vector<double>& out, std::size_t& at, const Vec
 
 void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
                                        std::vector<double>& out) const {
+  out.resize(dim_);
+  encodeFromPositions(ligandPositions, std::span<double>(out));
+}
+
+void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
+                                       std::span<double> out) const {
   if (ligandPositions.size() != ligandAtoms_) {
     throw std::invalid_argument("StateEncoder: ligand position count mismatch");
   }
-  out.resize(dim_);
+  if (out.size() != dim_) {
+    throw std::invalid_argument("StateEncoder: output span size != dim()");
+  }
   std::size_t at = 0;
   if (mode_ != StateMode::kLigandPositions) {
     std::copy(receptorBlock_.begin(), receptorBlock_.end(), out.begin());
@@ -90,6 +98,10 @@ void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
 }
 
 void StateEncoder::encode(const metadock::DockingEnv& env, std::vector<double>& out) const {
+  encodeFromPositions(env.ligandPositions(), out);
+}
+
+void StateEncoder::encode(const metadock::DockingEnv& env, std::span<double> out) const {
   encodeFromPositions(env.ligandPositions(), out);
 }
 

@@ -44,14 +44,18 @@ class StateEncoder {
 
   /// Encode the environment's current state.
   void encode(const metadock::DockingEnv& env, std::vector<double>& out) const;
+  /// Same, into a preallocated row of exactly dim() doubles (the
+  /// vectorized trainer encodes straight into rows of a V x dim tensor).
+  void encode(const metadock::DockingEnv& env, std::span<double> out) const;
 
   /// Encode from raw ligand coordinates (used by the pose-based replay to
   /// re-materialise states without touching the environment).
   void encodeFromPositions(std::span<const Vec3> ligandPositions,
                            std::vector<double>& out) const;
+  void encodeFromPositions(std::span<const Vec3> ligandPositions, std::span<double> out) const;
 
  private:
-  void writeVec(std::vector<double>& out, std::size_t& at, const Vec3& v, bool isPosition) const;
+  void writeVec(std::span<double> out, std::size_t& at, const Vec3& v, bool isPosition) const;
 
   StateMode mode_;
   bool normalize_;

@@ -75,6 +75,11 @@ void DockingEnv::setPose(const Pose& pose) {
 }
 
 StepResult DockingEnv::step(int action) {
+  const Pose next = candidatePose(action);
+  return stepScored(next, evaluator_->evaluate(next));
+}
+
+Pose DockingEnv::candidatePose(int action) const {
   if (terminated()) {
     throw std::logic_error("DockingEnv::step: episode already terminated; call reset()");
   }
@@ -106,14 +111,17 @@ StepResult DockingEnv::step(int action) {
     next.torsions[bond] =
         std::remainder(next.torsions[bond] + config_.torsionStepDeg * M_PI / 180.0, 2.0 * M_PI);
   }
-  return applyAndScore(next);
+  return next;
 }
 
-StepResult DockingEnv::applyAndScore(const Pose& next) {
+StepResult DockingEnv::stepScored(const Pose& next, double score) {
+  if (terminated()) {
+    throw std::logic_error("DockingEnv::stepScored: episode already terminated; call reset()");
+  }
   const double previous = score_;
   pose_ = next;
   ligand_.applyPose(pose_, positions_);
-  score_ = evaluator_->evaluate(pose_);
+  score_ = score;
   ++steps_;
 
   StepResult result;

@@ -109,6 +109,19 @@ class DockingEnv {
   /// Apply one action. Calling step() on a terminated episode throws.
   StepResult step(int action);
 
+  /// The pose `action` would move the ligand to, without applying or
+  /// scoring it. Same validation as step(). The vectorized training path
+  /// gathers one candidate pose per env and scores the whole population
+  /// in a single batched receptor sweep before committing each env via
+  /// stepScored().
+  Pose candidatePose(int action) const;
+
+  /// Commit a candidate pose whose score was already computed (e.g. by
+  /// ScoringFunction::scoreBatch across many envs). Runs exactly the
+  /// reward/termination bookkeeping of step(); step(a) is equivalent to
+  /// stepScored(candidatePose(a), evaluate(candidatePose(a))).
+  StepResult stepScored(const Pose& next, double score);
+
   // -- Observation accessors (consumed by the state encoders) ------------
   const Pose& pose() const { return pose_; }
   std::span<const Vec3> ligandPositions() const { return positions_; }
@@ -136,7 +149,6 @@ class DockingEnv {
   void setPose(const Pose& pose);
 
  private:
-  StepResult applyAndScore(const Pose& next);
 
   chem::Scenario scenario_;
   ReceptorModel receptor_;

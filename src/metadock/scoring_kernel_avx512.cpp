@@ -34,6 +34,17 @@ namespace dqndock::metadock::detail {
 
 namespace {
 
+/// zmm chunks (8 double lanes each) processed per pass of the batched
+/// sweep's main loop. Overridable at compile time for the tiling
+/// experiment; see the comment at the loop.
+#ifndef DQNDOCK_AVX512_CHUNKS
+#define DQNDOCK_AVX512_CHUNKS 2
+#endif
+constexpr int kSweepChunks = DQNDOCK_AVX512_CHUNKS;
+static_assert(kSweepChunks >= 1 && kSweepChunks <= 4,
+              "1..4 chunks (8..32 lanes) fit the 32 zmm registers");
+constexpr std::size_t kSweepLanesPerPass = 8 * static_cast<std::size_t>(kSweepChunks);
+
 /// AVX-512 range sweep: 8 pose lanes per zmm register, processed two
 /// chunks (16 lanes) at a time with a masked single-chunk tail, so one
 /// kernel serves every lane count (a lane's result is elementwise, so it
@@ -60,22 +71,25 @@ void sweepRangesAvx512(const double* X, const double* Y, const double* Z, const 
   const __m512d vhalf = _mm512_set1_pd(0.5);
   const __m512d v1p5 = _mm512_set1_pd(1.5);
   std::size_t c = 0;
-  // Paired chunks: 16 lanes per receptor atom, so every per-atom
-  // broadcast (position, charge, pair row) is shared by two zmm chunks
-  // and the two independent rsqrt/Newton chains overlap in the pipeline.
-  // Each lane's arithmetic is identical to the single-chunk tail below,
-  // so results do not depend on which variant a lane lands in.
-  for (; c + 16 <= lanes; c += 16) {
-    const __m512d vlx0 = _mm512_loadu_pd(lx + c);
-    const __m512d vly0 = _mm512_loadu_pd(ly + c);
-    const __m512d vlz0 = _mm512_loadu_pd(lz + c);
-    const __m512d vlx1 = _mm512_loadu_pd(lx + c + 8);
-    const __m512d vly1 = _mm512_loadu_pd(ly + c + 8);
-    const __m512d vlz1 = _mm512_loadu_pd(lz + c + 8);
-    __m512d ve0 = _mm512_loadu_pd(elecAcc + c);
-    __m512d vv0 = _mm512_loadu_pd(vdwAcc + c);
-    __m512d ve1 = _mm512_loadu_pd(elecAcc + c + 8);
-    __m512d vv1 = _mm512_loadu_pd(vdwAcc + c + 8);
+  // Multi-chunk passes: kSweepChunks zmm chunks (8 lanes each) per
+  // receptor atom, so every per-atom broadcast (position, charge, pair
+  // row) is shared by all chunks of a pass and the independent
+  // rsqrt/Newton chains overlap in the pipeline. The width was measured,
+  // not guessed: 2/3/4 chunks (16/24/32 lanes) were benchmarked on
+  // BM_ScorePoseBatched/32 via -DDQNDOCK_AVX512_CHUNKS (EXPERIMENTS.md)
+  // and the winner hardcoded below. Each lane's arithmetic is identical
+  // to the single-chunk tail, so results do not depend on which variant
+  // a lane lands in (the bisection/tiling determinism argument).
+  for (; c + kSweepLanesPerPass <= lanes; c += kSweepLanesPerPass) {
+    __m512d vlx[kSweepChunks], vly[kSweepChunks], vlz[kSweepChunks];
+    __m512d ve[kSweepChunks], vv[kSweepChunks];
+    for (int u = 0; u < kSweepChunks; ++u) {
+      vlx[u] = _mm512_loadu_pd(lx + c + 8 * u);
+      vly[u] = _mm512_loadu_pd(ly + c + 8 * u);
+      vlz[u] = _mm512_loadu_pd(lz + c + 8 * u);
+      ve[u] = _mm512_loadu_pd(elecAcc + c + 8 * u);
+      vv[u] = _mm512_loadu_pd(vdwAcc + c + 8 * u);
+    }
     for (std::size_t k = 0; k < numRanges; ++k) {
       const std::size_t first = ranges[2 * k];
       const std::size_t end = ranges[2 * k + 1];
@@ -83,53 +97,49 @@ void sweepRangesAvx512(const double* X, const double* Y, const double* Z, const 
         const __m512d xj = _mm512_set1_pd(X[j]);
         const __m512d yj = _mm512_set1_pd(Y[j]);
         const __m512d zj = _mm512_set1_pd(Z[j]);
-        const __m512d dx0 = _mm512_sub_pd(xj, vlx0);
-        const __m512d dy0 = _mm512_sub_pd(yj, vly0);
-        const __m512d dz0 = _mm512_sub_pd(zj, vlz0);
-        const __m512d dx1 = _mm512_sub_pd(xj, vlx1);
-        const __m512d dy1 = _mm512_sub_pd(yj, vly1);
-        const __m512d dz1 = _mm512_sub_pd(zj, vlz1);
-        __m512d r20 = _mm512_mul_pd(dz0, dz0);
-        __m512d r21 = _mm512_mul_pd(dz1, dz1);
-        r20 = _mm512_fmadd_pd(dy0, dy0, r20);
-        r21 = _mm512_fmadd_pd(dy1, dy1, r21);
-        r20 = _mm512_fmadd_pd(dx0, dx0, r20);
-        r21 = _mm512_fmadd_pd(dx1, dx1, r21);
-        const __mmask8 kin0 = _mm512_cmp_pd_mask(r20, vcut2, _CMP_LE_OQ);
-        const __mmask8 kin1 = _mm512_cmp_pd_mask(r21, vcut2, _CMP_LE_OQ);
-        const __m512d r2c0 = _mm512_max_pd(r20, vmind2);
-        const __m512d r2c1 = _mm512_max_pd(r21, vmind2);
-        __m512d y0 = _mm512_rsqrt14_pd(r2c0);
-        __m512d y1 = _mm512_rsqrt14_pd(r2c1);
-        const __m512d h0 = _mm512_mul_pd(r2c0, vhalf);
-        const __m512d h1 = _mm512_mul_pd(r2c1, vhalf);
-        __m512d t0 = _mm512_mul_pd(y0, y0);
-        __m512d t1 = _mm512_mul_pd(y1, y1);
-        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
-        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
-        t0 = _mm512_mul_pd(y0, y0);
-        t1 = _mm512_mul_pd(y1, y1);
-        y0 = _mm512_mul_pd(y0, _mm512_fnmadd_pd(h0, t0, v1p5));
-        y1 = _mm512_mul_pd(y1, _mm512_fnmadd_pd(h1, t1, v1p5));
+        // Stage the chains as per-step loops over the chunks (not one
+        // loop with everything inside) so after unrolling the u-th and
+        // (u+1)-th chunk of each step interleave — the same pipeline
+        // overlap the hand-paired 2-chunk version had.
+        __m512d r2[kSweepChunks];
+        for (int u = 0; u < kSweepChunks; ++u) {
+          const __m512d dx = _mm512_sub_pd(xj, vlx[u]);
+          const __m512d dy = _mm512_sub_pd(yj, vly[u]);
+          const __m512d dz = _mm512_sub_pd(zj, vlz[u]);
+          r2[u] = _mm512_mul_pd(dz, dz);
+          r2[u] = _mm512_fmadd_pd(dy, dy, r2[u]);
+          r2[u] = _mm512_fmadd_pd(dx, dx, r2[u]);
+        }
+        __mmask8 kin[kSweepChunks];
+        __m512d r2c[kSweepChunks], y[kSweepChunks], h[kSweepChunks];
+        for (int u = 0; u < kSweepChunks; ++u) {
+          kin[u] = _mm512_cmp_pd_mask(r2[u], vcut2, _CMP_LE_OQ);
+          r2c[u] = _mm512_max_pd(r2[u], vmind2);
+          y[u] = _mm512_rsqrt14_pd(r2c[u]);
+          h[u] = _mm512_mul_pd(r2c[u], vhalf);
+        }
+        for (int step = 0; step < 2; ++step) {
+          for (int u = 0; u < kSweepChunks; ++u) {
+            const __m512d t = _mm512_mul_pd(y[u], y[u]);
+            y[u] = _mm512_mul_pd(y[u], _mm512_fnmadd_pd(h[u], t, v1p5));
+          }
+        }
         const __m512d gj = _mm512_set1_pd(SG2[j]);
-        const __m512d s20 = _mm512_mul_pd(gj, _mm512_mul_pd(y0, y0));
-        const __m512d s21 = _mm512_mul_pd(gj, _mm512_mul_pd(y1, y1));
-        const __m512d s60 = _mm512_mul_pd(s20, _mm512_mul_pd(s20, s20));
-        const __m512d s61 = _mm512_mul_pd(s21, _mm512_mul_pd(s21, s21));
-        const __m512d poly0 = _mm512_fmsub_pd(s60, s60, s60);
-        const __m512d poly1 = _mm512_fmsub_pd(s61, s61, s61);
         const __m512d qj = _mm512_set1_pd(Q[j]);
         const __m512d ej = _mm512_set1_pd(EPS[j]);
-        ve0 = _mm512_mask3_fmadd_pd(qj, y0, ve0, kin0);
-        vv0 = _mm512_mask3_fmadd_pd(ej, poly0, vv0, kin0);
-        ve1 = _mm512_mask3_fmadd_pd(qj, y1, ve1, kin1);
-        vv1 = _mm512_mask3_fmadd_pd(ej, poly1, vv1, kin1);
+        for (int u = 0; u < kSweepChunks; ++u) {
+          const __m512d s2 = _mm512_mul_pd(gj, _mm512_mul_pd(y[u], y[u]));
+          const __m512d s6 = _mm512_mul_pd(s2, _mm512_mul_pd(s2, s2));
+          const __m512d poly = _mm512_fmsub_pd(s6, s6, s6);
+          ve[u] = _mm512_mask3_fmadd_pd(qj, y[u], ve[u], kin[u]);
+          vv[u] = _mm512_mask3_fmadd_pd(ej, poly, vv[u], kin[u]);
+        }
       }
     }
-    _mm512_storeu_pd(elecAcc + c, ve0);
-    _mm512_storeu_pd(vdwAcc + c, vv0);
-    _mm512_storeu_pd(elecAcc + c + 8, ve1);
-    _mm512_storeu_pd(vdwAcc + c + 8, vv1);
+    for (int u = 0; u < kSweepChunks; ++u) {
+      _mm512_storeu_pd(elecAcc + c + 8 * u, ve[u]);
+      _mm512_storeu_pd(vdwAcc + c + 8 * u, vv[u]);
+    }
   }
   for (; c < lanes; c += 8) {
     const std::size_t left = lanes - c;

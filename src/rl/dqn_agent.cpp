@@ -48,6 +48,13 @@ std::vector<double> DqnAgent::qValues(std::span<const double> state) const {
   return std::vector<double>(out.data(), out.data() + out.cols());
 }
 
+void DqnAgent::qValuesBatch(const nn::Tensor& states, nn::Tensor& q) const {
+  if (states.cols() != stateDim()) {
+    throw std::invalid_argument("DqnAgent::qValuesBatch: state dim mismatch");
+  }
+  online_->predict(states, q);
+}
+
 int DqnAgent::greedyAction(std::span<const double> state) const {
   const auto q = qValues(state);
   return static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());

@@ -69,6 +69,13 @@ class DqnAgent {
   /// Q-values predicted by the online network for one state.
   std::vector<double> qValues(std::span<const double> state) const;
 
+  /// Online-network Q-values for a batch of states (one row per state,
+  /// q resized to rows x actionCount). Bit-identical per row to
+  /// qValues(): predict() routes any row count through the same gemmABt
+  /// register-tile path. The vectorized trainer folds all V per-env
+  /// maxQ/greedy lookups into one of these calls.
+  void qValuesBatch(const nn::Tensor& states, nn::Tensor& q) const;
+
   /// max_a Q(s, a) — the quantity Figure 4 tracks per time-step.
   double maxQ(std::span<const double> state) const;
 

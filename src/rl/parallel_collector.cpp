@@ -38,9 +38,22 @@ CollectorStats collectParallel(std::vector<std::unique_ptr<Environment>>& envs, 
         double replicaBest = env.score();
         bool terminal = false;
         while (!terminal) {
-          maxQ.add(agent.maxQ(state));
+          // One Q-forward serves both the Figure-4 maxQ sample and the
+          // greedy arm of epsilon-greedy (maxQ() + selectAction() would
+          // run the same forward twice). RNG draw order matches
+          // selectAction exactly — uniform() always, uniformInt() only
+          // when exploring — so collected transitions are bit-identical
+          // to the pre-dedup loop.
+          const std::vector<double> q = agent.qValues(state);
+          maxQ.add(*std::max_element(q.begin(), q.end()));
           const double eps = config.epsilon.value(globalStep.load(std::memory_order_relaxed));
-          const int action = agent.selectAction(state, eps, rng);
+          int action;
+          if (rng.uniform() < eps) {
+            action = static_cast<int>(
+                rng.uniformInt(static_cast<std::uint64_t>(agent.actionCount())));
+          } else {
+            action = static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
+          }
           const EnvStep r = env.step(action, next);
           locked.push(state, action, r.reward, next, r.terminal);
           state = next;

@@ -18,6 +18,19 @@
 /// and transitions are pushed under a mutex, so the *set* of collected
 /// transitions is reproducible; their interleaving order is not (uniform
 /// replay sampling makes order immaterial).
+///
+/// Ownership vs the vectorized trainer (vector_env.hpp): these are the
+/// two alternative throughput paths and they do NOT compose. The
+/// collector runs E replicas on E *threads*, each stepping its own env
+/// at its own pace with per-state (rows=1) Q-forwards and per-pose
+/// scoring — episodes of different lengths never wait on each other.
+/// Trainer+VectorEnv instead step V envs in *lockstep on one thread*,
+/// batching the V Q-forwards into one gemmABt call and the V pose
+/// evaluations into one receptor sweep. Lockstep batching is owned
+/// exclusively by Trainer+VectorEnv; the collector's per-replica loop
+/// intentionally stays scalar (batching across threads would force the
+/// very barrier the collector exists to avoid), which is why
+/// CollectorStats::batchedSteps is always 0 here.
 
 #include <memory>
 #include <mutex>
@@ -58,6 +71,12 @@ struct ParallelCollectorConfig {
 struct CollectorStats {
   std::size_t totalSteps = 0;
   std::size_t totalEpisodes = 0;
+  /// Lockstep batched-step count, mirroring VectorEnv::batchedSteps().
+  /// Always 0 for collectParallel: replicas step independently across
+  /// threads and never form a lockstep batch (see file comment). The
+  /// field exists so schedulers reading either path's stats can compute
+  /// batched fraction uniformly.
+  std::size_t batchedSteps = 0;
   double bestScore = 0.0;
   MetricsLog metrics;  ///< per-episode records from every replica
 };

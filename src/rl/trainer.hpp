@@ -5,6 +5,20 @@
 /// environment, act epsilon-greedily, store transitions in replay, and
 /// take one gradient step per environment step once `learningStart` steps
 /// have elapsed. Produces the MetricsLog that Figure 4 is drawn from.
+///
+/// Two schedules share one Trainer:
+///  * sequential — one Environment, one episode at a time (the paper's
+///    loop, and the bit-identity reference);
+///  * vectorized — a VectorEnv of V lockstep envs. Each lockstep step
+///    runs ONE batched Q-forward over all V states (gemmABt register
+///    tiles), selects V epsilon-greedy actions, steps all envs (the
+///    docking VectorEnv scores all candidate poses in one batched
+///    receptor sweep), then commits V transitions in env-index order.
+///    Epsilon and the replay/target-sync cadences are counted in
+///    *transitions* (globalStep_), not lockstep iterations, so learning
+///    dynamics match the sequential baseline and V=1 reproduces it
+///    bit-for-bit (single shared RNG stream, scalar scoring path, and
+///    per-row-identical batched predict).
 
 #include <functional>
 
@@ -14,6 +28,7 @@
 #include "src/rl/metrics.hpp"
 #include "src/rl/replay_buffer.hpp"
 #include "src/rl/schedule.hpp"
+#include "src/rl/vector_env.hpp"
 
 namespace dqndock::rl {
 
@@ -26,6 +41,13 @@ struct TrainerConfig {
   std::size_t logEveryEpisodes = 0;   ///< progress log cadence; 0 = silent
 };
 
+/// Exploration stream for one env of the vectorized schedule, derived
+/// from (seed, env index) only — the ligandScreenStream idiom — so a
+/// V-env run is reproducible regardless of thread count or scheduling.
+/// Only used when V > 1: a single-env run keeps the sequential trainer's
+/// one shared stream so it stays bit-identical to the baseline.
+Rng trainerEnvStream(std::uint64_t seed, std::uint64_t envIndex);
+
 class Trainer {
  public:
   /// `replay` is used both as sink (push) and source (sample); pass the
@@ -33,15 +55,27 @@ class Trainer {
   Trainer(Environment& env, DqnAgent& agent, ExperienceSink& sink, ExperienceSource& source,
           TrainerConfig config);
 
+  /// Vectorized schedule over envs.size() lockstep envs. Episode records
+  /// enter the metrics in completion order; run() stops once
+  /// config.episodes episodes have completed (transitions from the other
+  /// envs' unfinished episodes still train the agent).
+  Trainer(VectorEnv& envs, DqnAgent& agent, ExperienceSink& sink, ExperienceSource& source,
+          TrainerConfig config);
+
   /// Run config.episodes episodes; returns the accumulated metrics.
   const MetricsLog& run();
 
   /// Run a single episode and append its record to the metrics.
+  /// Sequential schedule only (throws in vectorized mode — lockstep envs
+  /// have no single-episode granularity; use run()).
   EpisodeRecord runEpisode();
 
   /// Evaluate the greedy policy (no exploration, no learning) for one
   /// episode; returns its record without touching the training metrics.
+  /// In vectorized mode this plays env 0 on its own, outside the batch.
   EpisodeRecord evaluateGreedy();
+
+  bool vectorized() const { return venv_ != nullptr; }
 
   std::size_t globalStep() const { return globalStep_; }
   const MetricsLog& metrics() const { return metrics_; }
@@ -53,13 +87,21 @@ class Trainer {
 
  private:
   EpisodeRecord playEpisode(bool exploring, bool learning);
+  const MetricsLog& runVectorized();
+  /// Stream for env i's action selection. V=1 reuses the sequential
+  /// trainer's single stream (also used by learn()) for bit-identity;
+  /// V>1 keys one independent stream per env.
+  Rng& actionRng(std::size_t i);
+  void logEpisode(const EpisodeRecord& record) const;
 
-  Environment& env_;
+  Environment* env_ = nullptr;
+  VectorEnv* venv_ = nullptr;
   DqnAgent& agent_;
   ExperienceSink& sink_;
   ExperienceSource& source_;
   TrainerConfig config_;
   Rng rng_;
+  std::vector<Rng> envRngs_;  ///< per-env streams, only populated for V > 1
   MetricsLog metrics_;
   std::size_t globalStep_ = 0;
   std::size_t episodeIndex_ = 0;

@@ -31,6 +31,19 @@ TEST(ConfigIoTest, RoundTripPaperConfig) {
   EXPECT_EQ(parsed.replayCapacity, original.replayCapacity);
   EXPECT_EQ(parsed.compactReplay, original.compactReplay);
   EXPECT_EQ(parsed.nStep, original.nStep);
+  EXPECT_EQ(parsed.vectorEnvs, original.vectorEnvs);
+}
+
+TEST(ConfigIoTest, VectorEnvsRoundTrip) {
+  DqnDockingConfig cfg = DqnDockingConfig::scaled();
+  cfg.vectorEnvs = 32;
+  std::stringstream ss;
+  writeConfig(ss, cfg);
+  EXPECT_NE(ss.str().find("vector_envs = 32"), std::string::npos);
+  EXPECT_EQ(readConfig(ss).vectorEnvs, 32u);
+
+  std::istringstream in("[trainer]\nvector_envs = 8\n");
+  EXPECT_EQ(readConfig(in).vectorEnvs, 8u);
 }
 
 TEST(ConfigIoTest, PartialFileOverridesOnlyStatedKeys) {

@@ -83,6 +83,81 @@ TEST(ParallelCollectorTest, SerialAndPooledCollectSameStepCounts) {
   EXPECT_EQ(run(nullptr), run(&pool));
 }
 
+TEST(ParallelCollectorTest, BatchedStepsAlwaysZero) {
+  // Lockstep batching is owned by Trainer+VectorEnv (vector_env.hpp);
+  // the collector's replicas step independently across threads and
+  // never form a batch. The counter exists only so both throughput
+  // paths expose a uniform stats shape.
+  auto envs = makeCorridors(3);
+  Rng rng(11);
+  DqnAgent agent(6, 2, agentConfig(), rng);
+  ReplayBuffer rb(10000, 6);
+  ParallelCollectorConfig cfg;
+  cfg.episodesPerReplica = 2;
+  ThreadPool pool(3);
+  const CollectorStats stats = collectParallel(envs, agent, rb, rb, cfg, &pool);
+  EXPECT_GT(stats.totalSteps, 0u);
+  EXPECT_EQ(stats.batchedSteps, 0u);
+}
+
+TEST(ParallelCollectorTest, DedupedActionLoopMatchesSelectAction) {
+  // The collector folds maxQ() + selectAction() into one qValues() call
+  // per step. This must be bit-preserving: a reference loop using the
+  // public maxQ/selectAction pair, with the collector's exact stream
+  // construction (root.split() per replica), must reproduce the same
+  // episode records and the same replay contents.
+  ParallelCollectorConfig cfg;
+  cfg.episodesPerReplica = 3;
+  cfg.seed = 31;
+  cfg.epsilon = EpsilonSchedule(0.8, 0.1, 5e-3, 0);
+  cfg.learningStart = 1u << 30;  // acting only: weights stay fixed
+
+  auto envs = makeCorridors(1);
+  Rng rng(13);
+  DqnAgent agent(6, 2, agentConfig(), rng);
+  ReplayBuffer rb(10000, 6);
+  const CollectorStats stats = collectParallel(envs, agent, rb, rb, cfg, nullptr);
+
+  Rng refInit(13);
+  DqnAgent refAgent(6, 2, agentConfig(), refInit);
+  ReplayBuffer refRb(10000, 6);
+  Rng root(cfg.seed);
+  Rng stream = root.split();
+  CorridorEnv env(6, 40);
+  std::size_t step = 0;
+  ASSERT_EQ(stats.metrics.size(), cfg.episodesPerReplica);
+  for (std::size_t episode = 0; episode < cfg.episodesPerReplica; ++episode) {
+    std::vector<double> state, next;
+    env.reset(state);
+    double totalReward = 0.0;
+    std::size_t episodeSteps = 0;
+    bool terminal = false;
+    while (!terminal) {
+      const double eps = cfg.epsilon.value(step);
+      const int action = refAgent.selectAction(state, eps, stream);
+      const EnvStep r = env.step(action, next);
+      refRb.push(state, action, r.reward, next, r.terminal);
+      state = next;
+      terminal = r.terminal;
+      totalReward += r.reward;
+      ++episodeSteps;
+      ++step;
+    }
+    EXPECT_DOUBLE_EQ(stats.metrics.records()[episode].totalReward, totalReward);
+    EXPECT_EQ(stats.metrics.records()[episode].steps, episodeSteps);
+  }
+  ASSERT_EQ(rb.size(), refRb.size());
+  Rng sampleA(99), sampleB(99);
+  const Minibatch a = rb.sample(16, sampleA);
+  const Minibatch b = refRb.sample(16, sampleB);
+  EXPECT_EQ(a.actions, b.actions);
+  EXPECT_EQ(a.rewards, b.rewards);
+  const auto sa = a.states.flat();
+  const auto sb = b.states.flat();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) ASSERT_EQ(sa[i], sb[i]);
+}
+
 TEST(ParallelCollectorTest, LearnsCorridorWithReplicas) {
   auto envs = makeCorridors(4);
   Rng rng(3);
