@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "src/nn/gemm_kernels.hpp"
 #include "src/nn/mlp.hpp"
 
 using namespace dqndock;
@@ -80,4 +81,27 @@ static void BM_PaperNetSingleInference(benchmark::State& state) {
 }
 BENCHMARK(BM_PaperNetSingleInference);
 
-BENCHMARK_MAIN();
+/// Custom main: stamp the harness build type, assert state, and the GEMM
+/// kernel tier the runs dispatch to, so scripts/bench_nn.py can refuse
+/// debug harnesses and label BENCH_nn.json rows with the tier that
+/// actually produced them.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifdef DQNDOCK_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("dqndock_bench_build_type", DQNDOCK_BENCH_BUILD_TYPE);
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("dqndock_bench_asserts", "off");
+#else
+  benchmark::AddCustomContext("dqndock_bench_asserts", "on");
+#endif
+  // Resolves exactly the way Mlp::forward/backward will (CPUID probe or
+  // the DQNDOCK_FORCE_KERNEL override) and fails loudly here if a forced
+  // tier is unavailable rather than publishing mislabelled rows.
+  benchmark::AddCustomContext("dqndock_gemm_kernel_tier",
+                              nn::gemmTierName(nn::resolveGemmTier()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "src/common/stopwatch.hpp"
 #include "src/core/dqn_docking.hpp"
 #include "src/metadock/scoring_kernels.hpp"
+#include "src/nn/gemm_kernels.hpp"
 
 using namespace dqndock;
 
@@ -179,6 +180,8 @@ int main(int argc, char** argv) {
   std::printf("  \"dqndock_bench_build_type\": \"%s\",\n", DQNDOCK_BENCH_BUILD_TYPE);
   std::printf("  \"dqndock_kernel_tier\": \"%s\",\n",
               metadock::kernelTierName(metadock::resolveKernelTier()));
+  std::printf("  \"dqndock_gemm_kernel_tier\": \"%s\",\n",
+              nn::gemmTierName(nn::resolveGemmTier()));
   std::printf("  \"scenario\": \"paper-2BSM (%zu receptor atoms x %zu-atom ligand)\",\n",
               base.scenario.receptorAtoms, base.scenario.ligandAtoms);
   std::printf("  \"max_steps\": %zu,\n", maxSteps);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Run the Q-network benchmarks and emit BENCH_nn.json.
+
+Covers the paper architecture (Table 1: 16,599 -> 135 -> 135 -> 12,
+minibatch 32) forward and train-step throughput across thread counts,
+the scaled preset, and single-state inference. Refuses to publish
+numbers measured from a debug harness build unless --allow-debug is
+passed, and refuses output that does not stamp the GEMM kernel tier
+(generic or avx512) the runs dispatched to.
+
+Stdlib only. Usage:
+
+    python3 scripts/bench_nn.py [--build-dir build] [--out BENCH_nn.json]
+                                [--min-time 0.5] [--allow-debug]
+
+Expects the bench harness at <build-dir>/bench/bench_nn (built with
+-DDQNDOCK_BUILD_BENCH=ON, the default; use a Release build dir).
+items_per_second is states per second (batch rows x iterations / time).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+# benchmark name -> (section, key). Thread-sweep benchmarks carry the
+# google-benchmark /Arg and /real_time suffixes.
+BENCH_MAP = {
+    "BM_PaperNetForward/0/real_time": ("paper_forward", "threads_0"),
+    "BM_PaperNetForward/2/real_time": ("paper_forward", "threads_2"),
+    "BM_PaperNetForward/4/real_time": ("paper_forward", "threads_4"),
+    "BM_PaperNetForward/8/real_time": ("paper_forward", "threads_8"),
+    "BM_PaperNetTrainStep/0/real_time": ("paper_train_step", "threads_0"),
+    "BM_PaperNetTrainStep/2/real_time": ("paper_train_step", "threads_2"),
+    "BM_PaperNetTrainStep/4/real_time": ("paper_train_step", "threads_4"),
+    "BM_PaperNetTrainStep/8/real_time": ("paper_train_step", "threads_8"),
+    "BM_ScaledNetForward": ("scaled_net", "forward"),
+    "BM_ScaledNetTrainStep": ("scaled_net", "train_step"),
+    "BM_PaperNetSingleInference": ("paper_single_inference", "states_per_second"),
+}
+
+DEBUG_BUILD_TYPES = {"", "debug"}
+
+
+def run_bench(binary: Path, min_time: float) -> dict:
+    cmd = [
+        str(binary),
+        "--benchmark_filter=BM_",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def check_build_type(ctx: dict, allow_debug: bool) -> str:
+    """Refuse debug harness OR debug benchmark-library builds."""
+    harness = ctx.get("dqndock_bench_build_type", "")
+    if harness.lower() in DEBUG_BUILD_TYPES or ctx.get("dqndock_bench_asserts") == "on":
+        msg = (f"refusing to publish: bench harness build type is "
+               f"{harness or 'unknown'!r} (asserts "
+               f"{ctx.get('dqndock_bench_asserts', 'unknown')}); "
+               f"rebuild with -DCMAKE_BUILD_TYPE=Release")
+        if not allow_debug:
+            raise SystemExit(msg)
+        sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
+    library = ctx.get("library_build_type", "")
+    if library.lower() != "release":
+        msg = (f"refusing to publish: benchmark library build type is "
+               f"{library or 'unknown'!r}; rebuild the bench tree instead of "
+               f"linking a debug libbenchmark")
+        if not allow_debug:
+            raise SystemExit(msg)
+        sys.stderr.write(f"WARNING (--allow-debug): {msg}\n")
+    return harness
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--out", default="BENCH_nn.json", type=Path)
+    ap.add_argument("--min-time", default=0.5, type=float,
+                    help="seconds per benchmark (google-benchmark min time)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="emit JSON even from a debug harness build (flagged, for smoke tests)")
+    args = ap.parse_args()
+
+    binary = args.build_dir / "bench" / "bench_nn"
+    if not binary.exists():
+        raise SystemExit(f"{binary} not found - build with -DDQNDOCK_BUILD_BENCH=ON first")
+
+    raw = run_bench(binary, args.min_time)
+    ctx = raw.get("context", {})
+    harness_build_type = check_build_type(ctx, args.allow_debug)
+
+    # Schema gate: rows without the dispatched GEMM tier are meaningless
+    # for cross-tier comparison.
+    gemm_tier = ctx.get("dqndock_gemm_kernel_tier")
+    if gemm_tier not in ("generic", "avx512"):
+        raise SystemExit(f"refusing to publish: bench_nn reported GEMM kernel "
+                         f"tier {gemm_tier!r} (expected 'generic' or 'avx512'); "
+                         f"rebuild the bench tree")
+
+    sections: dict = {}
+    for bench in raw.get("benchmarks", []):
+        mapping = BENCH_MAP.get(bench.get("name", ""))
+        if mapping is None:
+            continue
+        section, key = mapping
+        sections.setdefault(section, {})[key] = bench["items_per_second"]
+
+    missing = [f"{s}.{k}" for s, k in BENCH_MAP.values()
+               if k not in sections.get(s, {})]
+    if missing:
+        raise SystemExit(f"incomplete benchmark output: {sorted(missing)}")
+
+    report = {
+        "benchmark": "bench_nn",
+        "architecture": "paper Table 1 (16599 -> 135 -> 135 -> 12, batch 32)",
+        "metric": "states_per_second",
+        "date": ctx.get("date"),
+        "num_cpus": ctx.get("num_cpus"),
+        "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "harness_build_type": harness_build_type,
+        "benchmark_library_build_type": ctx.get("library_build_type"),
+        # GEMM tier the runs dispatched to at runtime (CPUID probe or the
+        # DQNDOCK_FORCE_KERNEL override): "avx512" or "generic".
+        "gemm_kernel_tier": gemm_tier,
+        "paper_net": {
+            "forward": sections["paper_forward"],
+            "train_step": sections["paper_train_step"],
+            "single_inference": sections["paper_single_inference"]["states_per_second"],
+        },
+        "scaled_net": sections["scaled_net"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    fwd = sections["paper_forward"]["threads_0"]
+    train = sections["paper_train_step"]["threads_0"]
+    print(f"  paper net (tier {gemm_tier}): forward {fwd:8.1f} states/s  "
+          f"train-step {train:8.1f} states/s  (serial)")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,10 @@ from pathlib import Path
 
 DEBUG_BUILD_TYPES = {"", "debug"}
 REQUIRED_SPEEDUP_V32 = 2.0
+# PR-6 learn-sequential rate on the reference host (scalar ikj GEMM,
+# Release, avx512 scoring tier) — the baseline the SIMD GEMM tier's
+# >= 2x learn-phase acceptance is measured against.
+SCALAR_GEMM_LEARN_BASELINE = 9.9
 
 
 def run_bench(binary: Path, args) -> dict:
@@ -93,6 +97,14 @@ def main() -> None:
                     help="acceptance floor for the V=32 collect speedup; CI smoke "
                          "runs pass a lower bar (tiny configs on shared runners "
                          "measure schema and bit-identity, not throughput)")
+    ap.add_argument("--learn-baseline", default=SCALAR_GEMM_LEARN_BASELINE, type=float,
+                    help="scalar-GEMM learn-sequential steps/s to compute the "
+                         "learn-phase speedup against (PR-6 reference-host rate)")
+    ap.add_argument("--min-learn-speedup", default=0.0, type=float,
+                    help="acceptance floor for learn-sequential vs the scalar-GEMM "
+                         "baseline; 0 records the ratio without gating (the "
+                         "baseline rate is host-specific, so only the reference "
+                         "host enforces the 2x floor)")
     ap.add_argument("--allow-debug", action="store_true",
                     help="emit JSON even from a debug harness build (flagged, for smoke tests)")
     args = ap.parse_args()
@@ -108,6 +120,15 @@ def main() -> None:
         raise SystemExit("refusing to publish: V=1 vectorized training is NOT "
                          "bit-identical to the sequential baseline")
 
+    # Schema gate: the harness must report which GEMM tier the learn
+    # phase dispatched to — a row without it cannot be compared against
+    # the scalar baseline or across tiers.
+    gemm_tier = raw.get("dqndock_gemm_kernel_tier")
+    if gemm_tier not in ("generic", "avx512"):
+        raise SystemExit(f"refusing to publish: bench_training reported GEMM "
+                         f"kernel tier {gemm_tier!r} (expected 'generic' or "
+                         f"'avx512'); rebuild the bench tree")
+
     sequential = rate(raw["collect_phase"], "sequential")
     v32 = rate(raw["collect_phase"], "V=32")
     speedup_v32 = v32 / sequential
@@ -122,6 +143,7 @@ def main() -> None:
         "metric": "training_transitions_per_second",
         "harness_build_type": harness,
         "kernel_tier": raw.get("dqndock_kernel_tier", ""),
+        "gemm_kernel_tier": gemm_tier,
         "episodes": args.episodes,
         "max_steps": raw.get("max_steps"),
         "v1_bit_identity_checked": raw.get("v1_bit_identity_checked", False),
@@ -134,17 +156,25 @@ def main() -> None:
             "measured_speedup_collect_v8": round(speedup_v8, 2),
             "v1_over_sequential": round(ratio_v1, 2),
             "learn_phase_speedup_v32": round(learn_v32 / learn_seq, 2),
+            "scalar_gemm_learn_baseline_steps_per_sec": args.learn_baseline,
+            "learn_phase_speedup_vs_scalar_baseline":
+                round(learn_seq / args.learn_baseline, 2),
         },
     }
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
     print(f"  collect: sequential {sequential:.0f} steps/s | "
           f"V=8 {speedup_v8:.2f}x | V=32 {speedup_v32:.2f}x")
-    print(f"  learn:   sequential {learn_seq:.0f} steps/s | "
-          f"V=32 {learn_v32 / learn_seq:.2f}x")
+    print(f"  learn:   sequential {learn_seq:.1f} steps/s "
+          f"({learn_seq / args.learn_baseline:.2f}x scalar-GEMM baseline, "
+          f"tier {gemm_tier}) | V=32 {learn_v32 / learn_seq:.2f}x")
     if speedup_v32 < args.min_speedup:
         raise SystemExit(f"acceptance FAILED: V=32 collect speedup {speedup_v32:.2f}x "
                          f"< required {args.min_speedup}x")
+    if args.min_learn_speedup > 0 and learn_seq / args.learn_baseline < args.min_learn_speedup:
+        raise SystemExit(f"acceptance FAILED: learn-phase speedup "
+                         f"{learn_seq / args.learn_baseline:.2f}x vs scalar-GEMM "
+                         f"baseline < required {args.min_learn_speedup}x")
     print(f"  acceptance OK: {speedup_v32:.2f}x >= {args.min_speedup}x"
           + ("" if raw.get("v1_bit_identity_checked") else "  (identity check skipped)"))
 

@@ -2,56 +2,37 @@
 
 #include <stdexcept>
 
+#include "src/nn/gemm_kernels.hpp"
+
 namespace dqndock::nn {
 
 namespace {
 constexpr std::size_t kParallelThreshold = 8192;  // skip pool dispatch for tiny products
 }
 
-void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool,
+             const GemmEpilogue& epilogue) {
   if (a.cols() != b.cols()) throw std::invalid_argument("gemmABt: inner dimension mismatch");
   const std::size_t m = a.rows(), n = b.rows(), k = a.cols();
-  c.resize(m, n);
+  if (epilogue.bias != nullptr &&
+      (epilogue.bias->rows() != 1 || epilogue.bias->cols() != n)) {
+    throw std::invalid_argument("gemmABt: bias must be 1 x n");
+  }
+  if (epilogue.reluMask != nullptr && !epilogue.relu) {
+    throw std::invalid_argument("gemmABt: reluMask requires relu");
+  }
+  // The kernel writes every element of C (and of the mask), so skip the
+  // zero-fill resize() would pay.
+  c.resizeOverwrite(m, n);
+  double* maskPtr = nullptr;
+  if (epilogue.reluMask != nullptr) {
+    epilogue.reluMask->resizeOverwrite(m, n);
+    maskPtr = epilogue.reluMask->data();
+  }
+  const double* biasPtr = epilogue.bias != nullptr ? epilogue.bias->data() : nullptr;
+  const auto& ops = detail::gemmKernelOps(gemmKernelTier());
   auto body = [&](std::size_t lo, std::size_t hi) {
-    // 4-row register tile: four independent accumulator chains hide the
-    // FP-add latency a single serial dot is bound by, and each B row is
-    // streamed once per 4 output rows instead of once per row. Every
-    // c[i][j] still accumulates over p in ascending order, so results are
-    // bit-identical to the plain loop at any batch height. (Wider tiles
-    // spill accumulators out of registers and run slower.)
-    std::size_t i = lo;
-    for (; i + 4 <= hi; i += 4) {
-      const double* a0 = a.data() + i * k;
-      const double* a1 = a0 + k;
-      const double* a2 = a1 + k;
-      const double* a3 = a2 + k;
-      double* ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double* bj = b.data() + j * k;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (std::size_t p = 0; p < k; ++p) {
-          const double bv = bj[p];
-          s0 += a0[p] * bv;
-          s1 += a1[p] * bv;
-          s2 += a2[p] * bv;
-          s3 += a3[p] * bv;
-        }
-        ci[j] = s0;
-        ci[n + j] = s1;
-        ci[2 * n + j] = s2;
-        ci[3 * n + j] = s3;
-      }
-    }
-    for (; i < hi; ++i) {
-      const double* ai = a.data() + i * k;
-      double* ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double* bj = b.data() + j * k;
-        double acc = 0.0;
-        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = acc;
-      }
-    }
+    ops.abtRows(a.data(), b.data(), c.data(), lo, hi, n, k, biasPtr, epilogue.relu, maskPtr);
   };
   if (pool && m * n * k >= kParallelThreshold) {
     pool->parallelFor(0, m, body);
@@ -60,22 +41,17 @@ void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
   }
 }
 
-void gemmAB(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+void gemmAB(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool, const Tensor* mask) {
   if (a.cols() != b.rows()) throw std::invalid_argument("gemmAB: inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  c.resize(m, n);
+  if (mask != nullptr && (mask->rows() != m || mask->cols() != n)) {
+    throw std::invalid_argument("gemmAB: mask shape mismatch");
+  }
+  c.resize(m, n);  // zero base: the kernel accumulates into C
+  const double* maskPtr = mask != nullptr ? mask->data() : nullptr;
+  const auto& ops = detail::gemmKernelOps(gemmKernelTier());
   auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double* ai = a.data() + i * k;
-      double* ci = c.data() + i * n;
-      // ikj loop order: streams B row-wise, accumulates into C row.
-      for (std::size_t p = 0; p < k; ++p) {
-        const double av = ai[p];
-        if (av == 0.0) continue;
-        const double* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-      }
-    }
+    ops.abRows(a.data(), b.data(), c.data(), lo, hi, n, k, maskPtr);
   };
   if (pool && m * n * k >= kParallelThreshold) {
     pool->parallelFor(0, m, body);
@@ -90,18 +66,11 @@ void gemmAtBAccum(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool)
     throw std::invalid_argument("gemmAtBAccum: output shape mismatch");
   }
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const auto& ops = detail::gemmKernelOps(gemmKernelTier());
   // Parallelize over rows of C (columns of A) so threads never share an
   // output cache line region.
   auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      double* ci = c.data() + i * n;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double av = a(p, i);
-        if (av == 0.0) continue;
-        const double* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-      }
-    }
+    ops.atbRows(a.data(), b.data(), c.data(), lo, hi, m, n, k);
   };
   if (pool && m * n * k >= kParallelThreshold) {
     pool->parallelFor(0, m, body);

@@ -1,0 +1,124 @@
+/// \file gemm_dispatch.cpp
+/// CPUID probe + DQNDOCK_FORCE_KERNEL resolution for the GEMM kernel
+/// tiers. Compiled with the plain target flags (no ISA extensions): it
+/// must be executable before any probing happened.
+
+#include "src/nn/gemm_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dqndock::nn {
+
+namespace {
+
+bool cpuHasAvx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang builtin: CPUID-backed, independent of the build's -march.
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+// Active tier, -1 until the first GEMM call (or setGemmKernelTier)
+// resolves it. Plain atomic: a benign race on first use resolves to the
+// same value on every thread (env + CPUID are process-constant).
+std::atomic<int> gActiveGemmTier{-1};
+
+}  // namespace
+
+const char* gemmTierName(GemmTier tier) {
+  switch (tier) {
+    case GemmTier::kGeneric:
+      return "generic";
+    case GemmTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool gemmTierCompiled(GemmTier tier) {
+  switch (tier) {
+    case GemmTier::kGeneric:
+      return true;
+    case GemmTier::kAvx512:
+#ifdef DQNDOCK_GEMM_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool gemmTierSupported(GemmTier tier) {
+  if (!gemmTierCompiled(tier)) return false;
+  return tier != GemmTier::kAvx512 || cpuHasAvx512f();
+}
+
+GemmTier probeGemmTier() {
+  static const GemmTier best =
+      gemmTierSupported(GemmTier::kAvx512) ? GemmTier::kAvx512 : GemmTier::kGeneric;
+  return best;
+}
+
+GemmTier resolveGemmTier() {
+  const char* env = std::getenv("DQNDOCK_FORCE_KERNEL");
+  if (env == nullptr || *env == '\0') return probeGemmTier();
+  const std::string name(env);
+  GemmTier forced;
+  if (name == "generic") {
+    forced = GemmTier::kGeneric;
+  } else if (name == "avx512") {
+    forced = GemmTier::kAvx512;
+  } else {
+    throw std::runtime_error("DQNDOCK_FORCE_KERNEL: unknown kernel tier '" + name +
+                             "' (expected 'generic' or 'avx512')");
+  }
+  // A forced run must never silently fall back — a benchmark reporting
+  // generic numbers as avx512 (or a test suite quietly skipping the tier
+  // it was asked to pin) is worse than an error.
+  if (!gemmTierSupported(forced)) {
+    throw std::runtime_error(std::string("DQNDOCK_FORCE_KERNEL=") + name +
+                             (gemmTierCompiled(forced)
+                                  ? ": this CPU does not support the tier"
+                                  : ": tier not compiled into this binary"));
+  }
+  return forced;
+}
+
+GemmTier gemmKernelTier() {
+  const int cur = gActiveGemmTier.load(std::memory_order_acquire);
+  if (cur >= 0) return static_cast<GemmTier>(cur);
+  const GemmTier resolved = resolveGemmTier();
+  gActiveGemmTier.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+void setGemmKernelTier(GemmTier tier) {
+  if (!gemmTierSupported(tier)) {
+    throw std::runtime_error(std::string("setGemmKernelTier: tier '") + gemmTierName(tier) +
+                             (gemmTierCompiled(tier) ? "' not supported by this CPU"
+                                                     : "' not compiled into this binary"));
+  }
+  gActiveGemmTier.store(static_cast<int>(tier), std::memory_order_release);
+}
+
+namespace detail {
+
+const GemmKernelOps& gemmKernelOps(GemmTier tier) {
+#ifdef DQNDOCK_GEMM_HAVE_AVX512
+  if (tier == GemmTier::kAvx512) return kAvx512GemmOps;
+#endif
+  if (tier != GemmTier::kGeneric) {
+    throw std::logic_error("gemmKernelOps: tier not compiled into this binary");
+  }
+  return kGenericGemmOps;
+}
+
+}  // namespace detail
+
+}  // namespace dqndock::nn

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file gemm_kernels.hpp
+/// Runtime-dispatched GEMM kernel tiers for the Q-network hot path.
+///
+/// The three training GEMM shapes (forward X*W^T, input gradient dY*W,
+/// weight gradient dY^T*X) live in per-ISA translation units compiled
+/// with explicit per-file flags (`gemm_kernel_generic.cpp` portable,
+/// `gemm_kernel_avx512.cpp` with `-mavx512f`), mirroring the Eq. 1
+/// scoring dispatch in src/metadock/scoring_kernels.hpp. A CPUID-probed
+/// function-pointer table is resolved lazily on the first GEMM call, so
+/// one portable Release binary runs the AVX-512/FMA microkernels on
+/// capable hosts.
+///
+/// Tier contract:
+///  * Each tier is bit-deterministic: for a fixed tier, every output
+///    element accumulates its products in the same order regardless of
+///    thread count, row partition, or register-tile membership, so
+///    repeated runs and 1/2/8-thread pools produce bit-identical
+///    tensors (and bit-identical DqnAgent::learn weight trajectories).
+///  * The generic tier is bit-identical to the pre-dispatch scalar
+///    kernels: same loop order, same per-element mul/add sequence, and
+///    the global `-ffp-contract=off` keeps the compiler from fusing.
+///  * The AVX-512 tier uses FMA with a fixed 8-lane reduction order
+///    (pairwise 512->256->128->scalar tree) and agrees with the generic
+///    tier to ~1e-12 relative on paper Table 1 shapes.
+///
+/// `DQNDOCK_FORCE_KERNEL=generic|avx512` pins the tier (shared with the
+/// scoring kernels, so one env var pins the whole binary); unknown names
+/// and unsupported forced tiers throw — a pinned run must never silently
+/// fall back.
+
+#include <cstddef>
+
+namespace dqndock::nn {
+
+/// ISA tier of the GEMM kernels, ordered worst to best.
+enum class GemmTier : unsigned char {
+  kGeneric = 0,  ///< portable C++ (register-tiled scalar, auto-vectorised)
+  kAvx512 = 1,   ///< AVX-512F + FMA microkernels, fixed lane-reduction order
+};
+
+/// Stable lowercase name ("generic", "avx512") — the value accepted by
+/// DQNDOCK_FORCE_KERNEL and reported as `gemm_kernel_tier` in bench JSON.
+const char* gemmTierName(GemmTier tier);
+
+/// True when this binary contains the tier's translation unit.
+bool gemmTierCompiled(GemmTier tier);
+
+/// True when the tier is compiled in AND the running CPU can execute it.
+bool gemmTierSupported(GemmTier tier);
+
+/// Best CPU-supported tier (CPUID probe, cached).
+GemmTier probeGemmTier();
+
+/// probeGemmTier() unless DQNDOCK_FORCE_KERNEL names a tier; throws
+/// std::runtime_error for an unknown name or an unsupported forced tier.
+GemmTier resolveGemmTier();
+
+/// The tier the GEMM entry points currently dispatch to. Resolved (env
+/// override or CPUID probe) on first use and cached for the process.
+GemmTier gemmKernelTier();
+
+/// Re-pin the active tier (tests/benchmarks). Throws std::runtime_error
+/// when `tier` is not supported on this binary/host.
+void setGemmKernelTier(GemmTier tier);
+
+namespace detail {
+
+/// Rows [lo, hi) of C = A * B^T with optional fused epilogue. A is
+/// (m x k), B is (n x k), C is (m x n); pointers address full matrices
+/// and the kernel offsets by absolute row index, so any row partition
+/// computes identical per-element sequences. `bias` (length n) is added
+/// to every row when non-null; when `relu`, C is clamped at zero after
+/// the bias and `reluMask` (m x n, may be null) records 1.0/0.0 per kept
+/// element.
+using GemmABtRowsFn = void (*)(const double* a, const double* b, double* c, std::size_t lo,
+                               std::size_t hi, std::size_t n, std::size_t k, const double* bias,
+                               bool relu, double* reluMask);
+
+/// Rows [lo, hi) of C += A * B. A is (m x k), B is (k x n), C is
+/// (m x n) and must hold the accumulation base (zeros for a plain
+/// product). `mask` (m x n, may be null) is multiplied elementwise into
+/// the finished rows — the fused ReLU-backward gate.
+using GemmABRowsFn = void (*)(const double* a, const double* b, double* c, std::size_t lo,
+                              std::size_t hi, std::size_t n, std::size_t k, const double* mask);
+
+/// Rows [lo, hi) of C += A^T * B. A is (k x m), B is (k x n), C is
+/// (m x n); row i of C reads column i of A (stride m).
+using GemmAtBRowsFn = void (*)(const double* a, const double* b, double* c, std::size_t lo,
+                               std::size_t hi, std::size_t m, std::size_t n, std::size_t k);
+
+/// One tier's dispatch table. Instances live in the per-ISA TUs; the
+/// AVX-512 table must only be invoked after gemmTierSupported() agrees.
+struct GemmKernelOps {
+  GemmTier tier;
+  GemmABtRowsFn abtRows;
+  GemmABRowsFn abRows;
+  GemmAtBRowsFn atbRows;
+};
+
+extern const GemmKernelOps kGenericGemmOps;
+#ifdef DQNDOCK_GEMM_HAVE_AVX512
+extern const GemmKernelOps kAvx512GemmOps;
+#endif
+
+/// Table for `tier`; the tier must be compiled in.
+const GemmKernelOps& gemmKernelOps(GemmTier tier);
+
+}  // namespace detail
+
+}  // namespace dqndock::nn

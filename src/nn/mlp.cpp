@@ -16,24 +16,26 @@ void DenseLayer::initHe(Rng& rng) {
   bias_.fill(0.0);
 }
 
-void DenseLayer::forward(const Tensor& x, Tensor& y, ThreadPool* pool) const {
+void DenseLayer::forward(const Tensor& x, Tensor& y, ThreadPool* pool, bool relu,
+                         Tensor* reluMask) const {
   if (x.cols() != inDim()) throw std::invalid_argument("DenseLayer::forward: input dim mismatch");
-  gemmABt(x, weights_, y, pool);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* row = y.data() + r * y.cols();
-    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += bias_(0, c);
-  }
+  GemmEpilogue epilogue;
+  epilogue.bias = &bias_;
+  epilogue.relu = relu;
+  epilogue.reluMask = reluMask;
+  gemmABt(x, weights_, y, pool, epilogue);
 }
 
-void DenseLayer::backward(const Tensor& xCache, const Tensor& dy, Tensor& dx, ThreadPool* pool) {
+void DenseLayer::backward(const Tensor& xCache, const Tensor& dy, Tensor* dx, ThreadPool* pool,
+                          const Tensor* dxMask) {
   if (dy.cols() != outDim()) throw std::invalid_argument("DenseLayer::backward: grad dim mismatch");
-  // dW += dY^T * X ; db += column sums of dY ; dX = dY * W.
+  // dW += dY^T * X ; db += column sums of dY ; dX = (dY * W) .* dxMask.
   gemmAtBAccum(dy, xCache, gradW_, pool);
   for (std::size_t r = 0; r < dy.rows(); ++r) {
     const double* row = dy.data() + r * dy.cols();
     for (std::size_t c = 0; c < dy.cols(); ++c) gradB_(0, c) += row[c];
   }
-  gemmAB(dy, weights_, dx, pool);
+  if (dx != nullptr) gemmAB(dy, weights_, *dx, pool, dxMask);
 }
 
 void DenseLayer::zeroGrad() {
@@ -42,12 +44,13 @@ void DenseLayer::zeroGrad() {
 }
 
 void reluForward(Tensor& x, Tensor& mask) {
-  mask.resize(x.rows(), x.cols());
+  mask.resizeOverwrite(x.rows(), x.cols());  // every element written below
   for (std::size_t i = 0; i < x.size(); ++i) {
     if (x.flat()[i] > 0.0) {
       mask.flat()[i] = 1.0;
     } else {
       x.flat()[i] = 0.0;
+      mask.flat()[i] = 0.0;
     }
   }
 }
@@ -81,44 +84,47 @@ std::size_t Mlp::parameterCount() const {
 const Tensor& Mlp::forward(const Tensor& x) {
   inputs_[0] = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Tensor y;
-    layers_[i].forward(inputs_[i], y, pool_);
-    if (i + 1 < layers_.size()) {
-      reluForward(y, reluMasks_[i]);
-      inputs_[i + 1] = std::move(y);  // input of the next layer
-    } else {
-      output_ = std::move(y);
-    }
+    const bool hidden = i + 1 < layers_.size();
+    // Hidden layers fuse bias + ReLU + mask capture into the GEMM sweep
+    // and land directly in the next layer's cached input slot — no
+    // per-call tensor allocation, no separate activation pass.
+    Tensor& y = hidden ? inputs_[i + 1] : output_;
+    layers_[i].forward(inputs_[i], y, pool_, hidden, hidden ? &reluMasks_[i] : nullptr);
   }
   return output_;
 }
 
 void Mlp::predict(const Tensor& x, Tensor& y) const {
-  Tensor buf = x;
-  Tensor next;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i].forward(buf, next, pool_);
-    if (i + 1 < layers_.size()) {
-      for (double& v : next.flat()) {
-        if (v < 0.0) v = 0.0;
-      }
-    }
-    buf = std::move(next);
-    next = Tensor{};
+  // Reentrancy: concurrent predict() calls share only the immutable
+  // weights, so hidden-layer scratch stays on the stack (two ping-pong
+  // buffers; the input itself is never copied).
+  if (layers_.size() == 1) {
+    Tensor out;  // guard against y aliasing x
+    layers_.front().forward(x, out, pool_);
+    y = std::move(out);
+    return;
   }
-  y = std::move(buf);
+  Tensor ping, pong;
+  const Tensor* in = &x;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Tensor& out = (i % 2 == 0) ? ping : pong;
+    layers_[i].forward(*in, out, pool_, /*relu=*/true);
+    in = &out;
+  }
+  layers_.back().forward(*in, y, pool_);
 }
 
 void Mlp::backward(const Tensor& dLossDOut) {
-  Tensor grad = dLossDOut;
-  Tensor dx;
+  bwdGrad_ = dLossDOut;
+  Tensor* grad = &bwdGrad_;
+  Tensor* dx = &bwdDx_;
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    layers_[i].backward(inputs_[i], grad, dx, pool_);
-    if (i > 0) {
-      reluBackward(dx, reluMasks_[i - 1]);
-    }
-    grad = std::move(dx);
-    dx = Tensor{};
+    // The ReLU gate below layer i is fused into the dX GEMM; grad/dx
+    // ping-pong between two member buffers reused across calls. The
+    // input layer (i == 0) produces no dX: nothing consumes dL/dInput.
+    layers_[i].backward(inputs_[i], *grad, i > 0 ? dx : nullptr, pool_,
+                        i > 0 ? &reluMasks_[i - 1] : nullptr);
+    std::swap(grad, dx);
   }
 }
 

@@ -24,11 +24,21 @@ class DenseLayer {
   /// He-normal weight init (suits the ReLU trunk), zero bias.
   void initHe(Rng& rng);
 
-  void forward(const Tensor& x, Tensor& y, ThreadPool* pool) const;
+  /// Y = X*W^T + b, with the bias fused into the GEMM output sweep.
+  /// When `relu`, the ReLU clamp (and optional keep-mask capture into
+  /// `reluMask`) is fused too — one pass over Y instead of three.
+  void forward(const Tensor& x, Tensor& y, ThreadPool* pool, bool relu = false,
+               Tensor* reluMask = nullptr) const;
 
   /// Given dL/dY, accumulate dL/dW and dL/db and produce dL/dX.
-  /// `xCache` must be the input of the matching forward call.
-  void backward(const Tensor& xCache, const Tensor& dy, Tensor& dx, ThreadPool* pool);
+  /// `xCache` must be the input of the matching forward call. When
+  /// `dxMask` is given it is multiplied elementwise into dX inside the
+  /// GEMM (the ReLU gate of the layer below), replacing a separate
+  /// reluBackward pass. A null `dx` skips the dL/dX GEMM entirely — the
+  /// input layer's callers never read it, and at paper dims that GEMM
+  /// streams the full 135 x 16,599 weight matrix for nothing.
+  void backward(const Tensor& xCache, const Tensor& dy, Tensor* dx, ThreadPool* pool,
+                const Tensor* dxMask = nullptr);
 
   void zeroGrad();
 
@@ -99,10 +109,14 @@ class Mlp {
   ThreadPool* pool_ = nullptr;
 
   // Forward caches: inputs_[i] fed layer i (post-ReLU for i > 0);
-  // reluMasks_[i] masks the ReLU after layer i.
+  // reluMasks_[i] masks the ReLU after layer i. forward() writes hidden
+  // activations directly into inputs_[i + 1], so the buffers (and the
+  // backward ping-pong pair below) are reused across calls instead of
+  // reallocated per minibatch.
   std::vector<Tensor> inputs_;
   std::vector<Tensor> reluMasks_;
   Tensor output_;
+  Tensor bwdGrad_, bwdDx_;  // backward() gradient ping-pong scratch
 };
 
 }  // namespace dqndock::nn

@@ -43,6 +43,18 @@ class Tensor {
     data_.assign(rows * cols, 0.0);
   }
 
+  /// Resize for outputs the caller overwrites entirely (gemmABt's C,
+  /// ReLU masks): contents after the call are unspecified — stale
+  /// values survive when the element count matches. Skips resize()'s
+  /// full zero pass, which costs a whole extra write sweep per call on
+  /// learn-phase scratch tensors. Keep resize() wherever accumulate
+  /// semantics need a zero base (gemmAB's dx, gemmAtBAccum's C).
+  void resizeOverwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   bool sameShape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 
  private:

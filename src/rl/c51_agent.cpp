@@ -41,7 +41,7 @@ C51Agent::C51Agent(std::size_t stateDim, int actionCount, C51Config config, Rng&
 
 void C51Agent::softmaxBlocks(const nn::Tensor& logits, nn::Tensor& probs) const {
   const std::size_t atoms = static_cast<std::size_t>(config_.atoms);
-  probs.resize(logits.rows(), logits.cols());
+  probs.resizeOverwrite(logits.rows(), logits.cols());  // every element written
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     for (int a = 0; a < actions_; ++a) {
       const std::size_t base = static_cast<std::size_t>(a) * atoms;
@@ -107,17 +107,21 @@ int C51Agent::selectAction(std::span<const double> state, double epsilon, Rng& r
 
 double C51Agent::learn(ExperienceSource& source, Rng& rng) {
   if (source.size() < config_.batchSize) return 0.0;
-  const Minibatch mb = source.sample(config_.batchSize, rng);
+  // Scratch reuse: minibatch, logits/probs and the projected target are
+  // members filled in place each call.
+  source.sampleInto(mbScratch_, config_.batchSize, rng);
+  const Minibatch& mb = mbScratch_;
   const std::size_t batch = mb.size();
   const std::size_t atoms = static_cast<std::size_t>(config_.atoms);
 
   // --- Target distribution: categorical projection of r + gamma z. ------
-  nn::Tensor nextLogits, nextProbs;
-  target_.predict(mb.nextStates, nextLogits);
-  softmaxBlocks(nextLogits, nextProbs);
+  target_.predict(mb.nextStates, nextLogits_);
+  softmaxBlocks(nextLogits_, nextProbs_);
+  const nn::Tensor& nextProbs = nextProbs_;
 
   // Greedy next action under the target net's expected values.
-  nn::Tensor m(batch, atoms);  // projected target distribution per row
+  mProj_.resize(batch, atoms);  // zero base: the projection accumulates
+  nn::Tensor& m = mProj_;       // projected target distribution per row
   for (std::size_t b = 0; b < batch; ++b) {
     std::size_t bestA = 0;
     double bestQ = -1e300;
@@ -151,10 +155,12 @@ double C51Agent::learn(ExperienceSource& source, Rng& rng) {
 
   // --- Cross-entropy step on the online network. -------------------------
   const nn::Tensor& logits = online_.forward(mb.states);
-  nn::Tensor probs;
-  softmaxBlocks(logits, probs);
+  softmaxBlocks(logits, probs_);
+  const nn::Tensor& probs = probs_;
 
-  nn::Tensor dLogits(batch, logits.cols());
+  // Zero-fill resize: only the taken action's atom block is written.
+  dLogits_.resize(batch, logits.cols());
+  nn::Tensor& dLogits = dLogits_;
   double loss = 0.0;
   const double invBatch = 1.0 / static_cast<double>(batch);
   for (std::size_t b = 0; b < batch; ++b) {

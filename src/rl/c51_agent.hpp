@@ -74,6 +74,10 @@ class C51Agent {
   std::unique_ptr<nn::Optimizer> optimizer_;
   std::size_t learnSteps_ = 0;
   mutable nn::Tensor scratchState_, scratchLogits_, scratchProbs_;
+
+  // learn() scratch, reused across calls.
+  Minibatch mbScratch_;
+  nn::Tensor nextLogits_, nextProbs_, mProj_, probs_, dLogits_;
 };
 
 }  // namespace dqndock::rl

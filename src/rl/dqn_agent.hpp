@@ -101,6 +101,12 @@ class DqnAgent {
   std::unique_ptr<QNetwork> target_;
   std::unique_ptr<nn::Optimizer> optimizer_;
   std::size_t learnSteps_ = 0;
+
+  // learn() scratch, reused across calls (shapes are steady-state
+  // constant, so after the first call these never reallocate).
+  Minibatch mbScratch_;
+  nn::Tensor nextQTarget_, nextQOnline_, dq_;
+  std::vector<double> targets_, tdErrors_;
 };
 
 }  // namespace dqndock::rl

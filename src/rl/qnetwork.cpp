@@ -67,23 +67,23 @@ DuelingQNetwork::DuelingQNetwork(std::size_t inputDim, const std::vector<std::si
 void DuelingQNetwork::trunkForward(const nn::Tensor& x, nn::Tensor& out,
                                    std::vector<nn::Tensor>* inputs,
                                    std::vector<nn::Tensor>* masks) const {
+  // Bias + ReLU + mask capture are fused into each layer's GEMM sweep.
   nn::Tensor buf = x;
   if (inputs) inputs->clear();
-  if (masks) masks->clear();
+  if (masks) masks->resize(trunk_.size());
+  std::size_t li = 0;
   for (const auto& layer : trunk_) {
     if (inputs) inputs->push_back(buf);
     nn::Tensor y;
-    layer.forward(buf, y, pool_);
-    nn::Tensor mask;
-    nn::reluForward(y, mask);
-    if (masks) masks->push_back(std::move(mask));
+    layer.forward(buf, y, pool_, /*relu=*/true, masks ? &(*masks)[li] : nullptr);
     buf = std::move(y);
+    ++li;
   }
   out = std::move(buf);
 }
 
 void DuelingQNetwork::combineHeads(const nn::Tensor& v, const nn::Tensor& a, nn::Tensor& q) {
-  q.resize(a.rows(), a.cols());
+  q.resizeOverwrite(a.rows(), a.cols());  // every element assigned below
   for (std::size_t r = 0; r < a.rows(); ++r) {
     double mean = 0.0;
     for (std::size_t c = 0; c < a.cols(); ++c) mean += a(r, c);
@@ -125,15 +125,21 @@ void DuelingQNetwork::backward(const nn::Tensor& dq) {
   }
 
   nn::Tensor dTrunkFromV, dTrunkFromA;
-  valueHead_->backward(trunkOut_, dv, dTrunkFromV, pool_);
-  advHead_->backward(trunkOut_, da, dTrunkFromA, pool_);
+  valueHead_->backward(trunkOut_, dv, &dTrunkFromV, pool_);
+  advHead_->backward(trunkOut_, da, &dTrunkFromA, pool_);
   nn::Tensor grad = std::move(dTrunkFromV);
   for (std::size_t i = 0; i < grad.size(); ++i) grad.flat()[i] += dTrunkFromA.flat()[i];
 
+  // Top trunk mask gates the summed head gradients explicitly; every
+  // lower mask is fused into the producing layer's dX GEMM.
+  nn::reluBackward(grad, trunkMasks_.back());
   for (std::size_t i = trunk_.size(); i-- > 0;) {
-    nn::reluBackward(grad, trunkMasks_[i]);
+    // The bottom trunk layer (i == 0) produces no dX: nothing consumes
+    // dL/dState, and at paper dims that GEMM streams the full input
+    // weight matrix for nothing.
     nn::Tensor dx;
-    trunk_[i].backward(trunkInputs_[i], grad, dx, pool_);
+    trunk_[i].backward(trunkInputs_[i], grad, i > 0 ? &dx : nullptr, pool_,
+                       i > 0 ? &trunkMasks_[i - 1] : nullptr);
     grad = std::move(dx);
   }
 }

@@ -34,10 +34,18 @@ void ReplayBuffer::push(std::span<const double> state, int action, double reward
 }
 
 Minibatch ReplayBuffer::sample(std::size_t batch, Rng& rng) const {
-  if (count_ == 0) throw std::logic_error("ReplayBuffer::sample: buffer is empty");
   Minibatch mb;
-  mb.states.resize(batch, stateDim_);
-  mb.nextStates.resize(batch, stateDim_);
+  sampleInto(mb, batch, rng);
+  return mb;
+}
+
+void ReplayBuffer::sampleInto(Minibatch& mb, std::size_t batch, Rng& rng) const {
+  if (count_ == 0) throw std::logic_error("ReplayBuffer::sample: buffer is empty");
+  // Overwrite-resize: every row is filled below, and a steady-state
+  // learn loop passes the same-shaped minibatch back in, so this is
+  // pure reuse — no allocation, no zero sweep over 2 x B x stateDim.
+  mb.states.resizeOverwrite(batch, stateDim_);
+  mb.nextStates.resizeOverwrite(batch, stateDim_);
   mb.actions.resize(batch);
   mb.rewards.resize(batch);
   mb.terminals.resize(batch);
@@ -55,7 +63,6 @@ Minibatch ReplayBuffer::sample(std::size_t batch, Rng& rng) const {
     mb.rewards[b] = rewards_[idx];
     mb.terminals[b] = terminals_[idx];
   }
-  return mb;
 }
 
 std::size_t ReplayBuffer::memoryBytes() const {

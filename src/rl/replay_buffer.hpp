@@ -38,6 +38,16 @@ class ExperienceSource {
   virtual ~ExperienceSource() = default;
   virtual std::size_t size() const = 0;
   virtual Minibatch sample(std::size_t batch, Rng& rng) const = 0;
+
+  /// Sample into a caller-owned minibatch so learn-phase callers can
+  /// reuse the (batch x stateDim) tensors across calls instead of
+  /// reallocating and zero-filling per minibatch. The default routes
+  /// through sample(); implementations that can fill in place (the raw
+  /// ReplayBuffer) override it. Draws the same RNG sequence as
+  /// sample(), so switching call styles never perturbs a seeded run.
+  virtual void sampleInto(Minibatch& mb, std::size_t batch, Rng& rng) const {
+    mb = sample(batch, rng);
+  }
 };
 
 /// Anything transitions can be pushed into (the trainer writes here).
@@ -61,6 +71,10 @@ class ReplayBuffer final : public ExperienceSource, public ExperienceSink {
   std::size_t stateDim() const { return stateDim_; }
 
   Minibatch sample(std::size_t batch, Rng& rng) const override;
+
+  /// In-place fill: reuses mb's tensors/vectors when the batch shape
+  /// matches (no allocation, no zero pass).
+  void sampleInto(Minibatch& mb, std::size_t batch, Rng& rng) const override;
 
   /// Approximate resident bytes of the stored experience.
   std::size_t memoryBytes() const;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "src/common/rng.hpp"
@@ -36,6 +38,51 @@ TEST(TensorTest, FillAndResize) {
   t.resize(3, 4);
   EXPECT_EQ(t.rows(), 3u);
   for (double v : t.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(TensorTest, ResizeOverwriteSkipsZeroFill) {
+  Tensor t(2, 2, 9.0);
+  // Same element count, new shape: contents are unspecified but the
+  // dims must update and the storage stays valid to write through.
+  t.resizeOverwrite(1, 4);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 4u);
+  ASSERT_EQ(t.size(), 4u);
+  for (std::size_t i = 0; i < t.size(); ++i) t.flat()[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(t(0, 3), 3.0);
+  // Growing still yields a well-formed buffer of the new size.
+  t.resizeOverwrite(3, 5);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(t.size(), 15u);
+  t.fill(1.25);
+  for (double v : t.flat()) EXPECT_DOUBLE_EQ(v, 1.25);
+}
+
+// The zero-skip contract documented in gemm.hpp: an A element that is
+// exactly 0.0 skips its whole B row, so non-finite values sitting
+// behind zeroed (ReLU-dead) activations never reach the output as
+// 0 x Inf = NaN.
+TEST(GemmTest, ZeroSkipShieldsNonFiniteB) {
+  Tensor a(1, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 3.0;
+  Tensor b(2, 3, 1.0);
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  b(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  Tensor c;
+  gemmAB(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(c(0, 2), 3.0);
+
+  Tensor at(2, 2);
+  at(0, 1) = 1.0;  // column 0 of A is all zero
+  at(1, 1) = 2.0;
+  Tensor ct(2, 3, 0.0);
+  gemmAtBAccum(at, b, ct);
+  EXPECT_DOUBLE_EQ(ct(0, 0), 0.0);  // skipped: no NaN leak
+  EXPECT_TRUE(std::isinf(ct(1, 0)));
 }
 
 TEST(TensorTest, Norms) {
