@@ -24,6 +24,7 @@
 #include "src/core/dqn_docking.hpp"
 #include "src/metadock/scoring_kernels.hpp"
 #include "src/nn/gemm_kernels.hpp"
+#include "src/nn/mlp.hpp"
 
 using namespace dqndock;
 
@@ -182,6 +183,10 @@ int main(int argc, char** argv) {
               metadock::kernelTierName(metadock::resolveKernelTier()));
   std::printf("  \"dqndock_gemm_kernel_tier\": \"%s\",\n",
               nn::gemmTierName(nn::resolveGemmTier()));
+  // Which way the DQNDOCK_FOLD_STATIC gate resolved for these runs: the
+  // learn rows fold the receptor prefix out of the input layer iff "on".
+  std::printf("  \"dqndock_fold_static\": \"%s\",\n",
+              nn::foldStaticEnabled() ? "on" : "off");
   std::printf("  \"scenario\": \"paper-2BSM (%zu receptor atoms x %zu-atom ligand)\",\n",
               base.scenario.receptorAtoms, base.scenario.ligandAtoms);
   std::printf("  \"max_steps\": %zu,\n", maxSteps);

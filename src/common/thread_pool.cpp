@@ -74,9 +74,14 @@ bool ThreadPool::tryRunOneTask() {
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallelFor(begin, end, threadCount() + 1, fn);
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end, std::size_t maxParts,
+                             const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, threadCount() + 1);
+  const std::size_t parts = std::min({n, threadCount() + 1, std::max<std::size_t>(1, maxParts)});
   if (parts <= 1) {
     fn(begin, end);
     return;

@@ -45,6 +45,14 @@ class ThreadPool {
   void parallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Same, but split into at most `maxParts` chunks (>= 1). Callers that
+  /// know the per-chunk work is too small to amortize fan-out overhead
+  /// (e.g. the NN GEMMs at paper shapes, where every extra worker
+  /// re-streams the whole B matrix) cap the partition count instead of
+  /// going fully serial; maxParts == 1 degenerates to an inline call.
+  void parallelFor(std::size_t begin, std::size_t end, std::size_t maxParts,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide shared pool (lazily constructed with default size).
   static ThreadPool& global();
 

@@ -9,6 +9,8 @@
 /// than GPU-days). Both resolve from the same code paths, so the flag
 /// `--paper-scale` in the benches switches presets without touching code.
 
+#include <optional>
+
 #include "src/chem/synthetic.hpp"
 #include "src/core/state_encoder.hpp"
 #include "src/metadock/docking_env.hpp"
@@ -40,6 +42,12 @@ struct DqnDockingConfig {
   /// Requires raw-state replay (compactReplay re-derives poses from the
   /// single sequential task at push time, so the paths are exclusive).
   std::size_t vectorEnvs = 0;
+  /// Static-prefix input-layer fold override. Unset defers to the
+  /// DQNDOCK_FOLD_STATIC environment gate (default on); an explicit
+  /// value wins over the environment. Only takes effect when the state
+  /// mode has a constant prefix (kFullPositions / kFullWithBonds) and
+  /// the agent architecture supports folding (not dueling).
+  std::optional<bool> foldStatic{};
 
   /// Table 1 verbatim: 2BSM-sized scenario, 16,599-real state, 12
   /// actions, hidden 135x135, eps 1 -> 0.05 at 4.5e-5/step, N = 400k,

@@ -111,6 +111,14 @@ const std::map<std::string, Setter>& setters() {
       {"state.mode", [](auto& c, const auto& v, auto) { c.stateMode = stateModeFromName(v); }},
       {"state.normalize",
        [](auto& c, const auto& v, auto l) { c.normalizeStates = parseBool(v, l); }},
+      {"state.fold_static",
+       [](auto& c, const auto& v, auto l) {
+         if (v == "auto") {
+           c.foldStatic.reset();
+         } else {
+           c.foldStatic = parseBool(v, l);
+         }
+       }},
       // [agent]
       {"agent.gamma", [](auto& c, const auto& v, auto l) { c.agent.gamma = parseDouble(v, l); }},
       {"agent.learning_rate",
@@ -180,6 +188,8 @@ void writeConfig(std::ostream& out, const DqnDockingConfig& cfg) {
   out << "[state]\n";
   out << "mode = " << stateModeName(cfg.stateMode) << '\n';
   out << "normalize = " << (cfg.normalizeStates ? "true" : "false") << '\n';
+  out << "fold_static = "
+      << (cfg.foldStatic ? (*cfg.foldStatic ? "true" : "false") : "auto") << '\n';
   out << "[agent]\n";
   out << "gamma = " << cfg.agent.gamma << '\n';
   out << "learning_rate = " << cfg.agent.learningRate << '\n';

@@ -8,13 +8,21 @@ DockingTask::DockingTask(metadock::DockingEnv& env, const StateEncoder& encoder)
 void DockingTask::reset(std::vector<double>& state) {
   env_.reset();
   previousPose_ = env_.pose();
-  encoder_.encode(env_, state);
+  if (dynamicStates_) {
+    encoder_.encodeDynamic(env_, state);
+  } else {
+    encoder_.encode(env_, state);
+  }
 }
 
 rl::EnvStep DockingTask::step(int action, std::vector<double>& nextState) {
   previousPose_ = env_.pose();
   const metadock::StepResult result = env_.step(action);
-  encoder_.encode(env_, nextState);
+  if (dynamicStates_) {
+    encoder_.encodeDynamic(env_, nextState);
+  } else {
+    encoder_.encode(env_, nextState);
+  }
   return {result.reward, result.terminal};
 }
 

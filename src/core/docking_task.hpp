@@ -16,8 +16,17 @@ class DockingTask final : public rl::Environment {
  public:
   DockingTask(metadock::DockingEnv& env, const StateEncoder& encoder);
 
-  std::size_t stateDim() const override { return encoder_.dim(); }
+  std::size_t stateDim() const override {
+    return dynamicStates_ ? encoder_.dynamicDim() : encoder_.dim();
+  }
   int actionCount() const override { return env_.actionCount(); }
+
+  /// When enabled, reset()/step() materialise only the dynamic suffix of
+  /// the encoded state (encoder().dynamicDim() reals) and stateDim()
+  /// shrinks to match — the state width a fold-active Q-network consumes
+  /// directly. Callers must size replay storage accordingly.
+  void setDynamicStates(bool on) { dynamicStates_ = on; }
+  bool dynamicStates() const { return dynamicStates_; }
 
   void reset(std::vector<double>& state) override;
   rl::EnvStep step(int action, std::vector<double>& nextState) override;
@@ -39,6 +48,7 @@ class DockingTask final : public rl::Environment {
   metadock::DockingEnv& env_;
   const StateEncoder& encoder_;
   metadock::Pose previousPose_;
+  bool dynamicStates_ = false;
 };
 
 }  // namespace dqndock::core

@@ -18,7 +18,11 @@ DockingVectorEnv::DockingVectorEnv(const chem::Scenario& scenario,
 
 void DockingVectorEnv::reset(std::size_t i, std::span<double> state) {
   envs_[i]->reset();
-  encoder_.encode(*envs_[i], state);
+  if (dynamicStates_) {
+    encoder_.encodeDynamic(*envs_[i], state);
+  } else {
+    encoder_.encode(*envs_[i], state);
+  }
 }
 
 void DockingVectorEnv::step(std::span<const int> actions, nn::Tensor& nextStates,
@@ -44,7 +48,11 @@ void DockingVectorEnv::step(std::span<const int> actions, nn::Tensor& nextStates
   const std::vector<double> scores = evaluator_->evaluateBatch(poses_);
   for (std::size_t i = 0; i < v; ++i) {
     const metadock::StepResult r = envs_[i]->stepScored(poses_[i], scores[i]);
-    encoder_.encode(*envs_[i], nextStates.row(i));
+    if (dynamicStates_) {
+      encoder_.encodeDynamic(*envs_[i], nextStates.row(i));
+    } else {
+      encoder_.encode(*envs_[i], nextStates.row(i));
+    }
     results[i] = {r.reward, r.terminal};
   }
   ++batchedSteps_;
@@ -52,7 +60,11 @@ void DockingVectorEnv::step(std::span<const int> actions, nn::Tensor& nextStates
 
 rl::EnvStep DockingVectorEnv::stepOne(std::size_t i, int action, std::span<double> nextState) {
   const metadock::StepResult r = envs_[i]->step(action);
-  encoder_.encode(*envs_[i], nextState);
+  if (dynamicStates_) {
+    encoder_.encodeDynamic(*envs_[i], nextState);
+  } else {
+    encoder_.encode(*envs_[i], nextState);
+  }
   return {r.reward, r.terminal};
 }
 

@@ -33,8 +33,16 @@ class DockingVectorEnv final : public rl::VectorEnv {
                    const StateEncoder& encoder, std::size_t count, ThreadPool* pool = nullptr);
 
   std::size_t size() const override { return envs_.size(); }
-  std::size_t stateDim() const override { return encoder_.dim(); }
+  std::size_t stateDim() const override {
+    return dynamicStates_ ? encoder_.dynamicDim() : encoder_.dim();
+  }
   int actionCount() const override { return envs_.front()->actionCount(); }
+
+  /// When enabled, reset()/step()/stepOne() materialise only the dynamic
+  /// suffix of each encoded state and stateDim() shrinks to match (see
+  /// DockingTask::setDynamicStates).
+  void setDynamicStates(bool on) { dynamicStates_ = on; }
+  bool dynamicStates() const { return dynamicStates_; }
 
   void reset(std::size_t i, std::span<double> state) override;
   void step(std::span<const int> actions, nn::Tensor& nextStates,
@@ -61,6 +69,7 @@ class DockingVectorEnv final : public rl::VectorEnv {
   std::unique_ptr<metadock::PoseEvaluator> evaluator_;
   std::vector<metadock::Pose> poses_;  ///< per-step candidate gather, reused
   std::size_t batchedSteps_ = 0;
+  bool dynamicStates_ = false;
 };
 
 }  // namespace dqndock::core

@@ -45,6 +45,20 @@ void DqnDocking::build(ThreadPool* pool) {
   agent_ = std::make_unique<rl::DqnAgent>(encoder_->dim(), env_->actionCount(), config_.agent,
                                           rng, pool);
 
+  // Static-prefix fold: the config override wins over the
+  // DQNDOCK_FOLD_STATIC environment gate. Inert when the state has no
+  // constant prefix (ligand-only mode) or the architecture can't fold
+  // (dueling) — enableStaticPrefixFold then returns false and the whole
+  // pipeline keeps full-width states, byte-identical to the pre-fold
+  // code path.
+  const bool wantFold = config_.foldStatic.value_or(nn::foldStaticEnabled());
+  const bool foldActive =
+      wantFold && encoder_->staticPrefixLen() > 0 &&
+      agent_->enableStaticPrefixFold(encoder_->staticPrefix());
+  if (foldActive) task_->setDynamicStates(true);
+  // Replay stores states at the width the env adapters emit them.
+  const std::size_t replayDim = task_->stateDim();
+
   rl::ExperienceSink* sink = nullptr;
   rl::ExperienceSource* source = nullptr;
   if (config_.compactReplay) {
@@ -53,11 +67,11 @@ void DqnDocking::build(ThreadPool* pool) {
     source = poseReplay_.get();
   } else if (config_.prioritizedReplay) {
     prioritizedReplay_ =
-        std::make_unique<rl::PrioritizedReplayBuffer>(config_.replayCapacity, encoder_->dim());
+        std::make_unique<rl::PrioritizedReplayBuffer>(config_.replayCapacity, replayDim);
     sink = prioritizedReplay_.get();
     source = prioritizedReplay_.get();
   } else {
-    rawReplay_ = std::make_unique<rl::ReplayBuffer>(config_.replayCapacity, encoder_->dim());
+    rawReplay_ = std::make_unique<rl::ReplayBuffer>(config_.replayCapacity, replayDim);
     sink = rawReplay_.get();
     source = rawReplay_.get();
   }
@@ -70,6 +84,7 @@ void DqnDocking::build(ThreadPool* pool) {
     // stays serial like the sequential path above.
     vectorEnv_ = std::make_unique<DockingVectorEnv>(scenario_, config_.env, *encoder_,
                                                     config_.vectorEnvs, pool);
+    vectorEnv_->setDynamicStates(foldActive);
     trainer_ = std::make_unique<rl::Trainer>(*vectorEnv_, *agent_, *sink, *source,
                                              config_.trainer);
   } else {

@@ -35,6 +35,10 @@ class DqnDocking {
 
   std::size_t stateDim() const { return encoder_->dim(); }
   int actionCount() const { return env_->actionCount(); }
+  /// True when the static-prefix input-layer fold is live for this run:
+  /// the env adapters emit dynamic-suffix states, replay stores them at
+  /// that width, and the agent's nets run the folded input-layer path.
+  bool foldActive() const { return agent_->foldActive(); }
 
   /// Train for config.trainer.episodes episodes; returns the metrics the
   /// paper's Figure 4 is drawn from.

@@ -31,10 +31,14 @@ rl::Minibatch PoseReplayBuffer::sample(std::size_t batch, Rng& rng) const {
   if (count_ == 0) throw std::logic_error("PoseReplayBuffer::sample: buffer is empty");
   const StateEncoder& encoder = task_.encoder();
   const metadock::LigandModel& ligand = task_.env().ligand();
+  // Width follows the task: in dynamic-state mode (fold-active
+  // Q-network) only the changing suffix is re-encoded per sample.
+  const bool dynamic = task_.dynamicStates();
+  const std::size_t dim = task_.stateDim();
 
   rl::Minibatch mb;
-  mb.states.resize(batch, encoder.dim());
-  mb.nextStates.resize(batch, encoder.dim());
+  mb.states.resize(batch, dim);
+  mb.nextStates.resize(batch, dim);
   mb.actions.resize(batch);
   mb.rewards.resize(batch);
   mb.terminals.resize(batch);
@@ -44,11 +48,19 @@ rl::Minibatch PoseReplayBuffer::sample(std::size_t batch, Rng& rng) const {
   for (std::size_t b = 0; b < batch; ++b) {
     const Slot& slot = slots_[rng.uniformInt(count_)];
     ligand.applyPose(slot.pose, positions);
-    encoder.encodeFromPositions(positions, encoded);
-    std::copy(encoded.begin(), encoded.end(), mb.states.data() + b * encoder.dim());
+    if (dynamic) {
+      encoder.encodeDynamicFromPositions(positions, encoded);
+    } else {
+      encoder.encodeFromPositions(positions, encoded);
+    }
+    std::copy(encoded.begin(), encoded.end(), mb.states.data() + b * dim);
     ligand.applyPose(slot.nextPose, positions);
-    encoder.encodeFromPositions(positions, encoded);
-    std::copy(encoded.begin(), encoded.end(), mb.nextStates.data() + b * encoder.dim());
+    if (dynamic) {
+      encoder.encodeDynamicFromPositions(positions, encoded);
+    } else {
+      encoder.encodeFromPositions(positions, encoded);
+    }
+    std::copy(encoded.begin(), encoded.end(), mb.nextStates.data() + b * dim);
     mb.actions[b] = slot.action;
     mb.rewards[b] = slot.reward;
     mb.terminals[b] = slot.terminal ? 1 : 0;

@@ -75,17 +75,30 @@ void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
 
 void StateEncoder::encodeFromPositions(std::span<const Vec3> ligandPositions,
                                        std::span<double> out) const {
-  if (ligandPositions.size() != ligandAtoms_) {
-    throw std::invalid_argument("StateEncoder: ligand position count mismatch");
-  }
   if (out.size() != dim_) {
     throw std::invalid_argument("StateEncoder: output span size != dim()");
   }
-  std::size_t at = 0;
   if (mode_ != StateMode::kLigandPositions) {
     std::copy(receptorBlock_.begin(), receptorBlock_.end(), out.begin());
-    at = receptorBlock_.size();
   }
+  encodeDynamicFromPositions(ligandPositions, out.subspan(receptorBlock_.size()));
+}
+
+void StateEncoder::encodeDynamicFromPositions(std::span<const Vec3> ligandPositions,
+                                              std::vector<double>& out) const {
+  out.resize(dynamicDim());
+  encodeDynamicFromPositions(ligandPositions, std::span<double>(out));
+}
+
+void StateEncoder::encodeDynamicFromPositions(std::span<const Vec3> ligandPositions,
+                                              std::span<double> out) const {
+  if (ligandPositions.size() != ligandAtoms_) {
+    throw std::invalid_argument("StateEncoder: ligand position count mismatch");
+  }
+  if (out.size() != dynamicDim()) {
+    throw std::invalid_argument("StateEncoder: output span size != dynamicDim()");
+  }
+  std::size_t at = 0;
   for (const auto& p : ligandPositions) writeVec(out, at, p, true);
   if (mode_ == StateMode::kFullWithBonds) {
     for (const auto& [a, b] : ligandBonds_) {
@@ -103,6 +116,14 @@ void StateEncoder::encode(const metadock::DockingEnv& env, std::vector<double>& 
 
 void StateEncoder::encode(const metadock::DockingEnv& env, std::span<double> out) const {
   encodeFromPositions(env.ligandPositions(), out);
+}
+
+void StateEncoder::encodeDynamic(const metadock::DockingEnv& env, std::vector<double>& out) const {
+  encodeDynamicFromPositions(env.ligandPositions(), out);
+}
+
+void StateEncoder::encodeDynamic(const metadock::DockingEnv& env, std::span<double> out) const {
+  encodeDynamicFromPositions(env.ligandPositions(), out);
 }
 
 }  // namespace dqndock::core

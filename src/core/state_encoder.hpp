@@ -42,17 +42,42 @@ class StateEncoder {
   StateMode mode() const { return mode_; }
   std::size_t dim() const { return dim_; }
 
+  /// Static-prefix / dynamic-suffix contract: the encoded state is laid
+  /// out as [receptor block | ligand positions | ligand bond dirs]. The
+  /// receptor block is scenario-constant (precomputed once), so the
+  /// first staticPrefixLen() reals of every encode() output are
+  /// identical across steps — the invariant the Q-network's folded
+  /// input-layer path (nn::Mlp::configureStaticPrefix) builds on. Zero
+  /// in kLigandPositions mode (nothing static to fold).
+  std::size_t staticPrefixLen() const { return receptorBlock_.size(); }
+  /// Reals that actually change between steps (dim() - staticPrefixLen()).
+  std::size_t dynamicDim() const { return dim_ - receptorBlock_.size(); }
+  /// The constant prefix values themselves (normalised receptor block).
+  std::span<const double> staticPrefix() const { return receptorBlock_; }
+
   /// Encode the environment's current state.
   void encode(const metadock::DockingEnv& env, std::vector<double>& out) const;
   /// Same, into a preallocated row of exactly dim() doubles (the
   /// vectorized trainer encodes straight into rows of a V x dim tensor).
   void encode(const metadock::DockingEnv& env, std::span<double> out) const;
 
+  /// Encode only the dynamic suffix (ligand positions + bond dirs) into
+  /// exactly dynamicDim() doubles — what the folded training/serving
+  /// paths materialise instead of the full state.
+  void encodeDynamic(const metadock::DockingEnv& env, std::vector<double>& out) const;
+  void encodeDynamic(const metadock::DockingEnv& env, std::span<double> out) const;
+
   /// Encode from raw ligand coordinates (used by the pose-based replay to
   /// re-materialise states without touching the environment).
   void encodeFromPositions(std::span<const Vec3> ligandPositions,
                            std::vector<double>& out) const;
   void encodeFromPositions(std::span<const Vec3> ligandPositions, std::span<double> out) const;
+
+  /// Dynamic-suffix-only variants of encodeFromPositions.
+  void encodeDynamicFromPositions(std::span<const Vec3> ligandPositions,
+                                  std::vector<double>& out) const;
+  void encodeDynamicFromPositions(std::span<const Vec3> ligandPositions,
+                                  std::span<double> out) const;
 
  private:
   void writeVec(std::span<double> out, std::size_t& at, const Vec3& v, bool isPosition) const;

@@ -7,8 +7,20 @@
 namespace dqndock::nn {
 
 namespace {
-constexpr std::size_t kParallelThreshold = 8192;  // skip pool dispatch for tiny products
+/// Min multiply-adds per worker before fanning a GEMM out. Every worker
+/// re-streams its full share of the B matrix plus fan-out/join overhead,
+/// so splitting a product below this floor is a net loss — the measured
+/// paper-shape forward (m=32, n=135, k=16,599 → 71.7M madds) ran ~1.5x
+/// SLOWER on 2 threads than serial. The cap keeps Table-1-sized GEMMs
+/// serial while large batches (virtual-screening sweeps, wide replay
+/// batches) still split across the pool.
+constexpr std::size_t kMinWorkPerWorker = 48u * 1024u * 1024u;
+
+/// Max partitions for an m*n*k product; <= 1 means run serial.
+std::size_t partitionCap(std::size_t m, std::size_t n, std::size_t k) {
+  return (m * n * k) / kMinWorkPerWorker;
 }
+}  // namespace
 
 void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool,
              const GemmEpilogue& epilogue) {
@@ -34,8 +46,9 @@ void gemmABt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool,
   auto body = [&](std::size_t lo, std::size_t hi) {
     ops.abtRows(a.data(), b.data(), c.data(), lo, hi, n, k, biasPtr, epilogue.relu, maskPtr);
   };
-  if (pool && m * n * k >= kParallelThreshold) {
-    pool->parallelFor(0, m, body);
+  const std::size_t maxParts = partitionCap(m, n, k);
+  if (pool && maxParts > 1) {
+    pool->parallelFor(0, m, maxParts, body);
   } else {
     body(0, m);
   }
@@ -53,8 +66,9 @@ void gemmAB(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool, const
   auto body = [&](std::size_t lo, std::size_t hi) {
     ops.abRows(a.data(), b.data(), c.data(), lo, hi, n, k, maskPtr);
   };
-  if (pool && m * n * k >= kParallelThreshold) {
-    pool->parallelFor(0, m, body);
+  const std::size_t maxParts = partitionCap(m, n, k);
+  if (pool && maxParts > 1) {
+    pool->parallelFor(0, m, maxParts, body);
   } else {
     body(0, m);
   }
@@ -72,8 +86,9 @@ void gemmAtBAccum(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool)
   auto body = [&](std::size_t lo, std::size_t hi) {
     ops.atbRows(a.data(), b.data(), c.data(), lo, hi, m, n, k);
   };
-  if (pool && m * n * k >= kParallelThreshold) {
-    pool->parallelFor(0, m, body);
+  const std::size_t maxParts = partitionCap(m, n, k);
+  if (pool && maxParts > 1) {
+    pool->parallelFor(0, m, maxParts, body);
   } else {
     body(0, m);
   }

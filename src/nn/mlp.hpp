@@ -6,7 +6,11 @@
 /// two hidden layers of 135 units). Implements explicit forward/backward
 /// passes; optimizers consume the accumulated gradients.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -15,11 +19,40 @@
 
 namespace dqndock::nn {
 
+/// DQNDOCK_FOLD_STATIC gate for the static-prefix input-layer fold.
+/// Unset / "" / "on" / "1" / "true" enable it (the default); "off" /
+/// "0" / "false" disable it (the escape hatch whose code path is
+/// byte-identical to the pre-fold implementation); anything else
+/// throws. Read from the environment on every call — build sites query
+/// it once at wiring time.
+bool foldStaticEnabled();
+
 /// Fully-connected layer: Y = X * W^T + b.
 /// W is (out x in); X is (batch x in); Y is (batch x out).
+///
+/// Static-prefix folding (configureStaticPrefix): when the leading S
+/// input columns are known to carry the same values x_s on every call,
+///   h = W_s * x_s + W_d * x_d + b
+/// is served as a (batch x (in-S)) GEMM against the packed dynamic
+/// columns W_d plus a cached folded bias c = W_s * x_s + b. The cache is
+/// keyed by a weight-version counter that every non-const weights() /
+/// bias() access bumps, so optimizer steps, target syncs,
+/// copyWeightsFrom, checkpoint restores and registry hot-swaps all
+/// invalidate it without bespoke hooks; the refold is lazy, serialized
+/// by a mutex, and published with acquire/release so concurrent const
+/// forwardFolded() callers (parallel collectors, the serve batcher)
+/// fold exactly once per weight version.
 class DenseLayer {
  public:
   DenseLayer(std::size_t inDim, std::size_t outDim);
+
+  // The fold cache holds a mutex/atomic, so the compiler-generated
+  // copies/moves are gone; these preserve weights, gradients and the
+  // fold *configuration* while dropping the cache (it refolds lazily).
+  DenseLayer(const DenseLayer& other);
+  DenseLayer& operator=(const DenseLayer& other);
+  DenseLayer(DenseLayer&& other) noexcept;
+  DenseLayer& operator=(DenseLayer&& other) noexcept;
 
   /// He-normal weight init (suits the ReLU trunk), zero bias.
   void initHe(Rng& rng);
@@ -45,8 +78,20 @@ class DenseLayer {
   std::size_t inDim() const { return weights_.cols(); }
   std::size_t outDim() const { return weights_.rows(); }
 
-  Tensor& weights() { return weights_; }
-  Tensor& bias() { return bias_; }
+  /// Non-const parameter access bumps the weight version: every
+  /// mutation path in the codebase (optimizer steps via parameters(),
+  /// polyak updates, copyWeightsFrom, checkpoint/serialize restores)
+  /// reaches the tensors through these accessors, so the fold cache
+  /// can never serve stale weights. Spurious bumps (read-only callers
+  /// holding a non-const layer) only cost an extra refold.
+  Tensor& weights() {
+    ++version_;
+    return weights_;
+  }
+  Tensor& bias() {
+    ++version_;
+    return bias_;
+  }
   const Tensor& weights() const { return weights_; }
   const Tensor& bias() const { return bias_; }
   const Tensor& weightGrad() const { return gradW_; }
@@ -54,11 +99,59 @@ class DenseLayer {
   Tensor& weightGrad() { return gradW_; }
   Tensor& biasGrad() { return gradB_; }
 
+  /// Monotone counter identifying the current weight/bias contents.
+  std::uint64_t weightVersion() const { return version_; }
+
+  // --- Static-prefix folding -------------------------------------------
+
+  /// Declare the leading staticPrefix.size() input columns constant with
+  /// these values. Resizes the weight-gradient tensor to the packed
+  /// (out x dynamicDim) shape: the static-column gradient is the rank-1
+  /// outer product biasGrad ⊗ staticPrefix, reconstructed on the fly by
+  /// the optimizer (FactoredPrefixGrad) instead of materialised.
+  /// Throws unless 0 < S < inDim().
+  void configureStaticPrefix(std::vector<double> staticPrefix);
+
+  bool foldActive() const { return fold_ != nullptr; }
+  std::size_t staticLen() const;
+  std::size_t dynamicDim() const { return inDim() - staticLen(); }
+  std::span<const double> staticPrefix() const;
+  /// Number of fold-cache rebuilds so far (test/bench observability:
+  /// "folds once per weight version").
+  std::uint64_t foldCount() const;
+
+  /// Y = Xd * Wd^T + c, Xd being the (batch x dynamicDim) dynamic
+  /// suffix. Same fused epilogue as forward(); ≤1e-12 rel of the
+  /// unfolded result (the static partial sums are pre-accumulated) and
+  /// bit-deterministic across thread counts and runs per kernel tier.
+  void forwardFolded(const Tensor& xd, Tensor& y, ThreadPool* pool, bool relu = false,
+                     Tensor* reluMask = nullptr) const;
+
+  /// Folded input-layer backward: accumulates the packed dynamic-column
+  /// weight gradient and the bias gradient (which doubles as the
+  /// rank-1 coefficient for the static columns). Never produces dX —
+  /// nothing consumes dL/dState.
+  void backwardFolded(const Tensor& xdCache, const Tensor& dy, ThreadPool* pool);
+
  private:
+  struct Fold {
+    std::vector<double> staticPrefix;  ///< the S constant input values
+    Tensor wd;                         ///< out x dynamicDim packed dynamic columns
+    Tensor c;                          ///< 1 x out folded bias W_s*x_s + b
+    mutable std::mutex rebuild;
+    std::atomic<std::uint64_t> cachedVersion{0};  ///< 0 = never folded
+    std::atomic<std::uint64_t> folds{0};
+  };
+
+  /// Bring the fold cache up to weightVersion() (lazy, thread-safe).
+  void refold() const;
+
   Tensor weights_;  // out x in
   Tensor bias_;     // 1 x out
-  Tensor gradW_;
+  Tensor gradW_;    // out x in; out x dynamicDim when folding is active
   Tensor gradB_;
+  std::uint64_t version_ = 1;
+  std::unique_ptr<Fold> fold_;
 };
 
 /// In-place ReLU with mask capture for the backward pass.
@@ -75,6 +168,19 @@ class Mlp {
   std::size_t outputDim() const { return layers_.back().outDim(); }
   const std::vector<std::size_t>& dims() const { return dims_; }
   std::size_t parameterCount() const;
+
+  /// Enable static-prefix folding of the input layer (see DenseLayer).
+  /// Once active, forward()/predict() accept inputs of either the full
+  /// inputDim() width (the suffix is packed out) or the dynamicInputDim()
+  /// width (callers that materialise only the changing reals). Returns
+  /// false (and leaves the net unfolded) when the prefix is empty or
+  /// covers the whole input.
+  bool configureStaticPrefix(std::span<const double> staticPrefix);
+
+  bool foldActive() const { return layers_.front().foldActive(); }
+  std::size_t staticPrefixLen() const { return layers_.front().staticLen(); }
+  std::size_t dynamicInputDim() const { return layers_.front().dynamicDim(); }
+  const DenseLayer& inputLayer() const { return layers_.front(); }
 
   /// Forward pass; caches activations for a subsequent backward().
   const Tensor& forward(const Tensor& x);

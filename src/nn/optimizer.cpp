@@ -13,25 +13,66 @@ void ensureState(std::vector<Tensor>& state, const std::vector<Tensor*>& params)
   for (const Tensor* p : params) state.emplace_back(p->rows(), p->cols());
 }
 
-void checkPairs(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+void checkPairs(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+                const FactoredPrefixGrad* factored) {
   if (params.size() != grads.size()) {
     throw std::invalid_argument("Optimizer::step: params/grads size mismatch");
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
+    if (factored && i == factored->paramIndex) {
+      const std::size_t s = factored->staticPrefix.size();
+      if (grads[i]->rows() != params[i]->rows() || grads[i]->cols() + s != params[i]->cols()) {
+        throw std::invalid_argument("Optimizer::step: factored param/grad shape mismatch");
+      }
+      if (factored->coeff == nullptr || factored->coeff->rows() != 1 ||
+          factored->coeff->cols() != params[i]->rows()) {
+        throw std::invalid_argument("Optimizer::step: factored coeff shape mismatch");
+      }
+      continue;
+    }
     if (!params[i]->sameShape(*grads[i])) {
       throw std::invalid_argument("Optimizer::step: param/grad shape mismatch");
     }
   }
 }
+
+/// Drive the per-element update `f(flatIdx, g)` over a factored parameter:
+/// the leading S columns of each row get the rank-1 reconstruction
+/// g = coeff[r] * staticPrefix[c]; the trailing d columns read the packed
+/// gradient tensor. flatIdx indexes the full (out x in) parameter/state.
+template <class F>
+void forEachFactoredElem(const Tensor& param, const Tensor& packedGrad,
+                         const FactoredPrefixGrad& fp, F&& f) {
+  const std::size_t rows = param.rows();
+  const std::size_t full = param.cols();
+  const std::size_t s = fp.staticPrefix.size();
+  const std::size_t d = full - s;
+  const double* xs = fp.staticPrefix.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double cr = (*fp.coeff)(0, r);
+    const double* gd = packedGrad.data() + r * d;
+    const std::size_t base = r * full;
+    for (std::size_t j = 0; j < s; ++j) f(base + j, cr * xs[j]);
+    for (std::size_t j = 0; j < d; ++j) f(base + s + j, gd[j]);
+  }
+}
 }  // namespace
 
-void Sgd::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
-  checkPairs(params, grads);
+void Sgd::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+               const FactoredPrefixGrad* factored) {
+  checkPairs(params, grads, factored);
   ensureState(velocity_, params);
   for (std::size_t i = 0; i < params.size(); ++i) {
     auto p = params[i]->flat();
-    auto g = grads[i]->flat();
     auto v = velocity_[i].flat();
+    if (factored && i == factored->paramIndex) {
+      forEachFactoredElem(*params[i], *grads[i], *factored, [&](std::size_t j, double g) {
+        v[j] = momentum_ * v[j] - lr_ * g;
+        p[j] += v[j];
+      });
+      continue;
+    }
+    auto g = grads[i]->flat();
     for (std::size_t j = 0; j < p.size(); ++j) {
       v[j] = momentum_ * v[j] - lr_ * g[j];
       p[j] += v[j];
@@ -39,13 +80,21 @@ void Sgd::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& g
   }
 }
 
-void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
-  checkPairs(params, grads);
+void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+                   const FactoredPrefixGrad* factored) {
+  checkPairs(params, grads, factored);
   ensureState(meanSquare_, params);
   for (std::size_t i = 0; i < params.size(); ++i) {
     auto p = params[i]->flat();
-    auto g = grads[i]->flat();
     auto ms = meanSquare_[i].flat();
+    if (factored && i == factored->paramIndex) {
+      forEachFactoredElem(*params[i], *grads[i], *factored, [&](std::size_t j, double g) {
+        ms[j] = decay_ * ms[j] + (1.0 - decay_) * g * g;
+        p[j] -= lr_ * g / std::sqrt(ms[j] + epsilon_);
+      });
+      continue;
+    }
+    auto g = grads[i]->flat();
     for (std::size_t j = 0; j < p.size(); ++j) {
       ms[j] = decay_ * ms[j] + (1.0 - decay_) * g[j] * g[j];
       p[j] -= lr_ * g[j] / std::sqrt(ms[j] + epsilon_);
@@ -53,8 +102,9 @@ void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*
   }
 }
 
-void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
-  checkPairs(params, grads);
+void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+                const FactoredPrefixGrad* factored) {
+  checkPairs(params, grads, factored);
   ensureState(m_, params);
   ensureState(v_, params);
   ++t_;
@@ -62,9 +112,19 @@ void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& 
   const double correction2 = 1.0 - std::pow(beta2_, t_);
   for (std::size_t i = 0; i < params.size(); ++i) {
     auto p = params[i]->flat();
-    auto g = grads[i]->flat();
     auto m = m_[i].flat();
     auto v = v_[i].flat();
+    if (factored && i == factored->paramIndex) {
+      forEachFactoredElem(*params[i], *grads[i], *factored, [&](std::size_t j, double g) {
+        m[j] = beta1_ * m[j] + (1.0 - beta1_) * g;
+        v[j] = beta2_ * v[j] + (1.0 - beta2_) * g * g;
+        const double mhat = m[j] / correction1;
+        const double vhat = v[j] / correction2;
+        p[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      });
+      continue;
+    }
+    auto g = grads[i]->flat();
     for (std::size_t j = 0; j < p.size(); ++j) {
       m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
       v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];

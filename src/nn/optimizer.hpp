@@ -6,6 +6,7 @@
 /// plus plain SGD with momentum as a baseline.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,14 +14,38 @@
 
 namespace dqndock::nn {
 
+/// Describes one parameter whose gradient arrives factored: the tensor in
+/// `grads` holds only the packed dynamic columns (out x d), and the
+/// gradient of the leading `staticPrefix.size()` columns is the rank-1
+/// outer product coeff ⊗ staticPrefix (coeff is the 1 x out bias
+/// gradient, which the folded input-layer backward computes anyway).
+/// Optimizers reconstruct g = coeff[r] * staticPrefix[c] on the fly, so
+/// the full (out x in) gradient is never materialised, zeroed, or
+/// streamed — the payoff of the static-prefix fold on the learn phase.
+/// Per-parameter optimizer state stays full-shaped (keyed by the param).
+struct FactoredPrefixGrad {
+  std::size_t paramIndex = 0;            ///< position of the weight tensor in params/grads
+  std::span<const double> staticPrefix;  ///< the S constant input values
+  const Tensor* coeff = nullptr;         ///< 1 x out rank-1 coefficient (= bias grad)
+};
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
   /// Apply one update: params[i] -= f(grads[i]). The two lists must pair
   /// up one-to-one with stable ordering across calls (per-parameter state
-  /// is keyed by list position).
-  virtual void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) = 0;
+  /// is keyed by list position). When `factored` is non-null, the one
+  /// parameter it names carries a packed dynamic-column gradient plus the
+  /// rank-1 static part (see FactoredPrefixGrad); all other parameters
+  /// update exactly as before.
+  virtual void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+                    const FactoredPrefixGrad* factored) = 0;
+
+  /// Dense-gradient convenience overload (the pre-fold call shape).
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+    step(params, grads, nullptr);
+  }
 
   virtual std::string name() const = 0;
 
@@ -36,7 +61,9 @@ class Optimizer {
 class Sgd final : public Optimizer {
  public:
   explicit Sgd(double lr, double momentum = 0.0) : Optimizer(lr), momentum_(momentum) {}
-  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  using Optimizer::step;
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+            const FactoredPrefixGrad* factored) override;
   std::string name() const override { return "sgd"; }
 
  private:
@@ -50,7 +77,9 @@ class RmsProp final : public Optimizer {
  public:
   explicit RmsProp(double lr = 0.00025, double decay = 0.95, double epsilon = 0.01)
       : Optimizer(lr), decay_(decay), epsilon_(epsilon) {}
-  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  using Optimizer::step;
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+            const FactoredPrefixGrad* factored) override;
   std::string name() const override { return "rmsprop"; }
 
  private:
@@ -65,7 +94,9 @@ class Adam final : public Optimizer {
   explicit Adam(double lr = 0.001, double beta1 = 0.9, double beta2 = 0.999,
                 double epsilon = 1e-8)
       : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
-  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  using Optimizer::step;
+  void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads,
+            const FactoredPrefixGrad* factored) override;
   std::string name() const override { return "adam"; }
 
  private:

@@ -60,9 +60,20 @@ void C51Agent::softmaxBlocks(const nn::Tensor& logits, nn::Tensor& probs) const 
   }
 }
 
+bool C51Agent::enableStaticPrefixFold(std::span<const double> staticPrefix) {
+  if (!online_.configureStaticPrefix(staticPrefix)) return false;
+  if (!target_.configureStaticPrefix(staticPrefix)) {
+    throw std::logic_error("C51Agent: target net rejected fold the online net accepted");
+  }
+  return true;
+}
+
 std::vector<double> C51Agent::expectedQ(std::span<const double> state) const {
-  if (state.size() != stateDim_) throw std::invalid_argument("C51Agent: state dim mismatch");
-  scratchState_.resize(1, stateDim_);
+  if (state.size() != stateDim_ &&
+      !(online_.foldActive() && state.size() == online_.dynamicInputDim())) {
+    throw std::invalid_argument("C51Agent: state dim mismatch");
+  }
+  scratchState_.resize(1, state.size());
   std::copy(state.begin(), state.end(), scratchState_.data());
   online_.predict(scratchState_, scratchLogits_);
   softmaxBlocks(scratchLogits_, scratchProbs_);
@@ -79,7 +90,11 @@ std::vector<double> C51Agent::expectedQ(std::span<const double> state) const {
 
 std::vector<double> C51Agent::distribution(std::span<const double> state, int action) const {
   if (action < 0 || action >= actions_) throw std::out_of_range("C51Agent: bad action");
-  scratchState_.resize(1, stateDim_);
+  if (state.size() != stateDim_ &&
+      !(online_.foldActive() && state.size() == online_.dynamicInputDim())) {
+    throw std::invalid_argument("C51Agent: state dim mismatch");
+  }
+  scratchState_.resize(1, state.size());
   std::copy(state.begin(), state.end(), scratchState_.data());
   online_.predict(scratchState_, scratchLogits_);
   softmaxBlocks(scratchLogits_, scratchProbs_);
@@ -176,7 +191,15 @@ double C51Agent::learn(ExperienceSource& source, Rng& rng) {
 
   online_.zeroGrad();
   online_.backward(dLogits);
-  optimizer_->step(online_.parameters(), online_.gradients());
+  nn::FactoredPrefixGrad fg;
+  const nn::FactoredPrefixGrad* factored = nullptr;
+  if (online_.foldActive()) {
+    fg.paramIndex = 0;  // parameters() order: W0, b0, W1, b1, ...
+    fg.staticPrefix = online_.inputLayer().staticPrefix();
+    fg.coeff = &online_.inputLayer().biasGrad();
+    factored = &fg;
+  }
+  optimizer_->step(online_.parameters(), online_.gradients(), factored);
 
   ++learnSteps_;
   if (config_.targetSyncInterval > 0 && learnSteps_ % config_.targetSyncInterval == 0) {

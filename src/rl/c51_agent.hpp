@@ -43,6 +43,13 @@ class C51Agent {
   const C51Config& config() const { return config_; }
   const std::vector<double>& support() const { return support_; }
 
+  /// Fold the constant state prefix out of both nets' input layers (see
+  /// DqnAgent::enableStaticPrefixFold). Once active, state-taking entry
+  /// points accept full-width states or just the dynamic suffix.
+  bool enableStaticPrefixFold(std::span<const double> staticPrefix);
+  bool foldActive() const { return online_.foldActive(); }
+  std::size_t dynamicStateDim() const { return online_.dynamicInputDim(); }
+
   /// Expected Q per action (the distribution means).
   std::vector<double> expectedQ(std::span<const double> state) const;
 

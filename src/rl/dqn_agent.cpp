@@ -37,8 +37,19 @@ int DqnAgent::selectAction(std::span<const double> state, double epsilon, Rng& r
   return greedyAction(state);
 }
 
+bool DqnAgent::enableStaticPrefixFold(std::span<const double> staticPrefix) {
+  if (!online_->configureStaticPrefix(staticPrefix)) return false;
+  if (!target_->configureStaticPrefix(staticPrefix)) {
+    throw std::logic_error("DqnAgent: target net rejected fold the online net accepted");
+  }
+  return true;
+}
+
 std::vector<double> DqnAgent::qValues(std::span<const double> state) const {
-  if (state.size() != stateDim()) throw std::invalid_argument("DqnAgent: state dim mismatch");
+  if (state.size() != stateDim() &&
+      !(online_->foldActive() && state.size() == online_->dynamicInputDim())) {
+    throw std::invalid_argument("DqnAgent: state dim mismatch");
+  }
   // Local buffers: inference must be callable concurrently from parallel
   // experience collectors (predict() itself touches no shared caches).
   nn::Tensor in(1, state.size());
@@ -49,7 +60,8 @@ std::vector<double> DqnAgent::qValues(std::span<const double> state) const {
 }
 
 void DqnAgent::qValuesBatch(const nn::Tensor& states, nn::Tensor& q) const {
-  if (states.cols() != stateDim()) {
+  if (states.cols() != stateDim() &&
+      !(online_->foldActive() && states.cols() == online_->dynamicInputDim())) {
     throw std::invalid_argument("DqnAgent::qValuesBatch: state dim mismatch");
   }
   online_->predict(states, q);
@@ -160,7 +172,7 @@ double DqnAgent::learn(ExperienceSource& source, Rng& rng) {
 
   online_->zeroGrad();
   online_->backward(dq_);
-  optimizer_->step(online_->parameters(), online_->gradients());
+  optimizer_->step(online_->parameters(), online_->gradients(), online_->factoredGrad());
 
   ++learnSteps_;
   if (config_.polyakTau > 0.0) {

@@ -55,6 +55,17 @@ class DqnAgent {
   int actionCount() const { return online_->actionCount(); }
   const DqnConfig& config() const { return config_; }
 
+  /// Fold the constant state prefix out of both the online and target
+  /// input layers (nn::Mlp::configureStaticPrefix). Returns false — and
+  /// leaves both nets unfolded — when the architecture doesn't support
+  /// it (dueling) or the prefix is degenerate. Once active, every
+  /// state-taking entry point accepts either full-width states or just
+  /// the dynamicStateDim() suffix, and learn() routes the input-layer
+  /// weight update through the rank-1 factored path.
+  bool enableStaticPrefixFold(std::span<const double> staticPrefix);
+  bool foldActive() const { return online_->foldActive(); }
+  std::size_t dynamicStateDim() const { return online_->dynamicInputDim(); }
+
   /// Epsilon-greedy action for one state.
   int selectAction(std::span<const double> state, double epsilon, Rng& rng) const;
 

@@ -8,10 +8,12 @@
 /// Q = V + A - mean(A) (Wang et al. 2016).
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/nn/mlp.hpp"
+#include "src/nn/optimizer.hpp"
 
 namespace dqndock::rl {
 
@@ -41,6 +43,22 @@ class QNetwork {
   virtual std::unique_ptr<QNetwork> clone() const = 0;
   virtual void copyWeightsFrom(const QNetwork& other) = 0;
 
+  // --- Static-prefix folding (nn::Mlp::configureStaticPrefix) ----------
+  // Base defaults: no fold support. Architectures that can fold their
+  // input layer override; callers must handle a false return (e.g.
+  // DuelingQNetwork stays unfolded and the agent keeps full-width states).
+
+  /// Try to fold the given constant input prefix. Returns false when the
+  /// architecture doesn't support folding or the prefix is degenerate.
+  virtual bool configureStaticPrefix(std::span<const double> /*staticPrefix*/) { return false; }
+  virtual bool foldActive() const { return false; }
+  /// Width of the inputs forward()/predict() require when folded
+  /// (== inputDim() otherwise; folded nets also still accept full width).
+  virtual std::size_t dynamicInputDim() const { return inputDim(); }
+  /// Rank-1 factored gradient descriptor for Optimizer::step, or nullptr
+  /// when not folding. Valid until the next mutation of this network.
+  virtual const nn::FactoredPrefixGrad* factoredGrad() const { return nullptr; }
+
   std::size_t parameterCountTotal() const;
 };
 
@@ -65,11 +83,21 @@ class MlpQNetwork final : public QNetwork {
   std::unique_ptr<QNetwork> clone() const override;
   void copyWeightsFrom(const QNetwork& other) override;
 
+  bool configureStaticPrefix(std::span<const double> staticPrefix) override {
+    return net_.configureStaticPrefix(staticPrefix);
+  }
+  bool foldActive() const override { return net_.foldActive(); }
+  std::size_t dynamicInputDim() const override { return net_.dynamicInputDim(); }
+  const nn::FactoredPrefixGrad* factoredGrad() const override;
+
   nn::Mlp& net() { return net_; }
   const nn::Mlp& net() const { return net_; }
 
  private:
   nn::Mlp net_;
+  // Refreshed by factoredGrad() so the spans/pointers always track the
+  // current net_ (clone/copy would otherwise leave them dangling).
+  mutable nn::FactoredPrefixGrad factoredGrad_;
 };
 
 /// Dueling head: shared ReLU trunk, then V (1 unit) and A (K units)

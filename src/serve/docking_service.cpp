@@ -26,11 +26,19 @@ DockingService::DockingService(const chem::Scenario& scenario, ModelRegistry& re
       options_(options),
       pool_(pool),
       encoder_(scenario_, options_.stateMode, options_.normalizeStates),
+      // Fold the constant receptor block out of every published network
+      // before any worker serves traffic: batched and single-state
+      // inference then both ride the small dynamic-column GEMM, and each
+      // hot-swapped model version folds lazily exactly once.
+      foldActive_(options_.foldStatic.value_or(nn::foldStaticEnabled()) &&
+                  encoder_.staticPrefixLen() > 0 &&
+                  registry.enableStaticPrefixFold(encoder_.staticPrefix())),
       batcher_(
           [this](const nn::Tensor& states, nn::Tensor& q) {
             registry_.current()->net->predict(states, q);
           },
-          registry.inputDim(), registry.actionCount(), options.batcher),
+          foldActive_ ? encoder_.dynamicDim() : registry.inputDim(), registry.actionCount(),
+          options.batcher),
       queue_(options.queueCapacity) {
   if (options_.workers == 0) options_.workers = 1;
   options_.env.scoring.pool = pool;
@@ -217,7 +225,11 @@ void DockingService::runDock(Job& job, const DockRequest& request, JobOutcome& o
     if (request.epsilon > 0.0 && rng.uniform() < request.epsilon) {
       action = static_cast<int>(rng.uniformInt(static_cast<std::uint64_t>(env.actionCount())));
     } else {
-      encoder_.encodeFromPositions(env.ligandPositions(), state);
+      if (foldActive_) {
+        encoder_.encodeDynamicFromPositions(env.ligandPositions(), state);
+      } else {
+        encoder_.encodeFromPositions(env.ligandPositions(), state);
+      }
       action = argmax(batcher_.infer(state));
     }
     const metadock::StepResult step = env.step(action);

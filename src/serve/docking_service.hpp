@@ -11,6 +11,7 @@
 /// so a stuck or abandoned request never pins a worker.
 
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -33,6 +34,11 @@ struct ServiceOptions {
   bool normalizeStates = true;
   metadock::EnvConfig env;     ///< per-worker environment config
   BatcherOptions batcher;
+  /// Static-prefix fold override; unset defers to the
+  /// DQNDOCK_FOLD_STATIC environment gate (default on). Inert when the
+  /// state mode has no constant prefix or the registry's architecture
+  /// rejects folding.
+  std::optional<bool> foldStatic{};
 };
 
 /// Roll the registry policy out from the scenario's initial pose.
@@ -134,6 +140,9 @@ class DockingService {
   ServiceStats stats() const;
   const core::StateEncoder& encoder() const { return encoder_; }
   const ServiceOptions& options() const { return options_; }
+  /// True when the registry's networks run the folded input-layer path
+  /// and dock rollouts materialise only the dynamic state suffix.
+  bool foldActive() const { return foldActive_; }
 
  private:
   struct Ticket {
@@ -155,6 +164,9 @@ class DockingService {
   ServiceOptions options_;
   ThreadPool* pool_;
   core::StateEncoder encoder_;
+  /// Decided after encoder_, before batcher_ (the batcher's row width
+  /// depends on it) — member order is load-bearing.
+  bool foldActive_;
   InferenceBatcher batcher_;
   JobQueue queue_;
   std::vector<std::unique_ptr<metadock::DockingEnv>> envs_;

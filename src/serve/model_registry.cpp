@@ -19,10 +19,45 @@ ModelRegistry::ModelRegistry(std::unique_ptr<rl::QNetwork> initial, std::string 
   publishes_ = 1;
 }
 
+bool ModelRegistry::enableStaticPrefixFold(std::span<const double> staticPrefix) {
+  std::lock_guard lock(mu_);
+  // current_->net is shared as const with readers, but the fold
+  // configuration is not weight state: predictions are unchanged (≤1e-12
+  // reassociation) and the lazy refold is internally synchronized. Call
+  // before serving traffic regardless — concurrent readers mid-predict
+  // would race the input-width change.
+  auto* net = const_cast<rl::QNetwork*>(current_->net.get());
+  if (!net->configureStaticPrefix(staticPrefix)) return false;
+  foldPrefix_.assign(staticPrefix.begin(), staticPrefix.end());
+  return true;
+}
+
+bool ModelRegistry::foldActive() const {
+  std::lock_guard lock(mu_);
+  return !foldPrefix_.empty();
+}
+
+std::size_t ModelRegistry::dynamicInputDim() const {
+  std::lock_guard lock(mu_);
+  return foldPrefix_.empty() ? inputDim_ : inputDim_ - foldPrefix_.size();
+}
+
 std::uint64_t ModelRegistry::publish(std::unique_ptr<rl::QNetwork> net, std::string tag) {
   if (!net) throw std::invalid_argument("ModelRegistry::publish: null network");
   if (net->inputDim() != inputDim_ || net->actionCount() != actionCount_) {
     throw std::invalid_argument("ModelRegistry::publish: architecture mismatch");
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (!foldPrefix_.empty() && !net->foldActive()) {
+      // Propagate the fold to every published generation; the clone in
+      // publishFromFile already carries it (Mlp copies keep the fold
+      // configuration), so this only fires for externally-built nets.
+      if (!net->configureStaticPrefix(foldPrefix_)) {
+        throw std::invalid_argument(
+            "ModelRegistry::publish: network rejected the registry's static-prefix fold");
+      }
+    }
   }
   auto entry = std::make_shared<ModelVersion>();
   entry->tag = std::move(tag);

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/rl/qnetwork.hpp"
 
@@ -51,6 +53,19 @@ class ModelRegistry {
   std::size_t inputDim() const { return inputDim_; }
   int actionCount() const { return actionCount_; }
 
+  /// Fold the given constant input prefix out of the current network and
+  /// every future publish (nn::Mlp static-prefix factorization). Each
+  /// published network folds its own weights lazily on first predict, so
+  /// a hot-swap folds exactly once per model version. Returns false (and
+  /// stores nothing) when the current architecture rejects the fold;
+  /// subsequent publishes of foldable architectures then stay unfolded
+  /// too. Call before serving traffic: it mutates the current network's
+  /// fold configuration (not its weights).
+  bool enableStaticPrefixFold(std::span<const double> staticPrefix);
+  bool foldActive() const;
+  /// Input width folded networks accept in addition to inputDim().
+  std::size_t dynamicInputDim() const;
+
  private:
   mutable std::mutex mu_;
   std::shared_ptr<const ModelVersion> current_;
@@ -58,6 +73,7 @@ class ModelRegistry {
   std::size_t publishes_ = 0;
   std::size_t inputDim_ = 0;
   int actionCount_ = 0;
+  std::vector<double> foldPrefix_;  ///< non-empty once folding is enabled
 };
 
 }  // namespace dqndock::serve

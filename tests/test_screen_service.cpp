@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/chem/library_io.hpp"
 #include "src/metadock/vs_pipeline.hpp"
@@ -23,9 +27,15 @@ namespace {
 class ScreenServiceFixture : public ::testing::Test {
  protected:
   ScreenServiceFixture() {
+    // Per-test file names: ctest -j N runs fixture tests concurrently,
+    // and a shared library/journal path lets one test's ctor/dtor delete
+    // the journal another test is about to load (the historic
+    // CheckpointResume flake under parallel ctest load).
     const auto dir = std::filesystem::temp_directory_path();
-    libraryPath_ = (dir / "dqndock_screen_lib.smi").string();
-    journalPath_ = (dir / "dqndock_screen_journal.txt").string();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string tag = std::string(info->name()) + "_" + std::to_string(::getpid());
+    libraryPath_ = (dir / ("dqndock_screen_lib_" + tag + ".smi")).string();
+    journalPath_ = (dir / ("dqndock_screen_journal_" + tag + ".txt")).string();
     std::filesystem::remove(journalPath_);
     chem::writeSyntheticLibraryFile(libraryPath_, 24, 6, 12, 7);
 
@@ -39,7 +49,11 @@ class ScreenServiceFixture : public ::testing::Test {
     config_.topK = 0;  // keep all 24 so reports compare hit-for-hit
     config_.shardSize = 6;
     config_.chunkSize = 2;
-    config_.leaseTimeoutSeconds = 0.4;
+    // Generous default: under parallel ctest load a 2-ligand chunk can
+    // take longer than a tight timeout, and a spuriously reclaimed lease
+    // double-screens its shard (breaking exact-count assertions). Tests
+    // that exercise expiry dial this down explicitly.
+    config_.leaseTimeoutSeconds = 30.0;
   }
 
   ~ScreenServiceFixture() override {
@@ -67,6 +81,20 @@ class ScreenServiceFixture : public ::testing::Test {
     EXPECT_EQ(a.hitCount, b.hitCount);
     EXPECT_EQ(a.totalEvaluations, b.totalEvaluations);
     EXPECT_DOUBLE_EQ(a.hitRate, b.hitRate);
+  }
+
+  /// Condition-style wait on cross-thread coordinator state: spins on
+  /// `pred` instead of sleeping for a fixed wall-clock interval, so a
+  /// loaded machine only slows the wait down rather than breaking it.
+  static bool pollUntil(const std::function<bool()>& pred, double timeoutSeconds = 30.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeoutSeconds));
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() >= deadline) return pred();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
   }
 
   /// Worker options that give up quickly once the coordinator halts,
@@ -119,6 +147,11 @@ TEST_F(ScreenServiceFixture, DistributedMatchesSingleProcessBitForBit) {
 }
 
 TEST_F(ScreenServiceFixture, WorkerDeathIsReclaimedByLeaseTimeout) {
+  // Expiry is the subject here, so the timeout is tight. Healthy
+  // workers can ALSO trip it under load; every assertion below
+  // tolerates that (stale results are rejected, the merged report stays
+  // bit-identical, and leasesExpired only grows).
+  config_.leaseTimeoutSeconds = 0.4;
   const metadock::ScreeningReport reference = singleProcess();
 
   ScreenCoordinator coordinator(config_);
@@ -147,14 +180,36 @@ TEST_F(ScreenServiceFixture, WorkerDeathIsReclaimedByLeaseTimeout) {
 TEST_F(ScreenServiceFixture, StragglerShardIsSplitForIdleWorkers) {
   // One giant shard: without work stealing a second worker would idle
   // while the first grinds through all 24 ligands. A larger per-ligand
-  // budget keeps the straggler busy long enough for the idle worker to
-  // show up and steal, even on a loaded machine.
+  // budget keeps each chunk substantial.
   config_.evaluationsPerLigand = 500;
   config_.shardSize = 24;
   config_.leaseTimeoutSeconds = 30.0;  // stealing, not expiry, must kick in
   const metadock::ScreeningReport reference = singleProcess();
   ScreenCoordinator coordinator(config_);
-  const auto stats = runWorkers(coordinator.port(), 2);
+
+  // Launching both workers at once is a wall-clock race: on a loaded
+  // machine the second thread can start late enough for the straggler to
+  // have granted itself (almost) the whole shard, closing the steal
+  // window. Instead, poll until the straggler has leased the shard and
+  // reported progress at least once (HELLO + LEASE + PROGRESS = 3
+  // requests, i.e. >= 20 of 24 ligands still un-granted), THEN start the
+  // idle worker — its lease request must arrive inside the window.
+  std::vector<WorkerStats> stats(2);
+  std::thread straggler([&] {
+    WorkerOptions options;
+    options.id = "w0";
+    stats[0] = ScreenWorker(coordinator.port(), options).run();
+  });
+  ASSERT_TRUE(pollUntil([&] { return coordinator.stats().requests >= 3; }))
+      << "straggler never reported progress";
+  std::thread idle([&] {
+    WorkerOptions options;
+    options.id = "w1";
+    stats[1] = ScreenWorker(coordinator.port(), options).run();
+  });
+  straggler.join();
+  idle.join();
+
   EXPECT_TRUE(coordinator.waitUntilDone(60.0));
   for (const auto& s : stats) {
     EXPECT_TRUE(s.error.empty()) << s.error;
