@@ -32,7 +32,12 @@ void printReply(const char* what, const serve::Message& reply) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const long port = args.getInt("port", 0);
+  long port = 0;
+  try {
+    port = args.getInt("port", 0);
+  } catch (const CliError&) {
+    port = 0;  // malformed --port falls through to the usage message
+  }
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "usage: %s --port=PORT [--dock|--screen|--publish=FILE|--shutdown]\n",
                  args.program().c_str());

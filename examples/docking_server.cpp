@@ -13,7 +13,6 @@
 
 #include <csignal>
 #include <cstdio>
-#include <sstream>
 #include <thread>
 
 #include <unistd.h>
@@ -27,21 +26,14 @@ using namespace dqndock;
 
 namespace {
 
-std::vector<std::size_t> parseHidden(const std::string& spec) {
-  std::vector<std::size_t> layers;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) layers.push_back(static_cast<std::size_t>(std::stoul(item)));
-  }
-  return layers;
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: docking_server [--port=0] [--workers=2] [--queue=64]\n"
+               "                      [--batch=32] [--flush-us=200] [--hidden=64,64]\n"
+               "                      [--weights=policy.bin] [--scenario=tiny|paper]\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-
+int run(const CliArgs& args) {
   const std::string scenarioName = args.getString("scenario", "tiny");
   const chem::ScenarioSpec spec =
       scenarioName == "paper" ? chem::ScenarioSpec::paper2bsm() : chem::ScenarioSpec::tiny();
@@ -59,7 +51,8 @@ int main(int argc, char** argv) {
   metadock::DockingEnv probeEnv(scenario, opts.env);
   Rng rng(2018);
   auto net = std::make_unique<rl::MlpQNetwork>(
-      probe.dim(), parseHidden(args.getString("hidden", "64,64")), probeEnv.actionCount(), rng);
+      probe.dim(), parseSizeList(args.getString("hidden", "64,64"), "hidden"),
+      probeEnv.actionCount(), rng);
 
   const std::string weights = args.getString("weights", "");
   std::string tag = "random-init";
@@ -79,7 +72,7 @@ int main(int argc, char** argv) {
 
   serve::DockingService service(scenario, registry, opts, &ThreadPool::global());
   serve::TcpServer server(service, registry,
-                          static_cast<std::uint16_t>(args.getInt("port", 0)));
+                          static_cast<std::uint16_t>(args.getUint16("port", 0)));
   std::thread signalThread([&] {
     int sig = 0;
     sigwait(&signals, &sig);
@@ -112,4 +105,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batcher.batches),
               stats.batcher.meanBatchRows());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Malformed flag values ("--hidden=128,abc", "--port=80x") print usage
+  // and exit 1 — never an uncaught-exception abort.
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "docking_server: %s\n", e.what());
+    printUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    // Startup failures (e.g. the port is already in use) exit with a
+    // message instead of SIGABRT from an uncaught exception.
+    std::fprintf(stderr, "docking_server: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -26,13 +26,17 @@
 
 using namespace dqndock;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+namespace {
 
+void printUsage() {
+  std::fprintf(stderr, "usage: screen_coordinator --library=<lib.smi|lib.mol2> ...\n");
+}
+
+int run(const CliArgs& args) {
   screen::ScreenJobConfig config;
   config.libraryPath = args.getString("library", "");
   if (config.libraryPath.empty()) {
-    std::fprintf(stderr, "usage: screen_coordinator --library=<lib.smi|lib.mol2> ...\n");
+    printUsage();
     return 1;
   }
   config.scenario = args.getString("scenario", "tiny");
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
   config.leaseTimeoutSeconds = args.getDouble("lease-timeout", 10.0);
 
   screen::CoordinatorOptions options;
-  options.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+  options.port = static_cast<std::uint16_t>(args.getUint16("port", 0));
   options.journalPath = args.getString("journal", "");
   options.resume = args.getBool("resume", false);
   options.haltAfterShards = static_cast<std::size_t>(args.getInt("halt-after-shards", 0));
@@ -113,4 +117,22 @@ int main(int argc, char** argv) {
 
   coordinator.stop();
   return done ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Malformed numeric flags print usage and exit 1, never abort.
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "screen_coordinator: %s\n", e.what());
+    printUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    // Startup failures (e.g. the port is already in use) exit with a
+    // message instead of SIGABRT from an uncaught exception.
+    std::fprintf(stderr, "screen_coordinator: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -17,11 +17,16 @@
 
 using namespace dqndock;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const auto port = static_cast<std::uint16_t>(args.getInt("port", 0));
+namespace {
+
+void printUsage() {
+  std::fprintf(stderr, "usage: screen_worker --port=<coordinator port> ...\n");
+}
+
+int run(const CliArgs& args) {
+  const auto port = static_cast<std::uint16_t>(args.getUint16("port", 0));
   if (port == 0) {
-    std::fprintf(stderr, "usage: screen_worker --port=<coordinator port> ...\n");
+    printUsage();
     return 1;
   }
 
@@ -46,4 +51,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Malformed numeric flags print usage and exit 1, never abort.
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "screen_worker: %s\n", e.what());
+    printUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    // Startup failures (e.g. the port is already in use) exit with a
+    // message instead of SIGABRT from an uncaught exception.
+    std::fprintf(stderr, "screen_worker: fatal: %s\n", e.what());
+    return 1;
+  }
 }

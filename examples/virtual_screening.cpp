@@ -46,10 +46,19 @@ void printReport(const metadock::ScreeningReport& report, std::size_t librarySiz
               hitThreshold, report.hitCount, librarySize, 100.0 * report.hitRate);
 }
 
-}  // namespace
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: virtual_screening [--ligands=12] [--budget=3000] "
+               "[--method=monte-carlo]\n"
+               "                         [--csv=screen.csv] [--hit-threshold=200] "
+               "[--seed=2020]\n"
+               "                         [--topk=0] [--library=lib.smi] "
+               "[--emit-library=lib.smi]\n"
+               "                         [--shards=1] [--workers=2] [--chunk=8]\n"
+               "                         [--journal=screen.journal] [--resume]\n");
+}
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   const auto ligandCount = static_cast<std::size_t>(args.getInt("ligands", 12));
   const auto shards = static_cast<std::size_t>(args.getInt("shards", 1));
   const auto workers = static_cast<std::size_t>(args.getInt("workers", 2));
@@ -139,4 +148,17 @@ int main(int argc, char** argv) {
     std::printf("report written to %s\n", csv.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Malformed numeric flags print usage and exit 1, never abort.
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "virtual_screening: %s\n", e.what());
+    printUsage();
+    return 1;
+  }
 }

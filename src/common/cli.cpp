@@ -1,8 +1,68 @@
 #include "src/common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace dqndock {
+
+namespace {
+
+[[noreturn]] void throwBadValue(const std::string& flag, std::string_view text,
+                                const char* expected) {
+  throw CliError("--" + flag + ": expected " + expected + ", got \"" + std::string(text) +
+                 "\"");
+}
+
+}  // namespace
+
+std::optional<long> tryParseLong(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string buf(text);  // strtol needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<unsigned long> tryParseUnsigned(std::string_view text) {
+  // strtoul silently accepts "-3" (wraps); require a non-negative long.
+  const auto value = tryParseLong(text);
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<unsigned long>(*value);
+}
+
+std::optional<double> tryParseDouble(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<std::size_t>> tryParseSizeList(std::string_view spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto value = tryParseUnsigned(item);
+    if (!value || *value == 0) return std::nullopt;
+    out.push_back(static_cast<std::size_t>(*value));
+  }
+  return out;
+}
+
+std::vector<std::size_t> parseSizeList(std::string_view spec, const std::string& flag) {
+  auto parsed = tryParseSizeList(spec);
+  if (!parsed) throwBadValue(flag, spec, "a comma-separated list of positive integers");
+  return std::move(*parsed);
+}
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -33,18 +93,32 @@ std::string CliArgs::getString(const std::string& name, const std::string& fallb
 
 long CliArgs::getInt(const std::string& name, long fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return fallback;
+  const auto value = tryParseLong(it->second);
+  if (!value) throwBadValue(name, it->second, "an integer");
+  return *value;
 }
 
 double CliArgs::getDouble(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return fallback;
+  const auto value = tryParseDouble(it->second);
+  if (!value) throwBadValue(name, it->second, "a number");
+  return *value;
 }
 
 bool CliArgs::getBool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes" || it->second.empty();
+}
+
+unsigned CliArgs::getUint16(const std::string& name, unsigned fallback) const {
+  const long value = getInt(name, static_cast<long>(fallback));
+  if (value < 0 || value > 65535) {
+    throwBadValue(name, getString(name, ""), "an integer in [0, 65535]");
+  }
+  return static_cast<unsigned>(value);
 }
 
 }  // namespace dqndock

@@ -3,12 +3,45 @@
 /// \file cli.hpp
 /// Minimal command-line flag parser for the examples and benches.
 /// Supports --name=value and --name value forms plus boolean switches.
+///
+/// Numeric lookups are CHECKED: a flag that is present but does not
+/// parse as a whole token ("--layers 128,abc", "--port 80x") throws
+/// CliError instead of silently truncating (strtol) or aborting
+/// (std::stoul). Example mains catch CliError, print their usage line
+/// and exit 1 — malformed user input must never terminate via an
+/// uncaught exception.
 
+#include <cstddef>
 #include <map>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dqndock {
+
+/// A command-line value failed validation. what() names the flag and the
+/// offending text so the caller's usage message can be specific.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict whole-token parses: leading/trailing junk ("12x", "1 2", "")
+/// yields nullopt, as do out-of-range values. Base 10 only.
+std::optional<long> tryParseLong(std::string_view text);
+std::optional<unsigned long> tryParseUnsigned(std::string_view text);
+std::optional<double> tryParseDouble(std::string_view text);
+
+/// Comma-separated list of positive sizes ("64,64"); empty items are
+/// skipped ("64,,64" == "64,64"). nullopt when any item fails to parse.
+std::optional<std::vector<std::size_t>> tryParseSizeList(std::string_view spec);
+
+/// tryParseSizeList that throws CliError naming `flag` on bad input —
+/// the shared checked replacement for the ad-hoc std::stoul loops the
+/// example CLIs used for --hidden/--layers specs.
+std::vector<std::size_t> parseSizeList(std::string_view spec, const std::string& flag);
 
 class CliArgs {
  public:
@@ -17,9 +50,14 @@ class CliArgs {
   bool has(const std::string& name) const;
 
   std::string getString(const std::string& name, const std::string& fallback) const;
+  /// Missing flag -> fallback; present but malformed -> CliError.
   long getInt(const std::string& name, long fallback) const;
   double getDouble(const std::string& name, double fallback) const;
   bool getBool(const std::string& name, bool fallback) const;
+
+  /// getInt constrained to [0, 65535] — ports and other small unsigned
+  /// knobs; out-of-range values throw CliError rather than wrapping.
+  unsigned getUint16(const std::string& name, unsigned fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

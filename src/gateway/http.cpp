@@ -1,0 +1,217 @@
+#include "src/gateway/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dqndock::gateway {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string_view trimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// RFC 7230 token characters (method and header-name alphabet).
+bool isTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!isTokenChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+bool HttpRequest::wantsClose() const {
+  const std::string connection = toLower(header("connection"));
+  if (connection.find("close") != std::string::npos) return true;
+  if (version == "HTTP/1.0" && connection.find("keep-alive") == std::string::npos) return true;
+  return false;
+}
+
+HttpParser::Status HttpParser::failWith(int status, std::string reason) {
+  phase_ = Phase::kFailed;
+  status_ = Status::kError;
+  errorStatus_ = status;
+  errorReason_ = std::move(reason);
+  return status_;
+}
+
+/// Pull one CRLF-terminated line off the buffer (bare LF tolerated, as
+/// curl/netcat users expect). Returns false when no full line is
+/// buffered yet — after flagging an error if the unterminated prefix
+/// already exceeds `cap` (a peer streaming an endless first line must
+/// hit the limit without a newline ever arriving).
+bool HttpParser::takeLine(std::string& line, std::size_t cap, int overflowStatus,
+                          const char* what) {
+  const std::size_t eol = buffer_.find('\n');
+  if (eol == std::string::npos) {
+    if (buffer_.size() > cap) failWith(overflowStatus, std::string(what) + " too large");
+    return false;
+  }
+  if (eol > cap) {
+    failWith(overflowStatus, std::string(what) + " too large");
+    return false;
+  }
+  line = buffer_.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buffer_.erase(0, eol + 1);
+  return true;
+}
+
+HttpParser::Status HttpParser::feed(std::string_view data) {
+  if (phase_ == Phase::kFailed || phase_ == Phase::kDone) return status_;
+  buffer_.append(data.data(), data.size());
+  return advance();
+}
+
+void HttpParser::reset() {
+  phase_ = Phase::kRequestLine;
+  status_ = Status::kNeedMore;
+  request_ = HttpRequest{};
+  headerBytes_ = 0;
+  contentLength_ = 0;
+  errorStatus_ = 0;
+  errorReason_.clear();
+  if (!buffer_.empty()) advance();  // a pipelined request may already be complete
+}
+
+HttpParser::Status HttpParser::advance() {
+  std::string line;
+  while (phase_ == Phase::kRequestLine || phase_ == Phase::kHeaders) {
+    if (phase_ == Phase::kRequestLine) {
+      if (!takeLine(line, kMaxRequestLineBytes, 431, "request line")) return status_;
+      if (line.empty()) continue;  // tolerate leading blank lines (RFC 7230 §3.5)
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                       : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        return failWith(400, "malformed request line");
+      }
+      request_.method = line.substr(0, sp1);
+      request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      request_.version = line.substr(sp2 + 1);
+      if (!isToken(request_.method)) return failWith(400, "bad method token");
+      if (request_.target.empty() || request_.target.find(' ') != std::string::npos) {
+        return failWith(400, "bad request target");
+      }
+      if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+        return failWith(505, "unsupported HTTP version");
+      }
+      phase_ = Phase::kHeaders;
+      continue;
+    }
+
+    // Headers.
+    if (!takeLine(line, kMaxHeaderBytes, 431, "header section")) return status_;
+    headerBytes_ += line.size() + 2;
+    if (headerBytes_ > kMaxHeaderBytes) return failWith(431, "header section too large");
+    if (line.empty()) {
+      // End of headers: fix the body framing.
+      if (request_.headers.count("transfer-encoding") != 0) {
+        return failWith(501, "Transfer-Encoding not supported; send Content-Length");
+      }
+      const auto it = request_.headers.find("content-length");
+      if (it == request_.headers.end()) {
+        contentLength_ = 0;
+      } else {
+        // Strict digits-only parse: negatives, signs, whitespace and
+        // anything non-numeric are a framing attack, not a number.
+        const std::string& text = it->second;
+        if (text.empty() || text.size() > 10 ||
+            !std::all_of(text.begin(), text.end(),
+                         [](unsigned char c) { return std::isdigit(c); })) {
+          return failWith(400, "bad Content-Length");
+        }
+        unsigned long long n = 0;
+        for (const char c : text) n = n * 10 + static_cast<unsigned long long>(c - '0');
+        if (n > kMaxBodyBytes) return failWith(413, "request body too large");
+        contentLength_ = static_cast<std::size_t>(n);
+      }
+      phase_ = Phase::kBody;
+      break;
+    }
+    if (request_.headers.size() >= kMaxHeaderCount) {
+      return failWith(431, "too many headers");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return failWith(400, "malformed header line");
+    const std::string name = toLower(line.substr(0, colon));
+    if (!isToken(name)) return failWith(400, "bad header name");
+    const std::string_view value = trimOws(std::string_view(line).substr(colon + 1));
+    // Duplicate Content-Length headers are a request-smuggling vector:
+    // two conflicting lengths must be rejected, not last-wins merged.
+    auto [pos, inserted] = request_.headers.emplace(name, std::string(value));
+    if (!inserted) {
+      if (name == "content-length" && pos->second != value) {
+        return failWith(400, "conflicting Content-Length headers");
+      }
+      pos->second = std::string(value);  // benign duplicate: last wins
+    }
+  }
+
+  if (phase_ == Phase::kBody) {
+    if (buffer_.size() < contentLength_) return status_;  // kNeedMore
+    request_.body = buffer_.substr(0, contentLength_);
+    buffer_.erase(0, contentLength_);  // surplus = pipelined next request
+    phase_ = Phase::kDone;
+    status_ = Status::kComplete;
+  }
+  return status_;
+}
+
+std::string_view httpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string buildHttpResponse(int status, std::string_view contentType, std::string_view body,
+                              bool close) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += httpStatusText(status);
+  out += "\r\nContent-Type: ";
+  out += contentType;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  if (close) out += "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace dqndock::gateway

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file http.hpp
+/// Hand-rolled incremental HTTP/1.1 request parser and response writer
+/// for the gateway — no third-party dependency, byte-at-a-time safe.
+///
+/// The parser is a push-style state machine: feed() whatever arrived on
+/// the socket; it answers kNeedMore until a full request (line + headers
+/// + Content-Length body) is buffered, kComplete when request() is
+/// ready, or kError with an HTTP status — malformed input from the
+/// network maps to a 4xx/5xx response, NEVER a throw, crash, or hang.
+/// Pipelined requests are supported: bytes past the first complete
+/// request stay buffered, and reset() re-arms the machine on the
+/// residue.
+///
+/// Deliberate scope cuts, each answered with a clean status code:
+///   - Transfer-Encoding (chunked uploads) -> 501 Not Implemented;
+///   - request bodies above kMaxBodyBytes  -> 413 Content Too Large;
+///   - request line / header section above the caps -> 431;
+///   - anything else malformed             -> 400 Bad Request.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dqndock::gateway {
+
+/// Request-line length cap (method + target + version).
+inline constexpr std::size_t kMaxRequestLineBytes = 8192;
+/// Total header-section cap and per-request header-count cap.
+inline constexpr std::size_t kMaxHeaderBytes = 32768;
+inline constexpr std::size_t kMaxHeaderCount = 100;
+/// Body cap — dock/screen request JSON is tiny; anything approaching a
+/// megabyte is hostile or misrouted.
+inline constexpr std::size_t kMaxBodyBytes = 1 << 20;
+
+struct HttpRequest {
+  std::string method;   ///< verbatim token ("GET", "POST", ...)
+  std::string target;   ///< origin-form target, query string included
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  /// Header names lowercased (field names are case-insensitive);
+  /// values trimmed of optional whitespace.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string header(const std::string& lowercaseName, const std::string& fallback = "") const {
+    const auto it = headers.find(lowercaseName);
+    return it == headers.end() ? fallback : it->second;
+  }
+
+  /// Path without the query string ("/v1/models?x=1" -> "/v1/models").
+  std::string path() const;
+
+  /// True when the client asked to drop the connection after this
+  /// exchange (Connection: close, or HTTP/1.0 without keep-alive).
+  bool wantsClose() const;
+};
+
+class HttpParser {
+ public:
+  enum class Status : unsigned char { kNeedMore, kComplete, kError };
+
+  /// Append newly-received bytes and advance the state machine. After
+  /// kComplete, request() holds the parsed request and any surplus bytes
+  /// (pipelining) remain buffered for the next reset()+feed() cycle.
+  /// After kError, errorStatus()/errorReason() describe the 4xx/5xx to
+  /// send; the connection must then close (framing is unrecoverable).
+  Status feed(std::string_view data);
+
+  /// Re-arm for the next pipelined request, retaining buffered surplus.
+  /// Surplus alone can complete a request: reset() reparses it, so
+  /// status() may be kComplete immediately, without another feed().
+  void reset();
+
+  Status status() const { return status_; }
+  const HttpRequest& request() const { return request_; }
+  int errorStatus() const { return errorStatus_; }
+  const std::string& errorReason() const { return errorReason_; }
+
+  /// True when a request is partially buffered (a mid-request hangup is
+  /// a truncated request, not a clean close-between-requests).
+  bool midRequest() const { return phase_ != Phase::kRequestLine || !buffer_.empty(); }
+
+ private:
+  enum class Phase : unsigned char { kRequestLine, kHeaders, kBody, kDone, kFailed };
+
+  Status advance();
+  Status failWith(int status, std::string reason);
+  bool takeLine(std::string& line, std::size_t cap, int overflowStatus, const char* what);
+
+  Phase phase_ = Phase::kRequestLine;
+  Status status_ = Status::kNeedMore;
+  HttpRequest request_;
+  std::string buffer_;       ///< unconsumed bytes
+  std::size_t headerBytes_ = 0;
+  std::size_t contentLength_ = 0;
+  int errorStatus_ = 0;
+  std::string errorReason_;
+};
+
+/// Reason phrase for the status codes the gateway emits.
+std::string_view httpStatusText(int status);
+
+/// Serialize a response head + body. `close` adds "Connection: close".
+std::string buildHttpResponse(int status, std::string_view contentType, std::string_view body,
+                              bool close);
+
+}  // namespace dqndock::gateway

@@ -1,0 +1,422 @@
+#include "src/gateway/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dqndock::gateway {
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::string(std::string v) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  return out;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void typeMismatch(const char* wanted) {
+  throw JsonError(std::string("JsonValue: not a ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (type_ != Type::kBool) typeMismatch("bool");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (type_ != Type::kNumber) typeMismatch("number");
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (type_ != Type::kString) typeMismatch("string");
+  return string_;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  if (type_ != Type::kArray) typeMismatch("array");
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) typeMismatch("array");
+  return items_;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) typeMismatch("object");
+  for (auto& [name, value] : members_) {
+    if (name == key) {
+      value = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (type_ != Type::kObject) typeMismatch("object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) typeMismatch("object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->isNull()) return fallback;
+  if (!v->isNumber()) throw JsonError("field \"" + key + "\" must be a number");
+  return v->asNumber();
+}
+
+std::string JsonValue::stringOr(const std::string& key, const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->isNull()) return fallback;
+  if (!v->isString()) throw JsonError("field \"" + key + "\" must be a string");
+  return v->asString();
+}
+
+// -- Encoding ----------------------------------------------------------------
+
+namespace {
+
+void encodeString(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void encodeValue(const JsonValue& value, std::string& out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.asBool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      const double v = value.asNumber();
+      if (!std::isfinite(v)) throw JsonError("jsonEncode: non-finite number");
+      // %.17g round-trips every double exactly — scores crossing the
+      // HTTP surface stay bit-identical to the in-process values.
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out += buf;
+      return;
+    }
+    case JsonValue::Type::kString:
+      encodeString(value.asString(), out);
+      return;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        encodeValue(item, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        encodeString(key, out);
+        out.push_back(':');
+        encodeValue(member, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string jsonEncode(const JsonValue& value) {
+  std::string out;
+  encodeValue(value, out);
+  return out;
+}
+
+// -- Parsing -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue value = parseValue(0);
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("jsonParse at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parseValue(std::size_t depth) {
+    if (depth >= kMaxJsonDepth) fail("nesting exceeds depth limit");
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"': return JsonValue::string(parseString());
+      case 't':
+        if (consumeLiteral("true")) return JsonValue::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consumeLiteral("false")) return JsonValue::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consumeLiteral("null")) return JsonValue::null();
+        fail("bad literal");
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject(std::size_t depth) {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skipWhitespace();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      out.set(std::move(key), parseValue(depth + 1));  // duplicate keys: last wins
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return out;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray(std::size_t depth) {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push(parseValue(depth + 1));
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return out;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parseHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  void appendUtf8(unsigned code, std::string& out) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = parseHex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00-\uDFFF.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned low = parseHex4();
+              if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              fail("unpaired high surrogate");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          appendUtf8(code, out);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digitsStart = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ == digitsStart) fail("bad number");
+    // JSON forbids leading zeros ("042"); strtod would accept them.
+    if (text_[digitsStart] == '0' && pos_ - digitsStart > 1) fail("leading zero in number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t fracStart = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == fracStart) fail("bad number (empty fraction)");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t expStart = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == expStart) fail("bad number (empty exponent)");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue jsonParse(std::string_view text) { return Parser(text).parseDocument(); }
+
+}  // namespace dqndock::gateway

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file json.hpp
+/// Dependency-free JSON value + encoder + strict recursive-descent
+/// parser for the HTTP gateway (in the spirit of the KIV-UPP sem02
+/// hand-rolled serialization exemplar). Scope is exactly what the
+/// gateway needs:
+///
+///   - objects keep insertion order, so encoded replies are stable and
+///     diffable across runs;
+///   - doubles encode with %.17g, so a score travels the HTTP surface
+///     bit-identically (the acceptance criterion for routed docks);
+///   - the parser is strict (whole-input, depth-capped, UTF-16 escape
+///     aware) and throws JsonError on anything malformed — the gateway
+///     maps that to 400, never to a crash.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dqndock::gateway {
+
+/// Malformed JSON text (parse) or a type-mismatched access (asNumber on
+/// a string, ...). The gateway turns it into 400 Bad Request.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Nesting depth cap for the parser: hostile "[[[[..." input must
+/// exhaust the limit, not the stack.
+inline constexpr std::size_t kMaxJsonDepth = 32;
+
+class JsonValue {
+ public:
+  enum class Type : unsigned char { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  ///< null
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string v);
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors throw JsonError on mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+
+  /// Array ops (throw JsonError unless isArray()).
+  JsonValue& push(JsonValue v);
+  const std::vector<JsonValue>& items() const;
+
+  /// Object ops (throw JsonError unless isObject()). set() keeps
+  /// insertion order and overwrites an existing key in place.
+  JsonValue& set(std::string key, JsonValue v);
+  JsonValue& set(std::string key, const char* v) { return set(std::move(key), string(v)); }
+  JsonValue& set(std::string key, std::string v) { return set(std::move(key), string(std::move(v))); }
+  JsonValue& set(std::string key, double v) { return set(std::move(key), number(v)); }
+  JsonValue& set(std::string key, bool v) { return set(std::move(key), boolean(v)); }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// nullptr when the key is absent.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Request-decoding helpers: absent key -> fallback; present but
+  /// wrong-typed -> JsonError (a client typo must be a 400, not a
+  /// silently-applied default).
+  double numberOr(const std::string& key, double fallback) const;
+  std::string stringOr(const std::string& key, const std::string& fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Compact encoding (no insignificant whitespace). Non-finite numbers
+/// throw JsonError — JSON cannot represent them and silently emitting
+/// null would corrupt a score.
+std::string jsonEncode(const JsonValue& value);
+
+/// Strict parse of the WHOLE input (trailing non-whitespace is an
+/// error). Throws JsonError on malformed text, depth beyond
+/// kMaxJsonDepth, or invalid string escapes.
+JsonValue jsonParse(std::string_view text);
+
+}  // namespace dqndock::gateway

@@ -52,6 +52,10 @@ void fillScreenFields(Message& reply, const JobOutcome& outcome) {
 
 TcpServer::TcpServer(DockingService& service, ModelRegistry& registry, std::uint16_t port)
     : service_(service), registry_(registry) {
+  // A client that hangs up mid-reply must surface as EPIPE on the send,
+  // never as a process-killing SIGPIPE (MSG_NOSIGNAL covers socket sends;
+  // this covers every other fd path for the process lifetime).
+  ignoreSigpipe();
   listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listenFd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
   const int one = 1;
@@ -121,8 +125,14 @@ void TcpServer::handleConnection(int fd) {
     }
     try {
       sendMessage(fd, reply);
+    } catch (const PeerClosedError&) {
+      // EPIPE/ECONNRESET: the client sent a request and hung up without
+      // reading the reply. Same clean-hangup path as an orderly EOF.
+      std::lock_guard lock(mu_);
+      ++stats_.peerHangups;
+      break;
     } catch (const std::exception&) {
-      break;  // peer gone mid-response
+      break;  // transport fault mid-response
     }
     if (request.type == "SHUTDOWN") break;
   }
@@ -318,6 +328,7 @@ TcpClient::TcpClient(std::uint16_t port, const std::string& host, const RetryPol
 }
 
 void TcpClient::connectOnce() {
+  ignoreSigpipe();  // a server that dies mid-exchange must not kill us
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("TcpClient: socket() failed");
   sockaddr_in addr{};

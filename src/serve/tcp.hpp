@@ -33,6 +33,10 @@ struct ServerStats {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
   std::uint64_t protocolErrors = 0;
+  /// Peers that hung up mid-exchange (EPIPE/ECONNRESET while replying).
+  /// A hangup is the client's prerogative — it is never a protocol
+  /// error and must never kill the server (the PR-10 SIGPIPE fix).
+  std::uint64_t peerHangups = 0;
 };
 
 class TcpServer {

@@ -1,0 +1,114 @@
+#include "src/serve/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqndock::serve {
+
+LatencyWindow::LatencyWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void LatencyWindow::record(double seconds) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(seconds);
+  } else {
+    ring_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+double LatencyWindow::percentileSeconds(double p) const {
+  if (ring_.empty()) return 0.0;
+  std::vector<double> sorted(ring_);
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-based; p=0 maps to the minimum.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void TenantDirectory::Tenant::recordDock(double seconds, bool ok) {
+  std::lock_guard lock(mu_);
+  ++dockRequests_;
+  if (!ok) ++dockErrors_;
+  dockLatency_.record(seconds);
+}
+
+void TenantDirectory::Tenant::recordScreen(double seconds, bool ok) {
+  std::lock_guard lock(mu_);
+  ++screenRequests_;
+  if (!ok) ++screenErrors_;
+  screenLatency_.record(seconds);
+}
+
+TenantStats TenantDirectory::Tenant::stats() const {
+  TenantStats out;
+  out.name = name;
+  {
+    std::lock_guard lock(mu_);
+    out.dock.requests = dockRequests_;
+    out.dock.errors = dockErrors_;
+    out.dock.latencySamples = dockLatency_.count();
+    out.dock.p50Seconds = dockLatency_.percentileSeconds(50.0);
+    out.dock.p90Seconds = dockLatency_.percentileSeconds(90.0);
+    out.dock.p99Seconds = dockLatency_.percentileSeconds(99.0);
+    out.screen.requests = screenRequests_;
+    out.screen.errors = screenErrors_;
+    out.screen.latencySamples = screenLatency_.count();
+    out.screen.p50Seconds = screenLatency_.percentileSeconds(50.0);
+    out.screen.p90Seconds = screenLatency_.percentileSeconds(90.0);
+    out.screen.p99Seconds = screenLatency_.percentileSeconds(99.0);
+  }
+  out.service = service->stats();
+  out.queueDepth = out.service.queueDepth;
+  out.queueCapacity = service->options().queueCapacity;
+  out.workers = out.service.workers;
+  return out;
+}
+
+void TenantDirectory::add(const std::string& name, DockingService& service,
+                          ModelRegistry& registry) {
+  if (name.empty()) throw std::invalid_argument("TenantDirectory: empty model name");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      throw std::invalid_argument("TenantDirectory: model name \"" + name +
+                                  "\" has characters unusable in a URL path segment");
+    }
+  }
+  if (tenants_.count(name) != 0) {
+    throw std::invalid_argument("TenantDirectory: duplicate model name \"" + name + "\"");
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->service = &service;
+  tenant->registry = &registry;
+  tenants_.emplace(name, std::move(tenant));
+}
+
+TenantDirectory::Tenant* TenantDirectory::find(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantDirectory::names() const {
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.push_back(name);
+  return out;
+}
+
+std::vector<TenantStats> TenantDirectory::stats() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.push_back(tenant->stats());
+  return out;
+}
+
+}  // namespace dqndock::serve

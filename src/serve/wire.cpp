@@ -1,8 +1,10 @@
 #include "src/serve/wire.hpp"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include <sys/socket.h>
@@ -43,6 +45,13 @@ void writeAll(int fd, const char* buf, std::size_t n) {
     const ssize_t w = writeSome(fd, buf + off, n - off);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        // The peer hung up while we were replying — their prerogative,
+        // not a transport fault of ours; callers route this to the same
+        // clean-hangup path as an orderly EOF.
+        throw PeerClosedError(std::string("writeFrame: peer closed: ") +
+                              std::strerror(errno));
+      }
       throwErrno("writeFrame");
     }
     off += static_cast<std::size_t>(w);
@@ -56,6 +65,9 @@ std::size_t readAll(int fd, char* buf, std::size_t n) {
     const ssize_t r = ::read(fd, buf + off, n - off);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        throw PeerClosedError("readFrame: peer reset the connection");
+      }
       throwErrno("readFrame");
     }
     if (r == 0) break;  // EOF
@@ -65,6 +77,18 @@ std::size_t readAll(int fd, char* buf, std::size_t n) {
 }
 
 }  // namespace
+
+void ignoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction current {};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 && current.sa_handler == SIG_DFL) {
+      struct sigaction ignore {};
+      ignore.sa_handler = SIG_IGN;
+      ::sigaction(SIGPIPE, &ignore, nullptr);
+    }
+  });
+}
 
 std::string Message::get(const std::string& key, const std::string& fallback) const {
   const auto it = fields.find(key);

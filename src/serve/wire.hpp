@@ -36,6 +36,24 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The peer closed its end while we were mid-exchange: EPIPE/ECONNRESET
+/// on a send, ECONNRESET on a read. Not a framing violation (the peer
+/// sent nothing malformed) and not a local transport fault — servers map
+/// it onto the same clean-hangup path as an orderly EOF instead of
+/// counting a protocol error or crashing.
+class PeerClosedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide, one-time SIGPIPE -> SIG_IGN. Socket sends already pass
+/// MSG_NOSIGNAL, but the ::write fallback (pipes in tests) and any
+/// future raw-fd path would still die by signal when the peer hangs up
+/// mid-reply; every server front-end calls this from its constructor so
+/// a client hangup can only ever surface as EPIPE. Idempotent and
+/// thread-safe; never overrides a handler the application installed.
+void ignoreSigpipe();
+
 struct Message {
   std::string type;
   std::map<std::string, std::string> fields;

@@ -118,6 +118,42 @@ TEST(CliArgsTest, FallbacksWhenMissing) {
   EXPECT_EQ(args.getString("s", "dflt"), "dflt");
 }
 
+TEST(CliArgsTest, MalformedNumericValuesThrowCliError) {
+  // The satellite bug: "--layers 128,abc" used to reach std::stoul and
+  // abort. Present-but-malformed now throws CliError (a catchable,
+  // usage-printing path) instead of silently using the fallback.
+  const char* argv[] = {"prog", "--count=12abc", "--rate=fast", "--port=70000"};
+  CliArgs args(4, argv);
+  EXPECT_THROW(args.getInt("count", 0), CliError);
+  EXPECT_THROW(args.getDouble("rate", 0.0), CliError);
+  EXPECT_THROW(args.getUint16("port", 0), CliError);  // out of [0, 65535]
+  // Absent flags still take the fallback, no throw.
+  EXPECT_EQ(args.getInt("absent", 3), 3);
+}
+
+TEST(CliArgsTest, CheckedParseHelpers) {
+  EXPECT_EQ(tryParseLong("-42").value(), -42);
+  EXPECT_EQ(tryParseLong(" 42 "), std::nullopt);      // whole-token strict
+  EXPECT_EQ(tryParseLong("42x"), std::nullopt);
+  EXPECT_EQ(tryParseLong(""), std::nullopt);
+  EXPECT_EQ(tryParseLong("999999999999999999999"), std::nullopt);  // overflow
+  EXPECT_EQ(tryParseUnsigned("7").value(), 7ul);
+  EXPECT_EQ(tryParseUnsigned("-7"), std::nullopt);    // negatives rejected
+  EXPECT_DOUBLE_EQ(tryParseDouble("2.5e-3").value(), 2.5e-3);
+  EXPECT_EQ(tryParseDouble("2.5.3"), std::nullopt);
+}
+
+TEST(CliArgsTest, SizeListParsing) {
+  const auto sizes = tryParseSizeList("128,64,32");
+  ASSERT_TRUE(sizes.has_value());
+  EXPECT_EQ(*sizes, (std::vector<std::size_t>{128, 64, 32}));
+  EXPECT_EQ(tryParseSizeList("128,abc"), std::nullopt);  // the docking_server crash
+  EXPECT_EQ(tryParseSizeList("128,-4"), std::nullopt);
+  EXPECT_EQ(tryParseSizeList("0"), std::nullopt);        // zero-width layer
+  EXPECT_THROW(parseSizeList("128,abc", "hidden"), CliError);
+  EXPECT_EQ(parseSizeList("16,8", "hidden"), (std::vector<std::size_t>{16, 8}));
+}
+
 // Streaming this type records whether operator<< ever ran.
 struct FormatProbe {
   bool* formatted;

@@ -1,0 +1,245 @@
+// HTTP parser hardening matrix (ISSUE satellite): every malformed input
+// class must end in a clean 4xx/5xx kError or a kNeedMore that the
+// connection layer turns into a clean close — never a throw, crash, or
+// hang. Also covers the good-path framing the gateway depends on:
+// incremental (byte-at-a-time) feeding, pipelining, and keep-alive
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/gateway/http.hpp"
+
+namespace dqndock::gateway {
+namespace {
+
+HttpParser::Status feedAll(HttpParser& parser, std::string_view text) {
+  return parser.feed(text);
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpParser::Status::kComplete);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/v1/healthz");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.header("host"), "x");  // names lowercased
+  EXPECT_TRUE(req.body.empty());
+  EXPECT_FALSE(req.wantsClose());
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("POST /v1/models/alpha/dock HTTP/1.1\r\n"
+                        "Content-Type: application/json\r\n"
+                        "Content-Length: 16\r\n\r\n"
+                        "{\"max_steps\":25}"),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().body, "{\"max_steps\":25}");
+  EXPECT_EQ(parser.request().path(), "/v1/models/alpha/dock");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedingCompletes) {
+  // The incremental contract: no assumption that a request arrives in
+  // one recv(). Feed the worst case — one byte per call.
+  const std::string raw =
+      "POST /v1/models/beta/screen HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+  HttpParser parser;
+  HttpParser::Status status = HttpParser::Status::kNeedMore;
+  for (char byte : raw) {
+    ASSERT_NE(status, HttpParser::Status::kError);
+    status = parser.feed(std::string_view(&byte, 1));
+  }
+  ASSERT_EQ(status, HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().body, "{}");
+}
+
+TEST(HttpParserTest, PipelinedRequestsStayBuffered) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET /v1/healthz HTTP/1.1\r\n\r\nGET /v1/models HTTP/1.1\r\n\r\n"),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/v1/healthz");
+  // reset() re-arms on the surplus and completes WITHOUT another feed().
+  parser.reset();
+  ASSERT_EQ(parser.status(), HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/v1/models");
+  parser.reset();
+  EXPECT_EQ(parser.status(), HttpParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.midRequest());  // clean close point
+}
+
+TEST(HttpParserTest, TruncatedRequestLineIsNeedMoreNotError) {
+  // A mid-request hangup shows up as kNeedMore + midRequest(): the
+  // connection layer closes without a response (nothing to answer).
+  HttpParser parser;
+  EXPECT_EQ(parser.feed("POST /v1/mod"), HttpParser::Status::kNeedMore);
+  EXPECT_TRUE(parser.midRequest());
+}
+
+TEST(HttpParserTest, MidBodyHangupIsDetectable) {
+  HttpParser parser;
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"par"),
+            HttpParser::Status::kNeedMore);
+  EXPECT_TRUE(parser.midRequest());
+}
+
+TEST(HttpParserTest, OversizedRequestLineIs431) {
+  HttpParser parser;
+  const std::string longTarget = "GET /" + std::string(kMaxRequestLineBytes, 'a');
+  ASSERT_EQ(parser.feed(longTarget), HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParserTest, OversizedHeaderSectionIs431) {
+  HttpParser parser;
+  std::string raw = "GET / HTTP/1.1\r\n";
+  raw += "X-Padding: " + std::string(kMaxHeaderBytes, 'p') + "\r\n\r\n";
+  ASSERT_EQ(parser.feed(raw), HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParserTest, TooManyHeadersIs431) {
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (std::size_t i = 0; i <= kMaxHeaderCount; ++i) {
+    raw += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  raw += "\r\n";
+  HttpParser parser;
+  ASSERT_EQ(parser.feed(raw), HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParserTest, BadContentLengthVariantsAre400) {
+  const char* bad[] = {
+      "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",          // negative
+      "POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n",       // trailing junk
+      "POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",        // hex
+      "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",             // empty
+      "POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",         // exponent
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",  // overflow
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",  // smuggling
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, raw), HttpParser::Status::kError) << raw;
+    EXPECT_EQ(parser.errorStatus(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, DuplicateIdenticalContentLengthTolerated) {
+  // Same value twice is odd but unambiguous — not a smuggling vector.
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok"),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().body, "ok");
+}
+
+TEST(HttpParserTest, BodyOverCapIs413) {
+  HttpParser parser;
+  const std::string raw = "POST / HTTP/1.1\r\nContent-Length: " +
+                          std::to_string(kMaxBodyBytes + 1) + "\r\n\r\n";
+  ASSERT_EQ(parser.feed(raw), HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpParserTest, ChunkedTransferEncodingIs501) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 501);
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/2.0\r\n\r\n"), HttpParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 505);
+}
+
+TEST(HttpParserTest, GarbageRequestLinesAre400) {
+  const char* bad[] = {
+      "\r\n\r\n",                          // empty request line
+      "GET\r\n\r\n",                       // missing target + version
+      "GET /\r\n\r\n",                     // missing version
+      "GET / HTTP/1.1 extra\r\n\r\n",      // too many words
+      "GE T / HTTP/1.1\r\n\r\n",           // space inside method
+      "\x16\x03\x01\x02\x00garbage",       // a TLS ClientHello, say
+      "G\x7f T / HTTP/1.1\r\n\r\n",        // control char in method
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    const auto status = feedAll(parser, raw);
+    if (status == HttpParser::Status::kError) {
+      EXPECT_GE(parser.errorStatus(), 400) << raw;
+      EXPECT_LT(parser.errorStatus(), 600) << raw;
+    } else {
+      // Binary junk with no newline yet: kNeedMore is acceptable — the
+      // caps guarantee it errors out before buffering unbounded garbage.
+      EXPECT_EQ(status, HttpParser::Status::kNeedMore) << raw;
+    }
+  }
+}
+
+TEST(HttpParserTest, MalformedHeaderLinesAre400) {
+  const char* bad[] = {
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+      "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+      "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",        // space in field name
+      "GET / HTTP/1.1\r\nBad\x01Name: v\r\n\r\n",     // ctrl in field name
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, raw), HttpParser::Status::kError) << raw;
+    EXPECT_EQ(parser.errorStatus(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, BareLfLineEndingsTolerated) {
+  // Lenient-but-bounded: some minimal clients send \n only.
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET /v1/models HTTP/1.1\nHost: x\n\n"),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/v1/models");
+}
+
+TEST(HttpParserTest, ConnectionCloseSemantics) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            HttpParser::Status::kComplete);
+  EXPECT_TRUE(parser.request().wantsClose());
+
+  HttpParser http10;
+  ASSERT_EQ(http10.feed("GET / HTTP/1.0\r\n\r\n"), HttpParser::Status::kComplete);
+  EXPECT_TRUE(http10.request().wantsClose());  // 1.0 defaults to close
+
+  HttpParser http10keep;
+  ASSERT_EQ(http10keep.feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            HttpParser::Status::kComplete);
+  EXPECT_FALSE(http10keep.request().wantsClose());
+}
+
+TEST(HttpParserTest, QueryStringSplitsOffPath) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET /v1/stats?verbose=1 HTTP/1.1\r\n\r\n"),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().path(), "/v1/stats");
+  EXPECT_EQ(parser.request().target, "/v1/stats?verbose=1");
+}
+
+TEST(HttpResponseTest, BuildsWellFormedResponses) {
+  const std::string ok = buildHttpResponse(200, "application/json", "{\"a\":1}", false);
+  EXPECT_EQ(ok.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(ok.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_EQ(ok.find("Connection: close"), std::string::npos);
+  EXPECT_NE(ok.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+
+  const std::string bad = buildHttpResponse(400, "application/json", "{}", true);
+  EXPECT_EQ(bad.find("HTTP/1.1 400 Bad Request\r\n"), 0u);
+  EXPECT_NE(bad.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqndock::gateway

@@ -1,0 +1,151 @@
+// Gateway JSON tests: encode/parse round-trips (including %.17g double
+// fidelity, the property that lets dock scores cross the HTTP surface
+// bit-identically), strict-parser rejection of malformed text, escape
+// handling, and the nesting-depth cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "src/gateway/json.hpp"
+
+namespace dqndock::gateway {
+namespace {
+
+TEST(GatewayJsonTest, EncodesScalars) {
+  EXPECT_EQ(jsonEncode(JsonValue::null()), "null");
+  EXPECT_EQ(jsonEncode(JsonValue::boolean(true)), "true");
+  EXPECT_EQ(jsonEncode(JsonValue::boolean(false)), "false");
+  EXPECT_EQ(jsonEncode(JsonValue::number(42.0)), "42");
+  EXPECT_EQ(jsonEncode(JsonValue::string("hi")), "\"hi\"");
+}
+
+TEST(GatewayJsonTest, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1.0).set("alpha", 2.0).set("mid", "x");
+  EXPECT_EQ(jsonEncode(obj), "{\"zebra\":1,\"alpha\":2,\"mid\":\"x\"}");
+  obj.set("zebra", 9.0);  // overwrite keeps the slot, not re-appended
+  EXPECT_EQ(jsonEncode(obj), "{\"zebra\":9,\"alpha\":2,\"mid\":\"x\"}");
+}
+
+TEST(GatewayJsonTest, StringEscapingRoundTrips) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 done";
+  const std::string encoded = jsonEncode(JsonValue::string(nasty));
+  EXPECT_EQ(jsonParse(encoded).asString(), nasty);
+}
+
+TEST(GatewayJsonTest, DoublesRoundTripBitIdentically) {
+  // The acceptance criterion hinges on this: a score that went through
+  // jsonEncode + jsonParse must compare equal to the double the docking
+  // service produced.
+  const double awkward[] = {0.1 + 0.2, -137.03599908, 1.0 / 3.0,
+                            std::numeric_limits<double>::denorm_min(),
+                            -0.0, 1e308, 6.02214076e23};
+  for (const double value : awkward) {
+    JsonValue obj = JsonValue::object();
+    obj.set("score", value);
+    const JsonValue back = jsonParse(jsonEncode(obj));
+    const double reparsed = back.find("score")->asNumber();
+    EXPECT_EQ(std::memcmp(&reparsed, &value, sizeof value), 0)
+        << "value " << value << " did not survive the round trip";
+  }
+}
+
+TEST(GatewayJsonTest, NonFiniteNumbersRefuseToEncode) {
+  EXPECT_THROW(jsonEncode(JsonValue::number(std::nan(""))), JsonError);
+  EXPECT_THROW(jsonEncode(JsonValue::number(std::numeric_limits<double>::infinity())),
+               JsonError);
+}
+
+TEST(GatewayJsonTest, ParsesNestedDocument) {
+  const JsonValue doc = jsonParse(
+      R"({"models":[{"name":"alpha","v":1.5},{"name":"beta","v":-2e3}],"ok":true,"n":null})");
+  ASSERT_TRUE(doc.isObject());
+  const JsonValue* models = doc.find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_TRUE(models->isArray());
+  ASSERT_EQ(models->items().size(), 2u);
+  EXPECT_EQ(models->items()[0].find("name")->asString(), "alpha");
+  EXPECT_EQ(models->items()[1].find("v")->asNumber(), -2000.0);
+  EXPECT_TRUE(doc.find("ok")->asBool());
+  EXPECT_TRUE(doc.find("n")->isNull());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(GatewayJsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(jsonParse(R"("A\u00e9")").asString(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 (grinning face) -> 4-byte UTF-8.
+  EXPECT_EQ(jsonParse(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_THROW(jsonParse(R"("\ud83d oops")"), JsonError);
+}
+
+TEST(GatewayJsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                    // empty input
+      "{",                   // unterminated object
+      "[1,2",                // unterminated array
+      "{\"a\":}",            // missing value
+      "{\"a\" 1}",           // missing colon
+      "{'a':1}",             // single quotes
+      "[1,]",                // trailing comma
+      "{\"a\":1,}",          // trailing comma in object
+      "01",                  // leading zero
+      "+1",                  // explicit plus
+      "1.",                  // dangling fraction dot
+      ".5",                  // missing integer part
+      "1e",                  // dangling exponent
+      "nul",                 // truncated keyword
+      "\"unterminated",      // unterminated string
+      "\"bad\\qescape\"",    // unknown escape
+      "\"ctrl\x01char\"",    // raw control char in string
+      "{\"a\":1}trailing",   // trailing garbage
+      "[1] [2]",             // two documents
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(jsonParse(text), JsonError) << "accepted: " << text;
+  }
+}
+
+TEST(GatewayJsonTest, DepthCapStopsHostileNesting) {
+  // kMaxJsonDepth nested arrays parse; one more throws instead of
+  // exhausting the stack.
+  std::string atLimit(kMaxJsonDepth, '[');
+  atLimit += std::string(kMaxJsonDepth, ']');
+  EXPECT_NO_THROW(jsonParse(atLimit));
+  const std::string tooDeep = "[" + atLimit + "]";
+  EXPECT_THROW(jsonParse(tooDeep), JsonError);
+  // Ditto for the degenerate unterminated flood.
+  EXPECT_THROW(jsonParse(std::string(10000, '[')), JsonError);
+}
+
+TEST(GatewayJsonTest, TypedAccessorsThrowOnMismatch) {
+  const JsonValue doc = jsonParse(R"({"s":"text","n":3})");
+  EXPECT_THROW(doc.find("s")->asNumber(), JsonError);
+  EXPECT_THROW(doc.find("n")->asString(), JsonError);
+  EXPECT_THROW(doc.find("n")->asBool(), JsonError);
+  EXPECT_THROW(doc.items(), JsonError);             // object, not array
+  EXPECT_THROW(JsonValue::null().members(), JsonError);
+}
+
+TEST(GatewayJsonTest, NumberOrDistinguishesAbsentFromMistyped) {
+  const JsonValue doc = jsonParse(R"({"max_steps":25,"priority":"high"})");
+  EXPECT_EQ(doc.numberOr("max_steps", 7.0), 25.0);
+  EXPECT_EQ(doc.numberOr("absent", 7.0), 7.0);            // absent -> fallback
+  EXPECT_THROW(doc.numberOr("priority", 7.0), JsonError);  // mistyped -> 400 path
+  EXPECT_EQ(doc.stringOr("priority", "normal"), "high");
+  EXPECT_EQ(doc.stringOr("absent", "normal"), "normal");
+  EXPECT_THROW(doc.stringOr("max_steps", "x"), JsonError);
+}
+
+TEST(GatewayJsonTest, WhitespaceToleratedBetweenTokens) {
+  const JsonValue doc = jsonParse(" \t\r\n{ \"a\" :\n[ 1 ,\t2 ] }\r\n ");
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.find("a")->items().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dqndock::gateway

@@ -1,0 +1,167 @@
+// SIGPIPE regression tests (ISSUE satellite): a client that hangs up
+// after sending a request — FIN or RST — must never kill the server.
+// Before the fix, the server's reply write could raise SIGPIPE
+// (default action: process death) on the ::write fallback path, and
+// EPIPE surfaced as a generic transport error instead of the clean
+// peer-hangup path. These tests run under the ASan/UBSan CI matrix.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/chem/synthetic.hpp"
+#include "src/common/rng.hpp"
+#include "src/serve/tcp.hpp"
+#include "src/serve/wire.hpp"
+
+namespace dqndock::serve {
+namespace {
+
+int connectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void abortiveClose(int fd) {
+  // SO_LINGER {on, 0}: close() sends RST, so the server's pending reply
+  // write fails with EPIPE/ECONNRESET instead of buffering into a void.
+  linger hard{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  ::close(fd);
+}
+
+TEST(SigpipeHardeningTest, WriteToClosedPipeThrowsPeerClosedError) {
+  // The pipe path takes the ::write fallback inside writeSome — exactly
+  // where an unignored SIGPIPE would kill the process.
+  ignoreSigpipe();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // reader gone
+  EXPECT_THROW(writeFrame(fds[1], "doomed payload"), PeerClosedError);
+  ::close(fds[1]);
+}
+
+TEST(SigpipeHardeningTest, WriteToResetSocketThrowsPeerClosedError) {
+  ignoreSigpipe();
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[0]);
+  // The first write may succeed into the buffer; EPIPE lands by the
+  // second at the latest.
+  try {
+    writeFrame(pair[1], "first");
+    writeFrame(pair[1], "second");
+    FAIL() << "expected PeerClosedError writing to a closed socketpair";
+  } catch (const PeerClosedError&) {
+  }
+  ::close(pair[1]);
+}
+
+/// Serving stack on loopback, mirroring test_serve_wire's fixture.
+class HangupFixture : public ::testing::Test {
+ protected:
+  HangupFixture() : scenario_(chem::buildScenario(chem::ScenarioSpec::tiny())) {
+    Rng rng(2024);
+    const std::size_t dim = scenario_.ligand.atomCount() * 3;
+    registry_ = std::make_unique<ModelRegistry>(
+        std::make_unique<rl::MlpQNetwork>(dim, std::vector<std::size_t>{16}, 12, rng));
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 8;
+    opts.batcher.flushDeadline = std::chrono::microseconds(50);
+    service_ = std::make_unique<DockingService>(scenario_, *registry_, opts);
+    server_ = std::make_unique<TcpServer>(*service_, *registry_);
+  }
+
+  ~HangupFixture() override {
+    server_->stop();
+    service_->shutdown();
+  }
+
+  bool waitForHangupStat() const {
+    for (int i = 0; i < 400 && server_->stats().peerHangups == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return server_->stats().peerHangups > 0;
+  }
+
+  chem::Scenario scenario_;
+  std::unique_ptr<ModelRegistry> registry_;
+  std::unique_ptr<DockingService> service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(HangupFixture, ClientRstAfterDockRequestDoesNotKillServer) {
+  // The regression scenario: send a DOCK (long enough that the reply is
+  // still pending when the RST arrives), then vanish. The server's
+  // sendMessage hits EPIPE/ECONNRESET; it must count a peer hangup and
+  // keep serving — not die of SIGPIPE, not log a protocol error.
+  {
+    const int fd = connectLoopback(server_->port());
+    Message dock{"DOCK", {}};
+    dock.set("max_steps", 60L).set("seed", 9L);
+    sendMessage(fd, dock);
+    abortiveClose(fd);
+  }
+  EXPECT_TRUE(waitForHangupStat());
+  EXPECT_EQ(server_->stats().peerHangups, 1u);
+
+  // The follow-up exchange proves the listener and workers survived.
+  TcpClient client(server_->port());
+  EXPECT_EQ(client.request(Message{"PING", {}}).type, "OK");
+  Message dock{"DOCK", {}};
+  dock.set("max_steps", 3L);
+  EXPECT_EQ(client.request(dock).type, "OK");
+}
+
+TEST_F(HangupFixture, FinAfterRequestIsAHangupNotAProtocolError) {
+  // Orderly FIN (plain close) right after the request: by the time the
+  // reply is computed the peer may be gone. Depending on timing the
+  // write either succeeds into the kernel buffer or fails with EPIPE —
+  // both must leave the server healthy, and a failure must not count
+  // as malformed-peer "protocol error".
+  {
+    const int fd = connectLoopback(server_->port());
+    Message dock{"DOCK", {}};
+    dock.set("max_steps", 40L).set("seed", 4L);
+    sendMessage(fd, dock);
+    ::close(fd);
+  }
+  // Give the handler time to finish the dock and attempt the reply.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server_->stats().protocolErrors, 0u);
+
+  TcpClient client(server_->port());
+  EXPECT_EQ(client.request(Message{"PING", {}}).type, "OK");
+}
+
+TEST_F(HangupFixture, ManyAbortingClientsLeaveServerServing) {
+  // A small storm of rude clients: every reply write races an RST.
+  for (int round = 0; round < 8; ++round) {
+    const int fd = connectLoopback(server_->port());
+    Message dock{"DOCK", {}};
+    dock.set("max_steps", 25L).set("seed", static_cast<long>(round));
+    sendMessage(fd, dock);
+    abortiveClose(fd);
+  }
+  TcpClient client(server_->port());
+  EXPECT_EQ(client.request(Message{"PING", {}}).type, "OK");
+  const Message status = client.request(Message{"STATUS", {}});
+  ASSERT_EQ(status.type, "OK");
+}
+
+}  // namespace
+}  // namespace dqndock::serve
